@@ -1,0 +1,84 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Knobs (environment variables):
+
+* ``AVFI_BENCH_RUNS`` — scenarios per injector configuration (default 8).
+  Smaller is faster but noisier; the paper's qualitative shapes survive
+  down to ~4.
+* ``AVFI_BENCH_AGENT`` — ``nn`` (default; the paper's IL-CNN agent, trained
+  and cached on first use) or ``autopilot`` (the privileged expert, for a
+  fast infrastructure check).
+
+The first ``nn`` benchmark session collects an imitation dataset and trains
+the agent (~6 min on a laptop CPU); the checkpoint is cached under
+``benchmarks/_artifacts/`` and reused afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.agent import autopilot_agent_factory, get_or_train_default_model, nn_agent_factory
+from repro.core import standard_scenarios
+from repro.sim.builders import SimulationBuilder
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+RESULTS = Path(__file__).parent / "results"
+
+#: Scenario suite seed for evaluation campaigns.  Distinct from the
+#: training-data seed (100) so benchmark missions are unseen by the agent.
+EVAL_SEED = 777
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("AVFI_BENCH_RUNS", "8"))
+
+
+def bench_agent_kind() -> str:
+    kind = os.environ.get("AVFI_BENCH_AGENT", "nn")
+    if kind not in ("nn", "autopilot"):
+        raise ValueError(f"AVFI_BENCH_AGENT must be nn|autopilot, got {kind!r}")
+    return kind
+
+
+@pytest.fixture(scope="session")
+def builder():
+    return SimulationBuilder(with_lidar=False)
+
+
+@pytest.fixture(scope="session")
+def agent_factory(builder):
+    if bench_agent_kind() == "autopilot":
+        return autopilot_agent_factory()
+    model = get_or_train_default_model(cache_dir=ARTIFACTS, builder=SimulationBuilder())
+    return nn_agent_factory(model)
+
+
+@pytest.fixture(scope="session")
+def eval_scenarios():
+    return standard_scenarios(
+        bench_runs(), seed=EVAL_SEED, n_npc_vehicles=2, n_pedestrians=2
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """Cross-benchmark cache so fig. 2 and fig. 3 share one campaign run."""
+    return {}
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a figure's text output under benchmarks/results/."""
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    path = RESULTS / name
+    path.write_text(text + "\n")
+    return path
+
+
+def emit(capsys, text: str) -> None:
+    """Print bench output past pytest's capture so it lands in the log."""
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,64 @@
+"""Ext-A — Hardware faults: resilience vs. control-command corruption rate.
+
+The paper's hardware-fault class ("AVFI can intercept and corrupt a control
+command from the IL-CNN and then forward it to the server") has no figure;
+this extension experiment sweeps the per-frame probability of a single-bit
+flip in the control command and reports MSR/VPK/APK, plus a stuck-at
+steering fault as the worst-case reference.
+"""
+
+import pytest
+
+from repro.core import Campaign, figure_header, format_table, metrics_by_injector
+from repro.core.faults import ControlBitFlip, ControlStuckAt, Trigger
+
+from .conftest import bench_agent_kind, bench_runs, emit, write_result
+
+FLIP_PROBS = [0.0, 0.02, 0.1, 0.3]
+
+
+@pytest.mark.benchmark(group="ext-a")
+def test_ablation_hardware_faults(benchmark, builder, agent_factory, eval_scenarios, capsys):
+    injectors = {}
+    for p in FLIP_PROBS:
+        name = f"bitflip-p{p}"
+        injectors[name] = (
+            [ControlBitFlip(trigger=Trigger(probability=p))] if p > 0 else []
+        )
+    injectors["stuck-steer"] = [
+        ControlStuckAt("steer", 1.0, trigger=Trigger(start_frame=75))
+    ]
+
+    def run():
+        return Campaign(
+            eval_scenarios, agent_factory, injectors=injectors, builder=builder,
+            base_seed=77,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = metrics_by_injector(result.records)
+
+    rows = [
+        [name, m.msr, m.vpk, m.apk, m.ttv_median_s if m.ttv_s else None]
+        for name, m in metrics.items()
+    ]
+    text = "\n".join(
+        [
+            figure_header(
+                "Ext-A",
+                f"Hardware faults: control-command bit flips "
+                f"[agent={bench_agent_kind()}, runs/config={bench_runs()}]",
+            ),
+            format_table(["injector", "MSR_%", "VPK", "APK", "TTV_median_s"], rows),
+        ]
+    )
+    write_result("ext_a_hardware_faults.txt", text)
+    emit(capsys, text)
+
+    # Shape: heavy corruption is worse than none; stuck-at steering is fatal.
+    clean = metrics["bitflip-p0.0"]
+    heavy = metrics["bitflip-p0.3"]
+    stuck = metrics["stuck-steer"]
+    assert heavy.vpk >= clean.vpk
+    assert stuck.msr <= clean.msr
+    assert stuck.vpk > clean.vpk

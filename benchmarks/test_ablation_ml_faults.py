@@ -1,0 +1,67 @@
+"""Ext-B — Machine-learning faults: weight noise and weight bit flips.
+
+The paper's ML-fault class ("adding noise into the parameters of the
+machine learning model ... modeled on real-world hardware failures") has
+no figure; this extension sweeps the relative weight-noise magnitude and a
+soft-error bit-flip count in the IL-CNN, reporting MSR/VPK.  Requires the
+NN agent (skipped under AVFI_BENCH_AGENT=autopilot: there is no network to
+corrupt).
+"""
+
+import pytest
+
+from repro.core import Campaign, figure_header, format_table, metrics_by_injector
+from repro.core.faults import ActivationFault, WeightBitFlip, WeightNoise
+
+from .conftest import bench_agent_kind, bench_runs, emit, write_result
+
+NOISE_LEVELS = [0.0, 0.1, 0.3, 0.6]
+
+
+@pytest.mark.benchmark(group="ext-b")
+@pytest.mark.filterwarnings("ignore:overflow encountered", "ignore:invalid value encountered")
+def test_ablation_ml_faults(benchmark, builder, agent_factory, eval_scenarios, capsys):
+    # Float32 overflow inside a forward pass is *expected* under heavy
+    # weight corruption; the pipeline clamps the resulting garbage at the
+    # control boundary, which is exactly what the experiment verifies.
+    if bench_agent_kind() != "nn":
+        pytest.skip("ML faults target the IL-CNN; run with AVFI_BENCH_AGENT=nn")
+
+    injectors = {}
+    for sigma in NOISE_LEVELS:
+        name = f"wnoise-{sigma}"
+        injectors[name] = [WeightNoise(sigma_rel=sigma)] if sigma > 0 else []
+    injectors["bitflip-8"] = [WeightBitFlip(n_flips=8)]
+    injectors["act-stuck"] = [ActivationFault(block="join", layer_index=0, n_units=16)]
+
+    def run():
+        return Campaign(
+            eval_scenarios, agent_factory, injectors=injectors, builder=builder,
+            base_seed=88,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = metrics_by_injector(result.records)
+
+    rows = [
+        [name, m.msr, m.vpk, m.apk]
+        for name, m in metrics.items()
+    ]
+    text = "\n".join(
+        [
+            figure_header(
+                "Ext-B",
+                f"ML faults in the IL-CNN: weight noise / bit flips / stuck "
+                f"activations [runs/config={bench_runs()}]",
+            ),
+            format_table(["injector", "MSR_%", "VPK", "APK"], rows),
+        ]
+    )
+    write_result("ext_b_ml_faults.txt", text)
+    emit(capsys, text)
+
+    clean = metrics["wnoise-0.0"]
+    worst = metrics[f"wnoise-{NOISE_LEVELS[-1]}"]
+    # Shape: strong parameter noise degrades the driving policy.
+    assert worst.msr <= clean.msr
+    assert worst.vpk >= clean.vpk

@@ -1,0 +1,80 @@
+"""Ext-C — Time-to-Traffic-Violation across fault classes.
+
+TTV is defined in the paper's §II ("the time between a fault injection and
+its manifestation as a traffic violation; higher values give the system
+more time to detect and correct") but never plotted.  This extension
+injects one representative fault per class at a fixed mid-mission frame
+and compares TTV distributions: an actuator stuck-at should manifest in
+seconds, while sensor noise takes longer to push the vehicle off course.
+"""
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    boxplot,
+    figure_header,
+    format_table,
+    metrics_by_injector,
+)
+from repro.core.faults import (
+    ControlStuckAt,
+    GaussianNoise,
+    OutputDelay,
+    SolidOcclusion,
+    Trigger,
+)
+
+from .conftest import bench_agent_kind, bench_runs, emit, write_result
+
+INJECTION_FRAME = 75  # 5 s into the mission
+
+
+@pytest.mark.benchmark(group="ext-c")
+def test_ablation_time_to_violation(benchmark, builder, agent_factory, eval_scenarios, capsys):
+    start = Trigger(start_frame=INJECTION_FRAME)
+    injectors = {
+        "data:gaussian": [GaussianNoise(sigma=0.25, trigger=start)],
+        "data:solid-occ": [SolidOcclusion(size_frac=0.5, trigger=start)],
+        "hw:stuck-steer": [ControlStuckAt("steer", 1.0, trigger=start)],
+        "timing:delay-30": [OutputDelay(30, trigger=start)],
+    }
+
+    def run():
+        return Campaign(
+            eval_scenarios, agent_factory, injectors=injectors, builder=builder,
+            base_seed=99,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = metrics_by_injector(result.records)
+
+    rows = []
+    groups = {}
+    for name, m in metrics.items():
+        rows.append(
+            [name, len(m.ttv_s), m.ttv_median_s if m.ttv_s else None, m.vpk, m.msr]
+        )
+        if m.ttv_s:
+            groups[name] = m.ttv_s
+    text_parts = [
+        figure_header(
+            "Ext-C",
+            f"Time to Traffic Violation by fault class (injected at frame "
+            f"{INJECTION_FRAME}) [agent={bench_agent_kind()}, runs/config={bench_runs()}]",
+        ),
+        format_table(["injector", "manifested", "TTV_median_s", "VPK", "MSR_%"], rows),
+    ]
+    if groups:
+        text_parts += ["", boxplot(groups, title="TTV distribution (s):")]
+    text = "\n".join(text_parts)
+    write_result("ext_c_ttv.txt", text)
+    emit(capsys, text)
+
+    # Shape: the stuck actuator manifests fastest of the classes that
+    # manifested at all.
+    stuck = metrics["hw:stuck-steer"]
+    assert stuck.ttv_s, "a steering stuck-at must manifest as violations"
+    for name, m in metrics.items():
+        if name != "hw:stuck-steer" and m.ttv_s:
+            assert stuck.ttv_median_s <= m.ttv_median_s + 2.0, (name, m.ttv_median_s)

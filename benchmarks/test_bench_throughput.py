@@ -1,0 +1,101 @@
+"""Ext-D — Simulator and pipeline throughput.
+
+Fault-injection campaigns need thousands of simulated kilometres, so the
+paper's approach lives or dies on simulator throughput.  These micro
+benchmarks measure the hot paths with pytest-benchmark's full statistics:
+
+* world tick with NPC traffic (physics + behaviours),
+* camera render,
+* IL-CNN single-frame inference,
+* one full server/client pipeline step (render + agent + channels +
+  violations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core import run_episode, standard_scenarios
+from repro.sim.builders import SimulationBuilder
+from repro.sim.channel import Channel
+from repro.sim.client import AgentClient
+from repro.sim.physics import VehicleControl
+from repro.sim.server import SimulationServer
+from repro.sim.town import GridTownConfig
+
+TOWN = GridTownConfig(rows=3, cols=3)
+
+
+@pytest.fixture(scope="module")
+def handles():
+    builder = SimulationBuilder(with_lidar=False)
+    scenario = standard_scenarios(
+        1, seed=5, town_config=TOWN, n_npc_vehicles=4, n_pedestrians=4
+    )[0]
+    return builder.build_episode(scenario)
+
+
+@pytest.mark.benchmark(group="ext-d-throughput")
+def test_world_tick_throughput(benchmark, handles):
+    world = handles.world
+    world.ego.apply_control(VehicleControl(throttle=0.3))
+    benchmark(world.tick)
+
+
+@pytest.mark.benchmark(group="ext-d-throughput")
+def test_camera_render_throughput(benchmark, handles):
+    world = handles.world
+    camera = handles.sensors.camera
+    rng = np.random.default_rng(0)
+    benchmark(camera.read, world, world.ego, rng)
+
+
+@pytest.mark.benchmark(group="ext-d-throughput")
+def test_ilcnn_inference_throughput(benchmark):
+    model = ILCNN(ILCNNConfig())
+    model.set_training(False)
+    rng = np.random.default_rng(0)
+    image = rng.integers(0, 255, (64, 96, 3), dtype=np.uint8)
+    benchmark(model.predict_one, image, 5.0, 0)
+
+
+@pytest.mark.benchmark(group="ext-d-throughput")
+def test_full_pipeline_step_throughput(benchmark, handles):
+    world = handles.world
+
+    class _Still:
+        def reset(self, mission):
+            pass
+
+        def step(self, frame):
+            return VehicleControl(brake=1.0)
+
+    sensor_ch, control_ch = Channel("sensor"), Channel("control")
+    server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+    client = AgentClient(_Still(), sensor_ch, control_ch)
+    server.send_initial_frame()
+
+    def step():
+        client.tick(world.frame)
+        server.tick()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="ext-d-throughput")
+def test_episode_throughput(benchmark):
+    """Whole-episode wall time for a short autopilot mission."""
+    from repro.agent import autopilot_agent_factory
+
+    builder = SimulationBuilder(with_lidar=False)
+    scenario = standard_scenarios(
+        1, seed=6, town_config=TOWN, min_distance=80, max_distance=160
+    )[0]
+
+    record = benchmark.pedantic(
+        run_episode,
+        args=(builder, scenario, autopilot_agent_factory()),
+        rounds=1,
+        iterations=1,
+    )
+    assert record.success

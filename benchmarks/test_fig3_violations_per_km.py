@@ -1,0 +1,76 @@
+"""Figure 3 — Traffic violations per km per input fault injector.
+
+Paper: "Fig. 3 shows a similar increase in variability of traffic
+violations per km driven across a range of sensor fault injectors" (log
+scale; NoInject pinned near zero).  The benchmark reuses the fig. 2
+campaign (same records — the paper plots two metrics of one experiment),
+prints per-run VPK distributions as boxplots plus the pooled VPK, and
+asserts the shape: camera faults raise VPK above the fault-free baseline.
+"""
+
+import pytest
+
+from repro.core import boxplot, figure_header, format_table, metrics_by_injector
+from repro.core.analysis import compare_to_baseline
+
+from .conftest import bench_agent_kind, bench_runs, emit, write_result
+from .test_fig2_mission_success import INJECTOR_ORDER, run_sensor_fault_campaign
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_violations_per_km(
+    benchmark, builder, agent_factory, eval_scenarios, campaign_cache, capsys
+):
+    result = benchmark.pedantic(
+        run_sensor_fault_campaign,
+        args=(builder, agent_factory, eval_scenarios, campaign_cache),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = metrics_by_injector(result.records)
+
+    rows = [
+        [
+            name,
+            metrics[name].vpk,
+            metrics[name].apk,
+            metrics[name].total_violations,
+            metrics[name].total_km,
+        ]
+        for name in INJECTOR_ORDER
+    ]
+    groups = {name: metrics[name].vpk_per_run for name in INJECTOR_ORDER}
+    effects = compare_to_baseline(groups, baseline="none")
+    effect_rows = [
+        [name, e["median_shift"], e["mean_ratio_vs_baseline"], e["p_value"]]
+        for name, e in effects.items()
+    ]
+    text = "\n".join(
+        [
+            figure_header(
+                "Figure 3",
+                f"Total violations / km per input fault injector "
+                f"[agent={bench_agent_kind()}, runs/injector={bench_runs()}]",
+            ),
+            format_table(["injector", "VPK", "APK", "violations", "km"], rows),
+            "",
+            boxplot(groups, title="Per-run VPK distribution (paper plots this spread):"),
+            "",
+            format_table(
+                ["injector", "median_shift", "mean_ratio", "p(MWU)"],
+                effect_rows,
+                title="Effect vs. NoInject baseline:",
+            ),
+        ]
+    )
+    write_result("fig3_violations_per_km.txt", text)
+    emit(capsys, text)
+
+    vpk = {name: metrics[name].vpk for name in INJECTOR_ORDER}
+    faulted = [vpk[name] for name in INJECTOR_ORDER[1:]]
+    # Paper shape: baseline VPK near the bottom; faults raise the average.
+    # Only meaningful for the camera-driven agent — the autopilot mode is a
+    # negative control that (correctly) ignores camera corruption.
+    if bench_agent_kind() == "nn":
+        assert sum(faulted) / len(faulted) >= vpk["none"], vpk
+        assert max(faulted) > vpk["none"], vpk

@@ -1,0 +1,79 @@
+"""Figure 4 — Violations per km vs. ADA→actuation output delay.
+
+Paper: "Fig. 4 shows a significant increase in the number of traffic
+violations per km with the introduction of delays between the generation
+of output from the agent's neural network and its actuation in the world
+model...  Our simulation environment is configured to run at 15 frames per
+second; hence, a delay of 30 frames corresponds to an overall delay of a
+mere 2 s between decision and actuation."
+
+The benchmark sweeps k ∈ {0, 5, 10, 20, 30} frames of control-channel
+delay with the paper's replay semantics, prints the VPK series, and
+asserts the monotone-increase shape between the extremes.
+"""
+
+import pytest
+
+from repro.core import Campaign, boxplot, figure_header, format_table, metrics_by_injector
+from repro.core.faults import OutputDelay
+
+from .conftest import bench_agent_kind, bench_runs, emit, write_result
+
+DELAYS = [0, 5, 10, 20, 30]
+FPS = 15.0
+
+
+def _injector_name(delay: int) -> str:
+    return f"delay-{delay}"
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_output_delay_sweep(benchmark, builder, agent_factory, eval_scenarios, capsys):
+    injectors = {
+        _injector_name(k): ([OutputDelay(k)] if k else []) for k in DELAYS
+    }
+
+    def run():
+        campaign = Campaign(
+            eval_scenarios, agent_factory, injectors=injectors, builder=builder,
+            base_seed=418,
+        )
+        return campaign.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = metrics_by_injector(result.records)
+
+    rows = []
+    for k in DELAYS:
+        m = metrics[_injector_name(k)]
+        ttv = m.ttv_median_s if m.ttv_s else None
+        rows.append([k, k / FPS, m.vpk, m.apk, m.msr, ttv])
+    groups = {f"{k:>2} frames": metrics[_injector_name(k)].vpk_per_run for k in DELAYS}
+    text = "\n".join(
+        [
+            figure_header(
+                "Figure 4",
+                f"Violations / km vs. injected output delay (15 FPS; 30 frames = 2 s) "
+                f"[agent={bench_agent_kind()}, runs/delay={bench_runs()}]",
+            ),
+            format_table(
+                ["delay_frames", "delay_s", "VPK", "APK", "MSR_%", "TTV_median_s"], rows
+            ),
+            "",
+            boxplot(groups, title="Per-run VPK distribution by delay:"),
+        ]
+    )
+    write_result("fig4_output_delay.txt", text)
+    emit(capsys, text)
+
+    vpk = [metrics[_injector_name(k)].vpk for k in DELAYS]
+    # Paper shape: significant increase with delay — a strong end-to-end
+    # rise always, plus (for the paper's IL-CNN configuration) a rise into
+    # a sustained plateau: the curve saturates once the car is effectively
+    # uncontrolled, so the tail is only required to stay near the peak,
+    # not to keep strictly climbing.
+    assert vpk[-1] > max(vpk[0] * 3.0, vpk[0] + 2.0), vpk
+    if bench_agent_kind() == "nn":
+        mid = vpk[len(DELAYS) // 2]
+        assert mid > vpk[0], vpk
+        assert vpk[-1] >= 0.8 * mid, vpk

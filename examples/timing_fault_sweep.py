@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 4's experiment: violations per km vs. actuation delay.
+
+Sweeps the ADA→actuation output delay (replay semantics: the server keeps
+applying the last command it received) and prints the VPK/MSR series.  The
+simulator runs at 15 FPS, so 30 frames is the paper's "a mere 2 s" case.
+
+Usage::
+
+    python examples/timing_fault_sweep.py [--delays 0 5 10 20 30]
+                                          [--agent autopilot|nn] [--runs 4]
+                                          [--mode replay|drop]
+"""
+
+import argparse
+
+from repro.agent import autopilot_agent_factory, get_or_train_default_model, nn_agent_factory
+from repro.core import Campaign, bar_chart, format_table, metrics_by_injector, standard_scenarios
+from repro.core.faults import OutputDelay
+from repro.sim.builders import SimulationBuilder
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delays", type=int, nargs="+", default=[0, 5, 10, 20, 30])
+    parser.add_argument("--agent", choices=("autopilot", "nn"), default="autopilot")
+    parser.add_argument("--runs", type=int, default=4)
+    parser.add_argument("--mode", choices=("replay", "drop"), default="replay")
+    parser.add_argument("--seed", type=int, default=777)
+    args = parser.parse_args()
+
+    builder = SimulationBuilder()
+    if args.agent == "nn":
+        agent_factory = nn_agent_factory(get_or_train_default_model())
+    else:
+        agent_factory = autopilot_agent_factory()
+
+    scenarios = standard_scenarios(args.runs, seed=args.seed, n_npc_vehicles=2)
+    injectors = {
+        f"delay-{k}": ([OutputDelay(k, mode=args.mode)] if k else [])
+        for k in args.delays
+    }
+    campaign = Campaign(scenarios, agent_factory, injectors, builder=builder, verbose=True)
+    result = campaign.run()
+
+    metrics = metrics_by_injector(result.records)
+    rows = [
+        [k, k / 15.0, metrics[f"delay-{k}"].vpk, metrics[f"delay-{k}"].msr]
+        for k in args.delays
+    ]
+    print()
+    print(format_table(["delay_frames", "delay_s", "VPK", "MSR_%"], rows,
+                       title=f"Figure 4 ({args.mode} semantics, agent={args.agent}):"))
+    print()
+    print(bar_chart({f"{k} frames": metrics[f'delay-{k}'].vpk for k in args.delays},
+                    title="Violations per km vs. output delay:"))
+
+
+if __name__ == "__main__":
+    main()

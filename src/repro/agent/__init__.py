@@ -1,0 +1,44 @@
+"""Autonomous Driving Agent substrate: planner, expert, IL-CNN, agents."""
+
+from .agents import (
+    AgentFactory,
+    AutopilotAgent,
+    NNAgent,
+    autopilot_agent_factory,
+    nn_agent_factory,
+)
+from .autopilot import Expert, ExpertConfig
+from .dataset import CollectionConfig, DrivingDataset, collect_imitation_data
+from .ilcnn import ILCNN, ILCNNConfig, preprocess_image
+from .planner import COMMAND_HORIZON, Command, PlanningError, Route, RoutePlanner
+from .training import (
+    TrainConfig,
+    TrainingHistory,
+    get_or_train_default_model,
+    train_ilcnn,
+)
+
+__all__ = [
+    "AgentFactory",
+    "AutopilotAgent",
+    "NNAgent",
+    "autopilot_agent_factory",
+    "nn_agent_factory",
+    "Expert",
+    "ExpertConfig",
+    "CollectionConfig",
+    "DrivingDataset",
+    "collect_imitation_data",
+    "ILCNN",
+    "ILCNNConfig",
+    "preprocess_image",
+    "COMMAND_HORIZON",
+    "Command",
+    "PlanningError",
+    "Route",
+    "RoutePlanner",
+    "TrainConfig",
+    "TrainingHistory",
+    "get_or_train_default_model",
+    "train_ilcnn",
+]

@@ -1,0 +1,154 @@
+"""Driving agents: the ADA implementations campaigns can run.
+
+Two agents ship with the library:
+
+* :class:`NNAgent` — the paper's configuration: camera image and measured
+  speed go through the conditional IL-CNN; the route planner (fed by noisy
+  GPS) supplies the command that picks the branch.  This is the agent all
+  headline experiments use.
+* :class:`AutopilotAgent` — the privileged expert wrapped as an agent.
+  Useful as an upper-bound baseline and for infrastructure tests that
+  should not depend on learned behaviour.
+
+Factories at the bottom adapt both to the campaign runner's
+``factory(handles, mission) -> Agent`` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..sim.builders import EpisodeHandles
+from ..sim.geometry import Vec2
+from ..sim.physics import VehicleControl
+from ..sim.scenario import Mission
+from ..sim.sensors import SensorFrame
+from ..sim.town import Town
+from ..sim.world import World
+from .autopilot import Expert, ExpertConfig
+from .ilcnn import ILCNN
+from .planner import PlanningError, Route, RoutePlanner
+
+__all__ = [
+    "NNAgent",
+    "AutopilotAgent",
+    "AgentFactory",
+    "nn_agent_factory",
+    "autopilot_agent_factory",
+]
+
+
+class NNAgent:
+    """Camera-driven conditional imitation-learning agent.
+
+    All world knowledge at ``step`` time comes from the
+    :class:`~repro.sim.sensors.SensorFrame` — exactly the boundary AVFI's
+    input fault injectors corrupt.  The agent replans from GPS if it drifts
+    off its route (a real ADA's behaviour under perturbation).
+    """
+
+    def __init__(self, model: ILCNN, town: Town, replan_tolerance: float = 10.0):
+        self.model = model
+        self.town = town
+        self.planner = RoutePlanner(town)
+        self.replan_tolerance = replan_tolerance
+        self.route: Route | None = None
+        self.mission: Mission | None = None
+        self.replans = 0
+
+    def reset(self, mission: Mission) -> None:
+        """Plan the route for a new mission."""
+        self.mission = mission
+        self.route = self.planner.plan(
+            mission.start.position, mission.goal, start_yaw=mission.start.yaw
+        )
+        self.replans = 0
+
+    def _maybe_replan(self, position: Vec2, heading: float) -> None:
+        assert self.route is not None and self.mission is not None
+        if not self.route.off_route(position, self.replan_tolerance):
+            return
+        try:
+            self.route = self.planner.plan(position, self.mission.goal, start_yaw=heading)
+            self.replans += 1
+        except PlanningError:
+            # Keep the stale route; better than stopping dead.
+            pass
+
+    def step(self, frame: SensorFrame) -> VehicleControl:
+        """One control step from one sensor bundle."""
+        if self.route is None or self.mission is None:
+            raise RuntimeError("agent.step before reset")
+        gps = Vec2(float(frame.gps[0]), float(frame.gps[1]))
+        if not (np.isfinite(gps.x) and np.isfinite(gps.y)):
+            # GPS corrupted beyond use: hold the wheel straight and coast.
+            return VehicleControl(steer=0.0, throttle=0.0, brake=0.3)
+        self._maybe_replan(gps, frame.heading)
+        command = self.route.command_at(gps)
+        steer, throttle, brake = self.model.predict_one(frame.image, frame.speed, command)
+
+        steer = float(np.clip(steer, -1.0, 1.0))
+        throttle = float(np.clip(throttle, 0.0, 1.0))
+        brake = float(np.clip(brake, 0.0, 1.0))
+        # Suppress brake dribble and contradictory pedals (standard IL
+        # post-processing; the raw regressor emits small simultaneous values).
+        if brake < 0.12:
+            brake = 0.0
+        if brake > 0.0 and throttle > brake:
+            brake = 0.0
+        elif brake > 0.0:
+            throttle = 0.0
+        if gps.distance_to(self.mission.goal) < self.mission.success_radius:
+            return VehicleControl(steer=steer, brake=1.0)
+        return VehicleControl(steer=steer, throttle=throttle, brake=brake)
+
+
+class AutopilotAgent:
+    """The privileged expert exposed through the agent interface."""
+
+    def __init__(self, world: World, town: Town, expert_config: ExpertConfig | None = None):
+        self.world = world
+        self.town = town
+        self.planner = RoutePlanner(town)
+        self.expert_config = expert_config
+        self._expert: Expert | None = None
+
+    def reset(self, mission: Mission) -> None:
+        """Plan the route and bind the expert controller."""
+        route = self.planner.plan(
+            mission.start.position, mission.goal, start_yaw=mission.start.yaw
+        )
+        self._expert = Expert(self.world, route, self.expert_config)
+
+    def step(self, frame: SensorFrame) -> VehicleControl:
+        """Delegate to the expert (which reads the world directly)."""
+        if self._expert is None:
+            raise RuntimeError("agent.step before reset")
+        return self._expert.control(self.world.dt)
+
+
+AgentFactory = Callable[[EpisodeHandles, Mission], "object"]
+
+
+def nn_agent_factory(model: ILCNN, replan_tolerance: float = 10.0) -> AgentFactory:
+    """Factory adapting :class:`NNAgent` to the campaign protocol."""
+
+    def build(handles: EpisodeHandles, mission: Mission) -> NNAgent:
+        agent = NNAgent(model, handles.town, replan_tolerance)
+        agent.reset(mission)
+        return agent
+
+    return build
+
+
+def autopilot_agent_factory(expert_config: ExpertConfig | None = None) -> AgentFactory:
+    """Factory adapting :class:`AutopilotAgent` to the campaign protocol."""
+
+    def build(handles: EpisodeHandles, mission: Mission) -> AutopilotAgent:
+        agent = AutopilotAgent(handles.world, handles.town, expert_config)
+        agent.reset(mission)
+        return agent
+
+    return build

@@ -1,0 +1,40 @@
+"""A small numpy deep-learning library (the TensorFlow/PyTorch stand-in).
+
+Built for two users: the conditional imitation-learning agent (training
+and inference on CPU) and AVFI's ML-fault injector (raw access to weight
+buffers and activation hooks).
+"""
+
+from .layers import Conv2d, Dense, Dropout, Flatten, Module, Param, ReLU, Sequential, Tanh
+from .losses import huber_loss, l1_loss, mse_loss
+from .optim import SGD, Adam, Optimizer
+from .recurrent import ElmanRNN
+from .serialize import apply_state, load_state, save_state
+from .tensorlib import col2im, conv_output_size, he_init, im2col, xavier_init
+
+__all__ = [
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Module",
+    "Param",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "huber_loss",
+    "l1_loss",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ElmanRNN",
+    "apply_state",
+    "load_state",
+    "save_state",
+    "col2im",
+    "conv_output_size",
+    "he_init",
+    "im2col",
+    "xavier_init",
+]

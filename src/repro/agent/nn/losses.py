@@ -1,0 +1,65 @@
+"""Regression losses with explicit gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "l1_loss", "huber_loss"]
+
+
+def _validate(pred: np.ndarray, target: np.ndarray, weights: np.ndarray | None) -> None:
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    if weights is not None and weights.shape != pred.shape[-1:]:
+        raise ValueError("weights must match the last prediction dimension")
+
+
+def mse_loss(
+    pred: np.ndarray, target: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[float, np.ndarray]:
+    """Mean squared error; returns ``(loss, dloss/dpred)``.
+
+    ``weights`` optionally scales each output dimension (the IL loss weighs
+    steering above throttle/brake).
+    """
+    _validate(pred, target, weights)
+    diff = pred - target
+    if weights is not None:
+        diff = diff * np.sqrt(weights)
+    n = diff.size
+    loss = float(np.sum(diff * diff) / n)
+    grad = 2.0 * diff / n
+    if weights is not None:
+        grad = grad * np.sqrt(weights)
+    return loss, grad.astype(pred.dtype)
+
+
+def l1_loss(
+    pred: np.ndarray, target: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[float, np.ndarray]:
+    """Mean absolute error; returns ``(loss, dloss/dpred)``."""
+    _validate(pred, target, weights)
+    diff = pred - target
+    w = weights if weights is not None else 1.0
+    n = diff.size
+    loss = float(np.sum(np.abs(diff) * w) / n)
+    grad = np.sign(diff) * w / n
+    return loss, grad.astype(pred.dtype)
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss; quadratic within ``delta``, linear beyond."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    _validate(pred, target, None)
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quad = abs_diff <= delta
+    n = diff.size
+    loss = float(
+        (np.sum(0.5 * diff[quad] ** 2) + np.sum(delta * (abs_diff[~quad] - 0.5 * delta))) / n
+    )
+    grad = np.where(quad, diff, delta * np.sign(diff)) / n
+    return loss, grad.astype(pred.dtype)

@@ -1,0 +1,85 @@
+"""Optimisers operating on :class:`~repro.agent.nn.layers.Param` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Param
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser: owns a parameter list and applies updates."""
+
+    def __init__(self, params: list[Param], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset all gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: list[Param], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[Param],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1_corr = 1.0 - self.beta1**self._t
+        b2_corr = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (p.grad * p.grad)
+            m_hat = m / b1_corr
+            v_hat = v / b2_corr
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

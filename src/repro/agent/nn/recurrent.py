@@ -1,0 +1,68 @@
+"""Recurrent layer (Elman RNN) with truncated BPTT.
+
+The paper's fig. 1 shows an RNN stage in the AV neural-network stack
+("RNN" feeding the fully connected layer).  The branched IL-CNN itself is
+feed-forward, so the RNN is offered as an optional temporal smoother:
+:class:`ElmanRNN` consumes a window of feature vectors and its last hidden
+state can replace the instantaneous trunk features.  It is also a fault
+target in its own right (recurrent weights are parameters like any other).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module, Param
+from .tensorlib import xavier_init
+
+__all__ = ["ElmanRNN"]
+
+
+class ElmanRNN(Module):
+    """``h_t = tanh(x_t W_x + h_{t-1} W_h + b)`` over a sequence.
+
+    Input shape ``(T, N, D)``; output shape ``(T, N, H)``.  ``backward``
+    runs full back-propagation through time over the cached sequence.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.Wx = Param("Wx", xavier_init((input_size, hidden_size), input_size, hidden_size, rng))
+        self.Wh = Param("Wh", xavier_init((hidden_size, hidden_size), hidden_size, hidden_size, rng))
+        self.b = Param("b", np.zeros(hidden_size, dtype=np.float32))
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(f"ElmanRNN expected (T, N, {self.input_size}), got {x.shape}")
+        t_len, n, _ = x.shape
+        h = np.zeros((t_len + 1, n, self.hidden_size), dtype=np.float32)
+        for t in range(t_len):
+            h[t + 1] = np.tanh(x[t] @ self.Wx.data + h[t] @ self.Wh.data + self.b.data)
+        self._cache = (x, h)
+        return h[1:]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        x, h = self._cache
+        t_len, n, _ = x.shape
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n, self.hidden_size), dtype=np.float32)
+        for t in reversed(range(t_len)):
+            dh = grad[t] + dh_next
+            dz = dh * (1.0 - h[t + 1] ** 2)
+            self.Wx.grad += x[t].T @ dz
+            self.Wh.grad += h[t].T @ dz
+            self.b.grad += dz.sum(axis=0)
+            dx[t] = dz @ self.Wx.data.T
+            dh_next = dz @ self.Wh.data.T
+        return dx
+
+    def last_hidden(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: run the sequence, return the final hidden state."""
+        return self.forward(x)[-1]
+
+    def parameters(self) -> list[Param]:
+        return [self.Wx, self.Wh, self.b]

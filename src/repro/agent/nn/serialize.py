@@ -1,0 +1,57 @@
+"""Checkpoint serialisation for named parameter collections.
+
+Models expose ``state_dict()``/``load_state_dict()`` built on named
+parameters; this module moves those dicts to and from ``.npz`` files.
+Loading validates names and shapes strictly — silently accepting a
+mismatched checkpoint would corrupt experiments in ways that look exactly
+like injected faults.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
+    """Write a name→array mapping to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a name→array mapping written by :func:`save_state`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        return {k: data[k].copy() for k in data.files}
+
+
+def apply_state(
+    named_params: dict[str, "np.ndarray"], state: dict[str, np.ndarray], strict: bool = True
+) -> None:
+    """Copy ``state`` arrays into parameter buffers in-place.
+
+    ``named_params`` maps names to the *parameter data arrays* (not Param
+    objects) so this module stays independent of the layer classes.
+    """
+    missing = set(named_params) - set(state)
+    unexpected = set(state) - set(named_params)
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"checkpoint mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+        )
+    for name, buf in named_params.items():
+        if name not in state:
+            continue
+        arr = state[name]
+        if arr.shape != buf.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: checkpoint {arr.shape} vs model {buf.shape}"
+            )
+        buf[...] = arr

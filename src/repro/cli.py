@@ -1,0 +1,192 @@
+"""Command-line front end: ``avfi`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``demo`` — one fault-free and one faulted episode with the autopilot
+  (fast; no training);
+* ``campaign`` — a named-injector campaign against the IL-CNN or autopilot;
+* ``sweep-delay`` — the fig. 4 output-delay sweep;
+* ``train`` — collect demonstrations and train the IL-CNN;
+* ``list-faults`` — the registered input fault models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--runs", type=int, default=4, help="missions per injector")
+    parser.add_argument("--agent", choices=("nn", "autopilot"), default="autopilot")
+    parser.add_argument("--seed", type=int, default=777)
+    parser.add_argument("--npc-vehicles", type=int, default=2)
+    parser.add_argument("--pedestrians", type=int, default=2)
+    parser.add_argument("--save", default=None, help="write records JSON here")
+
+
+def _agent_factory(kind: str):
+    from .agent import autopilot_agent_factory, get_or_train_default_model, nn_agent_factory
+
+    if kind == "nn":
+        return nn_agent_factory(get_or_train_default_model())
+    return autopilot_agent_factory()
+
+
+def _run_campaign(args, injectors) -> None:
+    from .core import Campaign, format_table, metrics_by_injector, standard_scenarios
+    from .sim.builders import SimulationBuilder
+
+    scenarios = standard_scenarios(
+        args.runs,
+        seed=args.seed,
+        n_npc_vehicles=args.npc_vehicles,
+        n_pedestrians=args.pedestrians,
+    )
+    campaign = Campaign(
+        scenarios, _agent_factory(args.agent), injectors,
+        builder=SimulationBuilder(), verbose=True,
+    )
+    result = campaign.run()
+    if args.save:
+        result.save(args.save)
+        print(f"records -> {args.save}")
+    metrics = metrics_by_injector(result.records)
+    rows = [
+        [n, m.n_runs, m.msr, m.vpk, m.apk, m.ttv_median_s if m.ttv_s else None]
+        for n, m in metrics.items()
+    ]
+    print()
+    print(format_table(["injector", "runs", "MSR_%", "VPK", "APK", "TTV_s"], rows))
+
+
+def cmd_demo(args) -> None:
+    from .agent import autopilot_agent_factory
+    from .core import format_table, metrics_by_injector, run_episode, standard_scenarios
+    from .core.faults import OutputDelay, SolidOcclusion
+    from .sim.builders import SimulationBuilder
+
+    scenario = standard_scenarios(1, seed=args.seed, n_npc_vehicles=2, n_pedestrians=2)[0]
+    builder = SimulationBuilder()
+    records = []
+    for name, faults in {
+        "none": [],
+        "faulted": [SolidOcclusion(size_frac=0.4), OutputDelay(20)],
+    }.items():
+        record = run_episode(
+            builder, scenario, autopilot_agent_factory(), faults=faults,
+            injector_name=name,
+        )
+        print(
+            f"{name:>8}: success={record.success} "
+            f"distance={record.distance_km * 1000:.0f} m "
+            f"violations={record.n_violations}"
+        )
+        records.append(record)
+    rows = [
+        [n, m.msr, m.vpk, m.apk]
+        for n, m in metrics_by_injector(records).items()
+    ]
+    print(format_table(["injector", "MSR_%", "VPK", "APK"], rows))
+
+
+def cmd_campaign(args) -> None:
+    from .core.faults import make_input_fault
+
+    injectors: dict[str, list] = {"none": []}
+    for name in args.injectors:
+        injectors[name] = [make_input_fault(name)]
+    _run_campaign(args, injectors)
+
+
+def cmd_sweep_delay(args) -> None:
+    from .core.faults import OutputDelay
+
+    injectors = {
+        f"delay-{k}": ([OutputDelay(k, mode=args.mode)] if k else [])
+        for k in args.delays
+    }
+    _run_campaign(args, injectors)
+
+
+def cmd_train(args) -> None:
+    from .agent import CollectionConfig, TrainConfig, collect_imitation_data, train_ilcnn
+    from .core import standard_scenarios
+    from .sim.builders import SimulationBuilder
+
+    scenarios = standard_scenarios(
+        args.scenarios, seed=args.data_seed, n_npc_vehicles=2, n_pedestrians=2
+    )
+    dataset = collect_imitation_data(
+        scenarios, builder=SimulationBuilder(), config=CollectionConfig(seed=0)
+    )
+    print(f"collected {len(dataset)} frames: {dataset.command_histogram()}")
+    model, history = train_ilcnn(dataset, config=TrainConfig(epochs=args.epochs))
+    model.save(args.out)
+    print(
+        f"trained in {history.wall_time_s:.0f}s, "
+        f"best val loss {history.best_val():.5f} -> {args.out}"
+    )
+
+
+def cmd_list_faults(args) -> None:
+    from .core.faults import INPUT_FAULT_REGISTRY
+
+    print("input fault injectors (paper figs. 2-3):")
+    for name, cls in sorted(INPUT_FAULT_REGISTRY.items()):
+        print(f"  {name:12} {cls.__name__}")
+    print(
+        "other classes: hardware (ControlBitFlip, ControlStuckAt, SensorBitFlip,\n"
+        "  PacketBitFlip), timing (OutputDelay, SensorDelay, PacketLoss,\n"
+        "  PacketReorder), ML (WeightNoise, WeightBitFlip, ActivationFault),\n"
+        "  world (WeatherShiftFault)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="avfi", description="AVFI: fault injection for autonomous vehicles"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="two quick episodes: clean vs. faulted")
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("campaign", help="input-fault campaign (figs. 2-3)")
+    _add_common_campaign_args(p)
+    p.add_argument(
+        "--injectors",
+        nargs="+",
+        default=["gaussian", "s&p", "solid-occ", "transp-occ", "water-drop"],
+        help="input fault names (see list-faults)",
+    )
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("sweep-delay", help="output-delay sweep (fig. 4)")
+    _add_common_campaign_args(p)
+    p.add_argument("--delays", type=int, nargs="+", default=[0, 5, 10, 20, 30])
+    p.add_argument("--mode", choices=("replay", "drop"), default="replay")
+    p.set_defaults(func=cmd_sweep_delay)
+
+    p = sub.add_parser("train", help="train the IL-CNN agent")
+    p.add_argument("--out", default="ilcnn_trained.npz")
+    p.add_argument("--scenarios", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=12)
+    p.add_argument("--data-seed", type=int, default=100)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("list-faults", help="show registered fault models")
+    p.set_defaults(func=cmd_list_faults)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

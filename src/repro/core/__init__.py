@@ -1,0 +1,79 @@
+"""AVFI core: the paper's contribution — fault injection for AVs."""
+
+from . import faults
+from .analysis import (
+    DistributionSummary,
+    wilson_interval,
+    bootstrap_ci,
+    compare_to_baseline,
+    mann_whitney_u,
+    summarize,
+)
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    RunRecord,
+    run_episode,
+    standard_scenarios,
+)
+from .experiment import Study, summary_frame, sweep
+from .injector import InjectionHarness
+from .localizer import (
+    BitSite,
+    ChannelSite,
+    FaultLocalizer,
+    NeuronSite,
+    PixelRegionSite,
+    WeightSite,
+)
+from .metrics import (
+    ResilienceMetrics,
+    accidents_per_km,
+    compute_metrics,
+    metrics_by_injector,
+    mission_success_rate,
+    time_to_violation,
+    violations_per_km,
+)
+from .reporting import bar_chart, boxplot, figure_header, format_table
+from .trace import TraceDivergence, TraceReader, TraceWriter, compare_traces
+
+__all__ = [
+    "faults",
+    "DistributionSummary",
+    "bootstrap_ci",
+    "compare_to_baseline",
+    "mann_whitney_u",
+    "wilson_interval",
+    "summarize",
+    "Campaign",
+    "CampaignResult",
+    "RunRecord",
+    "run_episode",
+    "standard_scenarios",
+    "InjectionHarness",
+    "Study",
+    "summary_frame",
+    "sweep",
+    "BitSite",
+    "ChannelSite",
+    "FaultLocalizer",
+    "NeuronSite",
+    "PixelRegionSite",
+    "WeightSite",
+    "ResilienceMetrics",
+    "accidents_per_km",
+    "compute_metrics",
+    "metrics_by_injector",
+    "mission_success_rate",
+    "time_to_violation",
+    "violations_per_km",
+    "bar_chart",
+    "boxplot",
+    "figure_header",
+    "format_table",
+    "TraceDivergence",
+    "TraceReader",
+    "TraceWriter",
+    "compare_traces",
+]

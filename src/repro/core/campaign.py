@@ -1,0 +1,320 @@
+"""Fault-injection campaigns: running (scenario × injector) sweeps.
+
+A *campaign* evaluates one agent across a suite of missions under a set of
+named fault injectors (always including a fault-free baseline, as the
+paper's "NoInject" bars do).  Each episode is an independent, seeded,
+replayable run through the full server/client stack; results are collected
+as :class:`RunRecord` rows that the metrics module aggregates into the
+paper's resilience metrics.
+
+Experiment design note: every injector configuration sees the *same*
+scenario suite (paired design), so differences in MSR/VPK are attributable
+to the injector, not to workload luck.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..agent.planner import PlanningError, RoutePlanner
+from ..sim.builders import SimulationBuilder
+from ..sim.channel import Channel
+from ..sim.client import AgentClient
+from ..sim.scenario import Scenario, make_scenarios
+from ..sim.server import SimulationServer
+from ..sim.town import GridTownConfig, build_grid_town
+from ..sim.violations import ViolationEvent
+from .faults.base import FaultModel
+from .injector import InjectionHarness
+
+__all__ = ["RunRecord", "CampaignResult", "Campaign", "run_episode", "standard_scenarios"]
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one fault-injection episode."""
+
+    scenario: str
+    injector: str
+    seed: int
+    success: bool
+    frames: int
+    duration_s: float
+    distance_km: float
+    time_limit_s: float
+    violations: list[dict] = field(default_factory=list)
+    injection_frames: list[int] = field(default_factory=list)
+    faults: list[dict] = field(default_factory=list)
+    agent_frames_missed: int = 0
+
+    @property
+    def n_violations(self) -> int:
+        """Total violation events in the run."""
+        return len(self.violations)
+
+    @property
+    def n_accidents(self) -> int:
+        """Violations that count as accidents (collisions)."""
+        return sum(1 for v in self.violations if v["is_accident"])
+
+    @property
+    def violations_per_km(self) -> float:
+        """Per-run VPK (0 when the car never moved)."""
+        if self.distance_km <= 0.0:
+            return 0.0
+        return self.n_violations / self.distance_km
+
+    @property
+    def accidents_per_km(self) -> float:
+        """Per-run APK."""
+        if self.distance_km <= 0.0:
+            return 0.0
+        return self.n_accidents / self.distance_km
+
+    def time_to_violation_s(self) -> float | None:
+        """Time from first injection to the first violation after it.
+
+        ``None`` when no fault fired or no violation followed one — the
+        paper's TTV is only defined for manifested faults.
+        """
+        if not self.injection_frames or not self.violations:
+            return None
+        first_injection = self.injection_frames[0]
+        after = [v["frame"] for v in self.violations if v["frame"] >= first_injection]
+        if not after:
+            return None
+        fps = self.frames / self.duration_s if self.duration_s > 0 else 15.0
+        return (min(after) - first_injection) / fps
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return asdict(self)
+
+
+def _violation_to_dict(event: ViolationEvent, fps: float) -> dict:
+    return {
+        "type": event.type.value,
+        "frame": event.start_frame,
+        "time_s": event.start_frame / fps,
+        "is_accident": event.is_accident,
+        "position": list(event.position),
+    }
+
+
+def run_episode(
+    builder: SimulationBuilder,
+    scenario: Scenario,
+    agent_factory: Callable,
+    faults: Sequence[FaultModel] = (),
+    injector_name: str = "none",
+    harness_seed: int = 0,
+    trace_path: str | Path | None = None,
+) -> RunRecord:
+    """Run one episode under the given fault set and record the outcome.
+
+    The loop is the paper's synchronous client/server cycle: the client
+    acts on the freshest sensor bundle, the server applies the freshest
+    due control (holding the previous one when timing faults starve it).
+    With ``trace_path`` given, a JSONL trace (per-frame ego state plus
+    violation/injection events) is written for offline analysis and
+    replay comparison (:mod:`repro.core.trace`).
+    """
+    from .trace import TraceWriter  # local import: tracing is optional
+
+    handles = builder.build_episode(scenario)
+    world = handles.world
+    ego = world.ego
+    assert ego is not None
+    agent = agent_factory(handles, scenario.mission)
+
+    sensor_channel = Channel("sensor")
+    control_channel = Channel("control")
+    server = SimulationServer(world, handles.sensors, sensor_channel, control_channel)
+    client = AgentClient(agent, sensor_channel, control_channel)
+
+    harness = InjectionHarness(faults, seed=harness_seed)
+    harness.attach(server, client, model=getattr(agent, "model", None))
+
+    mission = scenario.mission
+    max_frames = int(math.ceil(mission.time_limit_s * world.fps))
+    success = False
+    tracer = (
+        TraceWriter(
+            trace_path,
+            header={
+                "scenario": scenario.name,
+                "injector": injector_name,
+                "seed": harness_seed,
+            },
+        )
+        if trace_path is not None
+        else None
+    )
+    try:
+        server.send_initial_frame()
+        for _ in range(max_frames):
+            client.tick(world.frame)
+            frame_result = server.tick()
+            harness.on_frame(world, world.frame)
+            if tracer is not None:
+                tracer.state(
+                    world.frame, ego.position.x, ego.position.y, ego.yaw, ego.speed()
+                )
+                for event in frame_result.new_violations:
+                    tracer.violation(event.start_frame, event.type.value)
+            if ego.position.distance_to(mission.goal) < mission.success_radius:
+                success = True
+                break
+        injection_frames = harness.injection_frames()
+        fault_descriptions = harness.describe()
+        if tracer is not None:
+            for frame in injection_frames:
+                tracer.injection(frame, injector_name)
+    finally:
+        harness.detach()
+        if tracer is not None:
+            tracer.close(footer={"success": success})
+
+    return RunRecord(
+        scenario=scenario.name,
+        injector=injector_name,
+        seed=harness_seed,
+        success=success,
+        frames=world.frame,
+        duration_s=world.time_s,
+        distance_km=ego.odometer_m / 1000.0,
+        time_limit_s=mission.time_limit_s,
+        violations=[_violation_to_dict(e, world.fps) for e in server.monitor.events],
+        injection_frames=injection_frames,
+        faults=fault_descriptions,
+        agent_frames_missed=client.frames_missed,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """All run records of a campaign, with grouping helpers."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def by_injector(self) -> dict[str, list[RunRecord]]:
+        """Records grouped by injector name, insertion-ordered."""
+        groups: dict[str, list[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.injector, []).append(record)
+        return groups
+
+    def injectors(self) -> list[str]:
+        """Injector names in first-seen order."""
+        return list(self.by_injector())
+
+    def filter(self, injector: str) -> list[RunRecord]:
+        """Records of one injector."""
+        return [r for r in self.records if r.injector == injector]
+
+    def save(self, path: str | Path) -> None:
+        """Write records as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps([r.to_dict() for r in self.records], indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignResult":
+        """Read records written by :meth:`save`."""
+        rows = json.loads(Path(path).read_text())
+        return cls([RunRecord(**row) for row in rows])
+
+
+class Campaign:
+    """A full (injector × scenario) fault-injection sweep."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        agent_factory: Callable,
+        injectors: dict[str, Sequence[FaultModel]],
+        builder: SimulationBuilder | None = None,
+        base_seed: int = 0,
+        verbose: bool = False,
+    ):
+        if not scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        if not injectors:
+            raise ValueError("campaign needs at least one injector (use {'none': []})")
+        self.scenarios = list(scenarios)
+        self.agent_factory = agent_factory
+        self.injectors = dict(injectors)
+        self.builder = builder or SimulationBuilder()
+        self.base_seed = base_seed
+        self.verbose = verbose
+
+    def total_runs(self) -> int:
+        """Number of episodes the campaign will execute."""
+        return len(self.scenarios) * len(self.injectors)
+
+    def run(self) -> CampaignResult:
+        """Execute every (injector, scenario) episode sequentially."""
+        result = CampaignResult()
+        for inj_idx, (name, faults) in enumerate(self.injectors.items()):
+            for scn_idx, scenario in enumerate(self.scenarios):
+                harness_seed = self.base_seed * 1_000_003 + inj_idx * 10_007 + scn_idx
+                record = run_episode(
+                    self.builder,
+                    scenario,
+                    self.agent_factory,
+                    faults=faults,
+                    injector_name=name,
+                    harness_seed=harness_seed,
+                )
+                result.records.append(record)
+                if self.verbose:
+                    status = "ok " if record.success else "FAIL"
+                    print(
+                        f"[campaign] {name:>12} {scenario.name:>8} {status} "
+                        f"{record.distance_km * 1000:6.0f} m  "
+                        f"{record.n_violations} violations"
+                    )
+        return result
+
+
+def standard_scenarios(
+    n: int,
+    seed: int = 0,
+    town_config: GridTownConfig | None = None,
+    weather: str = "ClearNoon",
+    n_npc_vehicles: int = 0,
+    n_pedestrians: int = 0,
+    min_distance: float = 100.0,
+    max_distance: float = 400.0,
+) -> list[Scenario]:
+    """Scenario suite with *planner-accurate* mission time limits.
+
+    Wires the route planner into mission generation so time limits reflect
+    true route lengths and unroutable start/goal pairs are rejected — the
+    variant campaign code should normally use.
+    """
+    cfg = town_config or GridTownConfig()
+    town = build_grid_town(cfg)
+    planner = RoutePlanner(town)
+
+    def route_length(start, goal):
+        try:
+            return planner.plan(start.position, goal, start_yaw=start.yaw).length
+        except PlanningError:
+            return None
+
+    return make_scenarios(
+        n,
+        seed=seed,
+        town_config=cfg,
+        weather=weather,
+        n_npc_vehicles=n_npc_vehicles,
+        n_pedestrians=n_pedestrians,
+        min_distance=min_distance,
+        max_distance=max_distance,
+        route_length_fn=route_length,
+    )

@@ -1,0 +1,152 @@
+"""Higher-level experiment orchestration: sweeps and resumable studies.
+
+A :class:`Campaign` runs one set of named injectors; a *study* is what a
+paper section needs — parameter sweeps over a fault model, factor grids,
+resumable execution and exportable summaries.  This module provides that
+layer:
+
+* :func:`sweep` — one fault class swept over a parameter
+  (``OutputDelay`` over ``delay_frames`` is exactly fig. 4);
+* :class:`Study` — a named collection of injector configurations executed
+  with a paired scenario design, checkpointing records to disk after
+  every episode so an interrupted overnight run resumes where it stopped;
+* :func:`summary_frame` — flat list-of-dict export of the per-injector
+  metrics (ready for csv/json serialisation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..sim.builders import SimulationBuilder
+from ..sim.scenario import Scenario
+from .campaign import RunRecord, run_episode
+from .faults.base import FaultModel
+from .metrics import ResilienceMetrics, metrics_by_injector
+
+__all__ = ["sweep", "Study", "summary_frame"]
+
+
+def sweep(
+    fault_factory: Callable[[float], FaultModel],
+    values: Sequence[float],
+    name_format: str = "{value}",
+    include_baseline: bool = True,
+) -> dict[str, list[FaultModel]]:
+    """Build an injector dict sweeping one fault parameter.
+
+    ``fault_factory`` maps each value to a fresh fault model.  Example::
+
+        injectors = sweep(lambda k: OutputDelay(int(k)), [5, 10, 20, 30],
+                          name_format="delay-{value:g}")
+    """
+    injectors: dict[str, list[FaultModel]] = {}
+    if include_baseline:
+        injectors["none"] = []
+    for value in values:
+        injectors[name_format.format(value=value)] = [fault_factory(value)]
+    return injectors
+
+
+@dataclass
+class Study:
+    """A resumable fault-injection study.
+
+    Episodes are identified by ``(injector, scenario, seed)``; records are
+    appended to ``checkpoint_path`` (JSON lines) as they complete, and
+    :meth:`run` skips identities already present — re-running a partially
+    completed study only executes the remainder.
+    """
+
+    scenarios: Sequence[Scenario]
+    agent_factory: Callable
+    injectors: dict[str, Sequence[FaultModel]]
+    checkpoint_path: Path | str | None = None
+    builder: SimulationBuilder = field(default_factory=SimulationBuilder)
+    base_seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("study needs at least one scenario")
+        if not self.injectors:
+            raise ValueError("study needs at least one injector")
+        self.records: list[RunRecord] = []
+        if self.checkpoint_path is not None:
+            self.checkpoint_path = Path(self.checkpoint_path)
+            if self.checkpoint_path.exists():
+                for line in self.checkpoint_path.read_text().splitlines():
+                    self.records.append(RunRecord(**json.loads(line)))
+
+    def _identity(self, injector: str, scenario: Scenario, seed: int) -> tuple:
+        return (injector, scenario.name, seed)
+
+    def _completed(self) -> set[tuple]:
+        return {(r.injector, r.scenario, r.seed) for r in self.records}
+
+    def pending(self) -> list[tuple[str, Scenario, int]]:
+        """The (injector, scenario, seed) triples still to execute."""
+        done = self._completed()
+        out = []
+        for inj_idx, name in enumerate(self.injectors):
+            for scn_idx, scenario in enumerate(self.scenarios):
+                seed = self.base_seed * 1_000_003 + inj_idx * 10_007 + scn_idx
+                if self._identity(name, scenario, seed) not in done:
+                    out.append((name, scenario, seed))
+        return out
+
+    def _append_checkpoint(self, record: RunRecord) -> None:
+        if self.checkpoint_path is None:
+            return
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.checkpoint_path.open("a") as fh:
+            fh.write(json.dumps(record.to_dict()) + "\n")
+
+    def run(self) -> list[RunRecord]:
+        """Execute every pending episode; returns all records (old + new)."""
+        for name, scenario, seed in self.pending():
+            record = run_episode(
+                self.builder,
+                scenario,
+                self.agent_factory,
+                faults=self.injectors[name],
+                injector_name=name,
+                harness_seed=seed,
+            )
+            self.records.append(record)
+            self._append_checkpoint(record)
+            if self.verbose:
+                status = "ok " if record.success else "FAIL"
+                print(f"[study] {name:>14} {scenario.name:>10} {status}")
+        return list(self.records)
+
+    def metrics(self) -> dict[str, ResilienceMetrics]:
+        """Per-injector metrics over all completed records."""
+        return metrics_by_injector(self.records)
+
+
+def summary_frame(records: Sequence[RunRecord]) -> list[dict]:
+    """Flat per-injector summary rows (json/csv-ready).
+
+    One dict per injector with the paper's metrics plus run counts; the
+    row ordering follows first appearance in ``records``.
+    """
+    rows = []
+    for name, m in metrics_by_injector(records).items():
+        rows.append(
+            {
+                "injector": name,
+                "runs": m.n_runs,
+                "msr_percent": round(m.msr, 2),
+                "vpk": round(m.vpk, 3),
+                "apk": round(m.apk, 3),
+                "ttv_median_s": round(m.ttv_median_s, 3) if m.ttv_s else None,
+                "total_km": round(m.total_km, 3),
+                "total_violations": m.total_violations,
+                "total_accidents": m.total_accidents,
+            }
+        )
+    return rows

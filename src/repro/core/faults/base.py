@@ -1,0 +1,218 @@
+"""Fault-model foundations: triggers, activation logs, base classes.
+
+AVFI separates *what* a fault does (the fault model), *where* it lands (the
+localizer) and *when* it fires (the trigger).  This module defines the
+shared machinery:
+
+* :class:`Trigger` — frame window plus per-frame probability;
+* :class:`ActivationLog` — which frames a fault actually fired on, feeding
+  the Time-To-Violation metric;
+* the four base classes mirroring fig. 1's hook points:
+  :class:`SensorFault` (Input FI), :class:`ControlFault` (Output FI),
+  :class:`ModelFault` (NN FI) and :class:`TimingFault` (Timing FI, a
+  channel transform), plus :class:`WorldFault` for corrupted world
+  measurements (weather/speed type faults).
+
+Every fault model owns a seeded RNG handed to it by the injection harness,
+so campaigns replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...sim.channel import ChannelTransform, Packet
+from ...sim.physics import VehicleControl
+from ...sim.sensors import SensorFrame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...agent.ilcnn import ILCNN
+    from ...sim.world import World
+
+__all__ = [
+    "Trigger",
+    "ActivationLog",
+    "FaultModel",
+    "SensorFault",
+    "ControlFault",
+    "ModelFault",
+    "TimingFault",
+    "WorldFault",
+]
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When a fault fires.
+
+    Active on frames in ``[start_frame, end_frame]`` (``end_frame`` ``None``
+    = forever), firing with ``probability`` per frame.  The default — always
+    on — matches the paper's headline experiments, where a sensor fault
+    model corrupts every camera frame of the episode.
+    """
+
+    start_frame: int = 0
+    end_frame: Optional[int] = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_frame < 0:
+            raise ValueError("start_frame cannot be negative")
+        if self.end_frame is not None and self.end_frame < self.start_frame:
+            raise ValueError("end_frame before start_frame")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def in_window(self, frame: int) -> bool:
+        """Whether ``frame`` lies inside the trigger window."""
+        if frame < self.start_frame:
+            return False
+        return self.end_frame is None or frame <= self.end_frame
+
+    def fires(self, frame: int, rng: np.random.Generator) -> bool:
+        """Whether the fault fires at ``frame`` (draws from ``rng``)."""
+        if not self.in_window(frame):
+            return False
+        if self.probability >= 1.0:
+            return True
+        return bool(rng.random() < self.probability)
+
+
+@dataclass
+class ActivationLog:
+    """Frames at which a fault actually fired."""
+
+    frames: list[int] = field(default_factory=list)
+
+    def record(self, frame: int) -> None:
+        """Append one activation."""
+        self.frames.append(frame)
+
+    def first(self) -> Optional[int]:
+        """Earliest activation, or ``None``."""
+        return self.frames[0] if self.frames else None
+
+    def latest_before(self, frame: int) -> Optional[int]:
+        """Most recent activation at or before ``frame``."""
+        candidates = [f for f in self.frames if f <= frame]
+        return candidates[-1] if candidates else None
+
+    def clear(self) -> None:
+        """Reset between episodes."""
+        self.frames.clear()
+
+
+class FaultModel:
+    """Common behaviour of every fault model."""
+
+    #: Short stable identifier used in reports ("gaussian", "bitflip-ctl"...).
+    name: str = "fault"
+
+    def __init__(self, trigger: Trigger | None = None):
+        self.trigger = trigger or Trigger()
+        self.log = ActivationLog()
+        self.rng: np.random.Generator = np.random.default_rng(0)
+
+    def bind(self, rng: np.random.Generator) -> None:
+        """Receive the harness-seeded RNG (called once per episode)."""
+        self.rng = rng
+
+    def reset(self) -> None:
+        """Clear per-episode state (activation log, cached sites)."""
+        self.log.clear()
+
+    def describe(self) -> dict:
+        """Report-friendly description."""
+        return {"name": self.name, "class": type(self).__name__}
+
+
+class SensorFault(FaultModel):
+    """Input FI: corrupts the sensor bundle before the agent sees it."""
+
+    def apply(self, bundle: SensorFrame, frame: int) -> SensorFrame:
+        """Return the (possibly corrupted) bundle for this frame."""
+        if not self.trigger.fires(frame, self.rng):
+            return bundle
+        self.log.record(frame)
+        return self.transform(bundle.copy())
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        """Corrupt ``bundle`` in place and return it (subclass hook)."""
+        raise NotImplementedError
+
+
+class ControlFault(FaultModel):
+    """Output FI: corrupts the control command after the agent produced it."""
+
+    def apply(self, control: VehicleControl, frame: int) -> VehicleControl:
+        """Return the (possibly corrupted) control for this frame."""
+        if not self.trigger.fires(frame, self.rng):
+            return control
+        self.log.record(frame)
+        return self.transform(control)
+
+    def transform(self, control: VehicleControl) -> VehicleControl:
+        """Corrupt ``control`` and return the new command (subclass hook)."""
+        raise NotImplementedError
+
+
+class ModelFault(FaultModel):
+    """NN FI: perturbs network weights or activations.
+
+    ``install`` corrupts the model (keeping whatever backup is needed);
+    ``remove`` must restore it exactly — campaign code shares one model
+    instance across episodes.
+    """
+
+    def install(self, model: "ILCNN", frame: int = 0) -> None:
+        """Apply the fault to ``model`` (records one activation)."""
+        raise NotImplementedError
+
+    def remove(self, model: "ILCNN") -> None:
+        """Undo :meth:`install` exactly."""
+        raise NotImplementedError
+
+
+class TimingFault(ChannelTransform, FaultModel):
+    """Timing FI: rewrites packet delivery on a named channel."""
+
+    #: Which channel to attach to: "control" (ADA→actuation) or "sensor".
+    channel: str = "control"
+
+    def __init__(self, trigger: Trigger | None = None):
+        ChannelTransform.__init__(self)
+        FaultModel.__init__(self, trigger)
+
+    def on_send(self, packet: Packet, deliver_frame: int):
+        if not self.trigger.fires(packet.frame, self.rng):
+            return [(packet, deliver_frame)]
+        self.log.record(packet.frame)
+        return self.rewrite(packet, deliver_frame)
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        """Fault-specific delivery rewrite (subclass hook)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:  # resolves the diamond: both bases define reset
+        FaultModel.reset(self)
+
+
+class WorldFault(FaultModel):
+    """Corrupts world measurements (weather type, global state).
+
+    The harness calls :meth:`step` once per frame with the live world.
+    """
+
+    def step(self, world: "World", frame: int) -> None:
+        """Fire if triggered (records activation) and mutate the world."""
+        if not self.trigger.fires(frame, self.rng):
+            return
+        self.log.record(frame)
+        self.mutate(world)
+
+    def mutate(self, world: "World") -> None:
+        """World mutation (subclass hook)."""
+        raise NotImplementedError

@@ -1,0 +1,225 @@
+"""Hardware faults: bit-level corruption of values in flight.
+
+The paper injects "single-bit, multiple-bit, and stuck-at faults in the
+hardware components of the autonomous systems, such as processors, sensors,
+software, and communication networks".  We model these at the value level —
+the level at which a soft error in a register, bus or DMA buffer becomes
+visible to software:
+
+* :func:`flip_float32_bits` / :func:`set_float32_bit` — raw IEEE-754 bit
+  manipulation on numpy buffers (shared with the ML weight faults);
+* :class:`ControlBitFlip` / :class:`ControlStuckAt` — corrupt the control
+  command between the IL-CNN and the server (the paper's own example);
+* :class:`SensorBitFlip` — corrupt raw sensor payload memory;
+* :class:`PacketBitFlip` — corrupt packets on a channel (network fault).
+
+Corrupted floats may be huge, denormal or NaN; downstream code (physics
+clamping, network preprocessing) is required to survive them — that
+robustness is part of what a fault-injection campaign measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...sim.channel import Packet
+from ...sim.physics import VehicleControl
+from ...sim.sensors import SensorFrame
+from .base import ControlFault, SensorFault, TimingFault, Trigger
+
+__all__ = [
+    "flip_float32_bits",
+    "set_float32_bit",
+    "ControlBitFlip",
+    "ControlStuckAt",
+    "SensorBitFlip",
+    "PacketBitFlip",
+]
+
+
+def flip_float32_bits(
+    values: np.ndarray, flat_indices: np.ndarray, bits: np.ndarray
+) -> None:
+    """XOR-flip ``bits[i]`` of ``values.flat[flat_indices[i]]`` in place.
+
+    ``values`` must be float32 and own its memory.  Bit 31 is the sign,
+    30-23 the exponent, 22-0 the mantissa.
+    """
+    if values.dtype != np.float32:
+        raise TypeError("bit flips operate on float32 buffers")
+    flat = values.reshape(-1)
+    view = flat.view(np.uint32)
+    view[flat_indices] ^= (np.uint32(1) << bits.astype(np.uint32))
+
+
+def set_float32_bit(values: np.ndarray, flat_index: int, bit: int, high: bool) -> None:
+    """Force one bit to 0/1 (stuck-at) in place."""
+    if values.dtype != np.float32:
+        raise TypeError("stuck-at operates on float32 buffers")
+    view = values.reshape(-1).view(np.uint32)
+    mask = np.uint32(1) << np.uint32(bit)
+    if high:
+        view[flat_index] |= mask
+    else:
+        view[flat_index] &= ~mask
+
+
+def _flip_scalar(value: float, bit: int) -> float:
+    buf = np.array([value], dtype=np.float32)
+    flip_float32_bits(buf, np.array([0]), np.array([bit]))
+    return float(buf[0])
+
+
+_CONTROL_FIELDS = ("steer", "throttle", "brake")
+
+
+class ControlBitFlip(ControlFault):
+    """Transient bit flip in one field of the control command.
+
+    Field and bit are drawn per activation.  ``bit_range`` defaults to the
+    high mantissa + exponent + sign bits, where flips actually change
+    behaviour (low mantissa flips are numerically invisible).
+    """
+
+    name = "ctl-bitflip"
+
+    def __init__(
+        self,
+        trigger: Trigger | None = None,
+        bit_range: tuple[int, int] = (20, 32),
+        fields: tuple[str, ...] = _CONTROL_FIELDS,
+    ):
+        super().__init__(trigger)
+        if not fields:
+            raise ValueError("need at least one target field")
+        unknown = set(fields) - set(_CONTROL_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown control fields: {sorted(unknown)}")
+        if not 0 <= bit_range[0] < bit_range[1] <= 32:
+            raise ValueError("bit_range must be within [0, 32)")
+        self.bit_range = bit_range
+        self.fields = fields
+
+    def transform(self, control: VehicleControl) -> VehicleControl:
+        field = self.fields[int(self.rng.integers(len(self.fields)))]
+        bit = int(self.rng.integers(*self.bit_range))
+        values = {f: getattr(control, f) for f in _CONTROL_FIELDS}
+        values[field] = _flip_scalar(values[field], bit)
+        return VehicleControl(
+            steer=values["steer"],
+            throttle=values["throttle"],
+            brake=values["brake"],
+            reverse=control.reverse,
+            hand_brake=control.hand_brake,
+        )
+
+    def describe(self) -> dict:
+        return {**super().describe(), "bit_range": list(self.bit_range), "fields": list(self.fields)}
+
+
+class ControlStuckAt(ControlFault):
+    """One control field stuck at a fixed value while the trigger is active.
+
+    Models a failed actuator interface register (e.g. steering command
+    latched at full lock).
+    """
+
+    name = "ctl-stuck"
+
+    def __init__(
+        self, field: str = "steer", value: float = 1.0, trigger: Trigger | None = None
+    ):
+        super().__init__(trigger)
+        if field not in _CONTROL_FIELDS:
+            raise ValueError(f"field must be one of {_CONTROL_FIELDS}")
+        self.field = field
+        self.value = value
+
+    def transform(self, control: VehicleControl) -> VehicleControl:
+        values = {f: getattr(control, f) for f in _CONTROL_FIELDS}
+        values[self.field] = self.value
+        return VehicleControl(
+            steer=values["steer"],
+            throttle=values["throttle"],
+            brake=values["brake"],
+            reverse=control.reverse,
+            hand_brake=control.hand_brake,
+        )
+
+    def describe(self) -> dict:
+        return {**super().describe(), "field": self.field, "value": self.value}
+
+
+class SensorBitFlip(SensorFault):
+    """Bit flips in raw sensor payload memory.
+
+    Flips ``n_bits`` random bits per activation across the image buffer
+    (byte-level) and, with probability ``gps_fraction``, one bit in a GPS
+    coordinate — a DMA/memory corruption model rather than an optical one.
+    """
+
+    name = "sensor-bitflip"
+
+    def __init__(
+        self, n_bits: int = 64, gps_fraction: float = 0.1, trigger: Trigger | None = None
+    ):
+        super().__init__(trigger)
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        if not 0.0 <= gps_fraction <= 1.0:
+            raise ValueError("gps_fraction must be within [0, 1]")
+        self.n_bits = n_bits
+        self.gps_fraction = gps_fraction
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        flat = bundle.image.reshape(-1)
+        idx = self.rng.integers(0, flat.size, self.n_bits)
+        bits = self.rng.integers(0, 8, self.n_bits).astype(np.uint8)
+        flat[idx] ^= (np.uint8(1) << bits)
+        if self.rng.random() < self.gps_fraction:
+            gps = np.array(bundle.gps, dtype=np.float32)
+            flip_float32_bits(
+                gps,
+                np.array([int(self.rng.integers(2))]),
+                np.array([int(self.rng.integers(20, 32))]),
+            )
+            bundle.gps = (float(gps[0]), float(gps[1]))
+        return bundle
+
+    def describe(self) -> dict:
+        return {**super().describe(), "n_bits": self.n_bits, "gps_fraction": self.gps_fraction}
+
+
+class PacketBitFlip(TimingFault):
+    """Network-level corruption: bit flips in control packets in flight.
+
+    Installed on a channel like the timing faults (it shares the transform
+    seam) but corrupts payload *values* rather than delivery times.
+    """
+
+    name = "pkt-bitflip"
+    channel = "control"
+
+    def __init__(self, trigger: Trigger | None = None, bit_range: tuple[int, int] = (20, 32)):
+        super().__init__(trigger)
+        self.bit_range = bit_range
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        control = packet.payload
+        if not isinstance(control, VehicleControl):
+            return [(packet, deliver_frame)]
+        field = _CONTROL_FIELDS[int(self.rng.integers(len(_CONTROL_FIELDS)))]
+        bit = int(self.rng.integers(*self.bit_range))
+        values = {f: getattr(control, f) for f in _CONTROL_FIELDS}
+        values[field] = _flip_scalar(values[field], bit)
+        corrupted = VehicleControl(
+            steer=values["steer"],
+            throttle=values["throttle"],
+            brake=values["brake"],
+            reverse=control.reverse,
+            hand_brake=control.hand_brake,
+        )
+        return [(Packet(packet.kind, packet.frame, corrupted), deliver_frame)]
+
+    def describe(self) -> dict:
+        return {**super().describe(), "bit_range": list(self.bit_range)}

@@ -1,0 +1,325 @@
+"""Machine-learning faults: corrupted network parameters and activations.
+
+§II: "AVFI injects faults into the neural network by adding noise into the
+parameters of the machine learning model (e.g., weights of the neural
+network), which is modeled on real-world hardware failures."
+
+Three models:
+
+* :class:`WeightNoise` — Gaussian perturbation of a fraction of weights
+  (training-error / aging model);
+* :class:`WeightBitFlip` — IEEE-754 bit flips in randomly chosen weights
+  (soft errors in weight memory, the model of Li et al. SC'17);
+* :class:`ActivationFault` — stuck/saturated/noisy neurons at a chosen
+  layer via forward hooks (datapath soft errors at inference time).
+
+All are :class:`~repro.core.faults.base.ModelFault`\\ s: ``install`` takes
+a backup, ``remove`` restores it exactly, so one model instance can be
+shared across campaign episodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ModelFault, Trigger
+from .hardware_faults import flip_float32_bits
+
+__all__ = ["WeightNoise", "WeightBitFlip", "WeightStuckAt", "ActivationFault"]
+
+
+class WeightNoise(ModelFault):
+    """Add Gaussian noise to a random fraction of the model's weights.
+
+    ``sigma_rel`` scales with each parameter tensor's own std so the same
+    setting perturbs conv and dense layers comparably.
+    """
+
+    name = "weight-noise"
+
+    def __init__(
+        self,
+        sigma_rel: float = 0.2,
+        fraction: float = 1.0,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if sigma_rel < 0:
+            raise ValueError("sigma_rel cannot be negative")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.sigma_rel = sigma_rel
+        self.fraction = fraction
+        self._backup: dict[str, np.ndarray] | None = None
+
+    def install(self, model, frame: int = 0) -> None:
+        if self._backup is not None:
+            raise RuntimeError("fault already installed")
+        self._backup = {}
+        for name, param in model.named_parameters().items():
+            self._backup[name] = param.data.copy()
+            scale = float(param.data.std())
+            if scale == 0.0:
+                scale = 1e-3  # fresh bias vectors are all-zero; still perturb
+            noise = self.rng.normal(0.0, self.sigma_rel * scale, param.data.shape)
+            if self.fraction < 1.0:
+                mask = self.rng.random(param.data.shape) < self.fraction
+                noise = noise * mask
+            param.data += noise.astype(np.float32)
+        self.log.record(frame)
+
+    def remove(self, model) -> None:
+        if self._backup is None:
+            return
+        for name, param in model.named_parameters().items():
+            param.data[...] = self._backup[name]
+        self._backup = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._backup = None
+
+    def describe(self) -> dict:
+        return {**super().describe(), "sigma_rel": self.sigma_rel, "fraction": self.fraction}
+
+
+class WeightBitFlip(ModelFault):
+    """Flip ``n_flips`` random bits across the model's weight memory.
+
+    Sites are drawn weight-uniformly over all parameters.  ``bit_range``
+    defaults to exponent + sign bits, the flips that actually move
+    behaviour (Li et al., SC'17 observe the same dominance).
+    """
+
+    name = "weight-bitflip"
+
+    def __init__(
+        self,
+        n_flips: int = 4,
+        bit_range: tuple[int, int] = (23, 32),
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if n_flips < 1:
+            raise ValueError("n_flips must be positive")
+        if not 0 <= bit_range[0] < bit_range[1] <= 32:
+            raise ValueError("bit_range must be within [0, 32)")
+        self.n_flips = n_flips
+        self.bit_range = bit_range
+        self._backup: dict[str, np.ndarray] | None = None
+        self.sites: list[tuple[str, int, int]] = []  # (param, flat index, bit)
+
+    def install(self, model, frame: int = 0) -> None:
+        if self._backup is not None:
+            raise RuntimeError("fault already installed")
+        named = model.named_parameters()
+        names = list(named)
+        sizes = np.array([named[n].size for n in names], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        self._backup = {}
+        self.sites = []
+        for _ in range(self.n_flips):
+            pname = names[int(self.rng.choice(len(names), p=probs))]
+            param = named[pname]
+            if pname not in self._backup:
+                self._backup[pname] = param.data.copy()
+            flat_idx = int(self.rng.integers(param.size))
+            bit = int(self.rng.integers(*self.bit_range))
+            flip_float32_bits(param.data, np.array([flat_idx]), np.array([bit]))
+            self.sites.append((pname, flat_idx, bit))
+        self.log.record(frame)
+
+    def remove(self, model) -> None:
+        if self._backup is None:
+            return
+        named = model.named_parameters()
+        for pname, backup in self._backup.items():
+            named[pname].data[...] = backup
+        self._backup = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._backup = None
+        self.sites = []
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "n_flips": self.n_flips,
+            "bit_range": list(self.bit_range),
+            "sites": [list(s) for s in self.sites],
+        }
+
+
+class WeightStuckAt(ModelFault):
+    """Stuck-at faults in weight memory: bits forced high or low.
+
+    Unlike :class:`WeightBitFlip` (transient soft error), a stuck-at cell
+    always reads the faulty value — the paper's "stuck-at faults in the
+    hardware components" applied to the model's weight store.  ``n_cells``
+    weight words each get one bit forced to ``stuck_high``.
+    """
+
+    name = "weight-stuckat"
+
+    def __init__(
+        self,
+        n_cells: int = 8,
+        bit_range: tuple[int, int] = (23, 32),
+        stuck_high: bool = True,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if n_cells < 1:
+            raise ValueError("n_cells must be positive")
+        if not 0 <= bit_range[0] < bit_range[1] <= 32:
+            raise ValueError("bit_range must be within [0, 32)")
+        self.n_cells = n_cells
+        self.bit_range = bit_range
+        self.stuck_high = stuck_high
+        self._backup: dict[str, np.ndarray] | None = None
+        self.sites: list[tuple[str, int, int]] = []
+
+    def install(self, model, frame: int = 0) -> None:
+        from .hardware_faults import set_float32_bit
+
+        if self._backup is not None:
+            raise RuntimeError("fault already installed")
+        named = model.named_parameters()
+        names = list(named)
+        sizes = np.array([named[n].size for n in names], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        self._backup = {}
+        self.sites = []
+        for _ in range(self.n_cells):
+            pname = names[int(self.rng.choice(len(names), p=probs))]
+            param = named[pname]
+            if pname not in self._backup:
+                self._backup[pname] = param.data.copy()
+            flat_idx = int(self.rng.integers(param.size))
+            bit = int(self.rng.integers(*self.bit_range))
+            set_float32_bit(param.data, flat_idx, bit, self.stuck_high)
+            self.sites.append((pname, flat_idx, bit))
+        self.log.record(frame)
+
+    def remove(self, model) -> None:
+        if self._backup is None:
+            return
+        named = model.named_parameters()
+        for pname, backup in self._backup.items():
+            named[pname].data[...] = backup
+        self._backup = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._backup = None
+        self.sites = []
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "n_cells": self.n_cells,
+            "stuck_high": self.stuck_high,
+            "sites": [list(s) for s in self.sites],
+        }
+
+
+class ActivationFault(ModelFault):
+    """Stuck or noisy neurons at one layer, injected via forward hooks.
+
+    ``block`` names a top-level block of the IL-CNN ("trunk", "join",
+    "branch0"...); ``layer_index`` indexes into that block's module list
+    (``None`` picks a random parameterised layer).  ``n_units`` output
+    units (features of a dense layer, channels of a conv layer) are forced
+    per forward pass according to ``mode``:
+
+    * ``"zero"``  — stuck-at-zero neurons,
+    * ``"saturate"`` — stuck at ``saturate_value`` (latched-high datapath),
+    * ``"noise"`` — replaced by Gaussian noise of the output's own scale.
+    """
+
+    name = "activation"
+
+    def __init__(
+        self,
+        block: str = "trunk",
+        layer_index: int | None = None,
+        n_units: int = 4,
+        mode: str = "saturate",
+        saturate_value: float = 8.0,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if mode not in ("zero", "saturate", "noise"):
+            raise ValueError("mode must be zero|saturate|noise")
+        if n_units < 1:
+            raise ValueError("n_units must be positive")
+        self.block = block
+        self.layer_index = layer_index
+        self.n_units = n_units
+        self.mode = mode
+        self.saturate_value = saturate_value
+        self.fire_count = 0
+        self._installed: tuple[object, object] | None = None  # (module, hook)
+        self._unit_indices: np.ndarray | None = None
+
+    def _pick_module(self, model):
+        blocks = model.submodules()
+        if self.block not in blocks:
+            raise KeyError(f"model has no block {self.block!r}; has {sorted(blocks)}")
+        block = blocks[self.block]
+        if self.layer_index is not None:
+            return block.modules[self.layer_index]
+        candidates = [m for m in block.modules if m.parameters()]
+        if not candidates:
+            raise ValueError(f"block {self.block!r} has no parameterised layers")
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    def install(self, model, frame: int = 0) -> None:
+        if self._installed is not None:
+            raise RuntimeError("fault already installed")
+        module = self._pick_module(model)
+        self.fire_count = 0
+        self._unit_indices = None
+
+        def hook(mod, out):
+            if self._unit_indices is None:
+                n_out = out.shape[1]
+                k = min(self.n_units, n_out)
+                self._unit_indices = self.rng.choice(n_out, size=k, replace=False)
+            self.fire_count += 1
+            out = out.copy()
+            idx = self._unit_indices
+            if self.mode == "zero":
+                out[:, idx] = 0.0
+            elif self.mode == "saturate":
+                out[:, idx] = self.saturate_value
+            else:
+                scale = float(np.abs(out).mean()) + 1e-6
+                out[:, idx] = self.rng.normal(0.0, scale, out[:, idx].shape)
+            return out
+
+        module.forward_hooks.append(hook)
+        self._installed = (module, hook)
+        self.log.record(frame)
+
+    def remove(self, model) -> None:
+        if self._installed is None:
+            return
+        module, hook = self._installed
+        module.forward_hooks.remove(hook)
+        self._installed = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._installed = None
+        self._unit_indices = None
+        self.fire_count = 0
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "block": self.block,
+            "mode": self.mode,
+            "n_units": self.n_units,
+        }

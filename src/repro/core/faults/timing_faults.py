@@ -1,0 +1,134 @@
+"""Timing faults: delay, loss and reordering on the component channels.
+
+§II: "AVFI injects timing faults into the communication paths of the
+network, resulting in (a) delays in flow of data from one component of the
+AV system to another, (b) loss of data, or (c) out-of-order delivery of the
+data packets.  For example, AVFI pauses the output of IL-CNN for k frames
+and either replays or drops the outputs."
+
+:class:`OutputDelay` is the fig. 4 injector.  With ``mode="replay"`` every
+control packet is delivered ``k`` frames late; because the server keeps
+applying its last received command, the vehicle acts on decisions that are
+exactly ``k`` frames stale (at 15 FPS, k=30 is the paper's 2 s headline).
+With ``mode="drop"`` the packets in the pause window are discarded
+entirely, so the last pre-pause command is held for the whole window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...sim.channel import Packet
+from .base import TimingFault, Trigger
+
+__all__ = ["OutputDelay", "SensorDelay", "PacketLoss", "PacketReorder"]
+
+
+class OutputDelay(TimingFault):
+    """Delay (or drop) ADA output packets by ``delay_frames``."""
+
+    name = "output-delay"
+    channel = "control"
+
+    def __init__(
+        self,
+        delay_frames: int,
+        mode: str = "replay",
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if delay_frames < 0:
+            raise ValueError("delay cannot be negative")
+        if mode not in ("replay", "drop"):
+            raise ValueError("mode must be 'replay' or 'drop'")
+        self.delay_frames = delay_frames
+        self.mode = mode
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        if self.delay_frames == 0:
+            return [(packet, deliver_frame)]
+        if self.mode == "drop":
+            return None
+        return [(packet, deliver_frame + self.delay_frames)]
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "delay_frames": self.delay_frames,
+            "mode": self.mode,
+        }
+
+
+class SensorDelay(TimingFault):
+    """Delay sensor bundles on their way to the agent."""
+
+    name = "sensor-delay"
+    channel = "sensor"
+
+    def __init__(self, delay_frames: int, trigger: Trigger | None = None):
+        super().__init__(trigger)
+        if delay_frames < 0:
+            raise ValueError("delay cannot be negative")
+        self.delay_frames = delay_frames
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        return [(packet, deliver_frame + self.delay_frames)]
+
+    def describe(self) -> dict:
+        return {**super().describe(), "delay_frames": self.delay_frames}
+
+
+class PacketLoss(TimingFault):
+    """Independent per-packet loss.
+
+    The drop decision rides on the trigger's ``probability`` field — a
+    ``PacketLoss(Trigger(probability=0.3))`` loses 30 % of packets in the
+    window.  Packets that survive are delivered unchanged.
+    """
+
+    name = "packet-loss"
+    channel = "control"
+
+    def __init__(self, trigger: Trigger | None = None, channel: str = "control"):
+        super().__init__(trigger or Trigger(probability=0.3))
+        if channel not in ("control", "sensor"):
+            raise ValueError("channel must be 'control' or 'sensor'")
+        self.channel = channel
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        return None  # the trigger already gated the drop decision
+
+    def describe(self) -> dict:
+        return {**super().describe(), "loss_prob": self.trigger.probability, "channel": self.channel}
+
+
+class PacketReorder(TimingFault):
+    """Out-of-order delivery: triggered packets arrive late by a jitter.
+
+    Each affected packet is pushed ``1..max_extra_frames`` frames into the
+    future, letting later packets overtake it.
+    """
+
+    name = "packet-reorder"
+    channel = "control"
+
+    def __init__(
+        self,
+        max_extra_frames: int = 4,
+        trigger: Trigger | None = None,
+        channel: str = "control",
+    ):
+        super().__init__(trigger or Trigger(probability=0.5))
+        if max_extra_frames < 1:
+            raise ValueError("max_extra_frames must be at least 1")
+        if channel not in ("control", "sensor"):
+            raise ValueError("channel must be 'control' or 'sensor'")
+        self.max_extra_frames = max_extra_frames
+        self.channel = channel
+
+    def rewrite(self, packet: Packet, deliver_frame: int):
+        extra = int(self.rng.integers(1, self.max_extra_frames + 1))
+        return [(packet, deliver_frame + extra)]
+
+    def describe(self) -> dict:
+        return {**super().describe(), "max_extra_frames": self.max_extra_frames, "channel": self.channel}

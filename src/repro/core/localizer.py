@@ -1,0 +1,140 @@
+"""Fault localisation: choosing *where* a fault lands.
+
+Fig. 1 step 3: AVFI first selects the location of a fault (specific
+neurons and layers in the IL-CNN, pixel regions of a camera frame, bits of
+a word, a channel of the system) and then injects using a fault model.
+:class:`FaultLocalizer` centralises those random draws under one seeded
+generator so a campaign's fault placement is reproducible and reportable.
+
+The fault-model classes can draw sites themselves (they each own an RNG);
+the localizer exists for experiments that want explicit, logged control of
+placement — its ``pick_*`` methods return small declarative site records
+that can be stored in run traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PixelRegionSite",
+    "WeightSite",
+    "NeuronSite",
+    "BitSite",
+    "ChannelSite",
+    "FaultLocalizer",
+]
+
+
+@dataclass(frozen=True)
+class PixelRegionSite:
+    """A rectangular image region (row, col, height, width)."""
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+
+@dataclass(frozen=True)
+class WeightSite:
+    """One scalar weight: parameter name plus flat index."""
+
+    param: str
+    flat_index: int
+
+
+@dataclass(frozen=True)
+class NeuronSite:
+    """One output unit of one layer."""
+
+    block: str
+    layer_index: int
+    unit: int
+
+
+@dataclass(frozen=True)
+class BitSite:
+    """A bit position inside a 32-bit word."""
+
+    bit: int
+
+
+@dataclass(frozen=True)
+class ChannelSite:
+    """A communication channel of the system."""
+
+    channel: str  # "sensor" | "control"
+
+
+class FaultLocalizer:
+    """Seeded source of fault sites."""
+
+    def __init__(self, seed: int | np.random.Generator = 0):
+        self.rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    # ------------------------------------------------------------------
+    def pick_pixel_region(
+        self, image_hw: tuple[int, int], size_frac: float = 0.3
+    ) -> PixelRegionSite:
+        """A random patch covering ``size_frac`` of each image dimension."""
+        if not 0.0 < size_frac <= 1.0:
+            raise ValueError("size_frac must be in (0, 1]")
+        h, w = image_hw
+        ph = max(1, int(h * size_frac))
+        pw = max(1, int(w * size_frac))
+        row = int(self.rng.integers(0, max(1, h - ph + 1)))
+        col = int(self.rng.integers(0, max(1, w - pw + 1)))
+        return PixelRegionSite(row, col, ph, pw)
+
+    def pick_weights(self, model, n: int) -> list[WeightSite]:
+        """``n`` weight sites drawn uniformly over all scalar weights."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        named = model.named_parameters()
+        names = list(named)
+        sizes = np.array([named[name].size for name in names], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        sites = []
+        for _ in range(n):
+            pname = names[int(self.rng.choice(len(names), p=probs))]
+            sites.append(WeightSite(pname, int(self.rng.integers(named[pname].size))))
+        return sites
+
+    def pick_neurons(
+        self, model, n: int, block: str | None = None
+    ) -> list[NeuronSite]:
+        """``n`` neuron sites in parameterised layers of the model."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        blocks = model.submodules()
+        block_names = [block] if block is not None else sorted(blocks)
+        candidates: list[tuple[str, int, int]] = []  # (block, layer idx, width)
+        for bname in block_names:
+            for i, module in enumerate(blocks[bname].modules):
+                params = module.parameters()
+                if not params:
+                    continue
+                width = params[0].data.shape[-1]
+                candidates.append((bname, i, int(width)))
+        if not candidates:
+            raise ValueError("model has no parameterised layers to target")
+        sites = []
+        for _ in range(n):
+            bname, layer_idx, width = candidates[int(self.rng.integers(len(candidates)))]
+            sites.append(NeuronSite(bname, layer_idx, int(self.rng.integers(width))))
+        return sites
+
+    def pick_bit(self, low: int = 0, high: int = 32) -> BitSite:
+        """A bit position in ``[low, high)`` of a 32-bit word."""
+        if not 0 <= low < high <= 32:
+            raise ValueError("bit range must be within [0, 32)")
+        return BitSite(int(self.rng.integers(low, high)))
+
+    def pick_channel(self) -> ChannelSite:
+        """One of the system's two channels, uniformly."""
+        return ChannelSite("sensor" if self.rng.random() < 0.5 else "control")

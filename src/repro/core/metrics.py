@@ -1,0 +1,133 @@
+"""Resilience metrics: MSR, VPK, APK and TTV (paper §II).
+
+* **Mission Success Rate (MSR)** — percentage of runs that completed their
+  navigation mission within the time limit.  Higher is more resilient.
+* **Traffic Violations per KM (VPK)** — violation events per kilometre
+  driven in the campaign.  Lower is more resilient.
+* **Accidents per KM (APK)** — collision events per kilometre driven.
+* **Time to Traffic Violation (TTV)** — time between a fault injection and
+  its manifestation as a violation.  Higher means more time for detection
+  and recovery.
+
+The aggregate VPK/APK are computed over pooled distance (total events /
+total km), while the per-run lists feed the distribution plots of figs.
+3-4 (the paper shows boxplots, i.e. run-level spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .campaign import RunRecord
+
+__all__ = [
+    "ResilienceMetrics",
+    "compute_metrics",
+    "metrics_by_injector",
+    "mission_success_rate",
+    "violations_per_km",
+    "accidents_per_km",
+    "time_to_violation",
+]
+
+
+def mission_success_rate(records: Sequence[RunRecord]) -> float:
+    """MSR in percent over a set of runs."""
+    if not records:
+        raise ValueError("no runs to aggregate")
+    return 100.0 * sum(r.success for r in records) / len(records)
+
+
+def violations_per_km(records: Sequence[RunRecord]) -> float:
+    """Pooled VPK: total violations over total kilometres."""
+    total_km = sum(r.distance_km for r in records)
+    if total_km <= 0.0:
+        return 0.0
+    return sum(r.n_violations for r in records) / total_km
+
+
+def accidents_per_km(records: Sequence[RunRecord]) -> float:
+    """Pooled APK: total accidents over total kilometres."""
+    total_km = sum(r.distance_km for r in records)
+    if total_km <= 0.0:
+        return 0.0
+    return sum(r.n_accidents for r in records) / total_km
+
+
+def time_to_violation(records: Sequence[RunRecord]) -> list[float]:
+    """TTV samples (seconds), one per run where a fault manifested."""
+    out = []
+    for r in records:
+        ttv = r.time_to_violation_s()
+        if ttv is not None:
+            out.append(ttv)
+    return out
+
+
+@dataclass
+class ResilienceMetrics:
+    """The paper's metric set for one group of runs."""
+
+    n_runs: int
+    msr: float
+    vpk: float
+    apk: float
+    ttv_s: list[float] = field(default_factory=list)
+    vpk_per_run: list[float] = field(default_factory=list)
+    apk_per_run: list[float] = field(default_factory=list)
+    success_flags: list[bool] = field(default_factory=list)
+    total_km: float = 0.0
+    total_violations: int = 0
+    total_accidents: int = 0
+    violations_by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ttv_median_s(self) -> float:
+        """Median TTV, ``nan`` when no fault manifested."""
+        return float(np.median(self.ttv_s)) if self.ttv_s else float("nan")
+
+    def summary_row(self) -> dict:
+        """Flat dict for tables."""
+        return {
+            "runs": self.n_runs,
+            "MSR_%": round(self.msr, 1),
+            "VPK": round(self.vpk, 2),
+            "APK": round(self.apk, 2),
+            "TTV_median_s": round(self.ttv_median_s, 2) if self.ttv_s else None,
+            "km": round(self.total_km, 2),
+        }
+
+
+def compute_metrics(records: Sequence[RunRecord]) -> ResilienceMetrics:
+    """Aggregate one group of runs into :class:`ResilienceMetrics`."""
+    if not records:
+        raise ValueError("no runs to aggregate")
+    by_type: dict[str, int] = {}
+    for r in records:
+        for v in r.violations:
+            by_type[v["type"]] = by_type.get(v["type"], 0) + 1
+    return ResilienceMetrics(
+        n_runs=len(records),
+        msr=mission_success_rate(records),
+        vpk=violations_per_km(records),
+        apk=accidents_per_km(records),
+        ttv_s=time_to_violation(records),
+        vpk_per_run=[r.violations_per_km for r in records],
+        apk_per_run=[r.accidents_per_km for r in records],
+        success_flags=[r.success for r in records],
+        total_km=sum(r.distance_km for r in records),
+        total_violations=sum(r.n_violations for r in records),
+        total_accidents=sum(r.n_accidents for r in records),
+        violations_by_type=by_type,
+    )
+
+
+def metrics_by_injector(records: Iterable[RunRecord]) -> dict[str, ResilienceMetrics]:
+    """Group records by injector and aggregate each group."""
+    groups: dict[str, list[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.injector, []).append(record)
+    return {name: compute_metrics(rs) for name, rs in groups.items()}

@@ -1,0 +1,108 @@
+"""Text rendering of campaign results: tables, bars and boxplots.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that output readable in a terminal and in
+captured bench logs.  Nothing here depends on matplotlib — figures are
+ASCII on purpose (the environment is headless).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from .analysis import summarize
+
+__all__ = ["format_table", "bar_chart", "boxplot", "figure_header"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    if not rows:
+        raise ValueError("table needs at least one row")
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in cells))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def bar_chart(
+    values: Mapping[str, float], width: int = 40, title: str = "", unit: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (one bar per key, linear scale)."""
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    vmax = max(max(values.values()), 1e-9)
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        n = int(round(width * value / vmax))
+        lines.append(f"{name.rjust(label_w)} | {'#' * n}{' ' * (width - n)} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def boxplot(
+    groups: Mapping[str, Sequence[float]], width: int = 50, title: str = ""
+) -> str:
+    """ASCII boxplots, one row per group, on a shared linear axis.
+
+    ``-`` spans min..max, ``=`` spans the interquartile range, ``|`` marks
+    the median.  Mirrors the figure style of the paper (distribution of
+    per-run values per injector).
+    """
+    if not groups:
+        raise ValueError("boxplot needs at least one group")
+    summaries = {}
+    for name, values in groups.items():
+        if len(values) == 0:
+            continue
+        summaries[name] = summarize(values)
+    if not summaries:
+        raise ValueError("all groups are empty")
+    lo = min(s.minimum for s in summaries.values())
+    hi = max(s.maximum for s in summaries.values())
+    span = max(hi - lo, 1e-9)
+
+    def col(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    label_w = max(len(k) for k in summaries)
+    lines = [title] if title else []
+    for name, s in summaries.items():
+        row = [" "] * width
+        for i in range(col(s.minimum), col(s.maximum) + 1):
+            row[i] = "-"
+        for i in range(col(s.q1), col(s.q3) + 1):
+            row[i] = "="
+        row[col(s.median)] = "|"
+        lines.append(
+            f"{name.rjust(label_w)} [{''.join(row)}] "
+            f"med={s.median:.2f} iqr=({s.q1:.2f},{s.q3:.2f}) n={s.n}"
+        )
+    lines.append(f"{' ' * label_w}  {lo:<10.2f}{' ' * max(0, width - 22)}{hi:>10.2f}")
+    return "\n".join(lines)
+
+
+def figure_header(figure_id: str, caption: str) -> str:
+    """Banner used by the benchmark harness before each reproduction."""
+    bar = "=" * 72
+    return f"{bar}\n{figure_id}: {caption}\n{bar}"

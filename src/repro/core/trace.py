@@ -1,0 +1,137 @@
+"""Run tracing: JSONL episode logs and replay verification.
+
+Campaigns are reproducible from seeds, but debugging a fault's effect
+needs the actual trajectory.  :class:`TraceWriter` records one episode as
+JSON-lines — a header, one ``state`` row per frame, plus ``violation`` and
+``injection`` events — and :class:`TraceReader` loads it back.
+
+:func:`compare_traces` checks two traces for divergence, the test used to
+demonstrate that equal seeds replay bit-identically (and that fault
+injection is the *only* source of divergence between a golden and a
+faulted run).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional
+
+__all__ = ["TraceWriter", "TraceReader", "compare_traces", "TraceDivergence"]
+
+
+class TraceWriter:
+    """Writes one episode's trace as JSON lines."""
+
+    def __init__(self, path: str | Path, header: dict | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("w")
+        self._write({"kind": "header", **(header or {})})
+        self.n_rows = 1
+
+    def _write(self, row: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("trace already closed")
+        self._fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+
+    def state(self, frame: int, x: float, y: float, yaw: float, speed: float, **extra) -> None:
+        """Record the ego state at one frame."""
+        self._write(
+            {
+                "kind": "state",
+                "frame": frame,
+                "x": round(x, 4),
+                "y": round(y, 4),
+                "yaw": round(yaw, 5),
+                "speed": round(speed, 4),
+                **extra,
+            }
+        )
+        self.n_rows += 1
+
+    def violation(self, frame: int, vtype: str, **extra) -> None:
+        """Record a violation event."""
+        self._write({"kind": "violation", "frame": frame, "type": vtype, **extra})
+        self.n_rows += 1
+
+    def injection(self, frame: int, fault: str, **extra) -> None:
+        """Record a fault activation."""
+        self._write({"kind": "injection", "frame": frame, "fault": fault, **extra})
+        self.n_rows += 1
+
+    def close(self, footer: dict | None = None) -> None:
+        """Finish the trace (optionally appending a footer row)."""
+        if self._fh is None:
+            return
+        if footer:
+            self._write({"kind": "footer", **footer})
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Loads a JSONL trace written by :class:`TraceWriter`."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.header: dict = {}
+        self.states: list[dict] = []
+        self.violations: list[dict] = []
+        self.injections: list[dict] = []
+        self.footer: dict = {}
+        for line in self.path.read_text().splitlines():
+            row = json.loads(line)
+            kind = row.pop("kind", "state")
+            if kind == "header":
+                self.header = row
+            elif kind == "state":
+                self.states.append(row)
+            elif kind == "violation":
+                self.violations.append(row)
+            elif kind == "injection":
+                self.injections.append(row)
+            elif kind == "footer":
+                self.footer = row
+
+    def trajectory(self) -> list[tuple[float, float]]:
+        """The (x, y) path of the episode."""
+        return [(s["x"], s["y"]) for s in self.states]
+
+
+@dataclass
+class TraceDivergence:
+    """Where two traces first disagree."""
+
+    frame: int
+    field: str
+    value_a: float
+    value_b: float
+
+
+def compare_traces(
+    a: TraceReader, b: TraceReader, tolerance: float = 1e-6
+) -> Optional[TraceDivergence]:
+    """First state divergence between two traces, or ``None`` if identical.
+
+    Compares frame-aligned states up to the shorter trace's length; a
+    length mismatch with identical common prefix reports divergence at the
+    first missing frame.
+    """
+    for sa, sb in zip(a.states, b.states):
+        if sa["frame"] != sb["frame"]:
+            return TraceDivergence(min(sa["frame"], sb["frame"]), "frame", sa["frame"], sb["frame"])
+        for key in ("x", "y", "yaw", "speed"):
+            if abs(sa[key] - sb[key]) > tolerance:
+                return TraceDivergence(sa["frame"], key, sa[key], sb[key])
+    if len(a.states) != len(b.states):
+        n = min(len(a.states), len(b.states))
+        return TraceDivergence(n, "length", len(a.states), len(b.states))
+    return None

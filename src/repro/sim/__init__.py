@@ -1,0 +1,95 @@
+"""World simulator substrate: the CARLA/Unreal stand-in.
+
+Public surface re-exported here covers everything campaign code and
+examples need: towns, the world, actors, sensors, channels, the
+server/client pair, scenarios and violation monitoring.
+"""
+
+from .actors import Actor, NPCVehicle, Pedestrian, Vehicle
+from .channel import Channel, ChannelTransform, Packet
+from .client import Agent, AgentClient
+from .geometry import OrientedBox, Polyline, Transform, Vec2, wrap_angle
+from .physics import BicycleModel, VehicleControl, VehicleSpec, VehicleState
+from .render import CameraModel, Renderer, TownTexture
+from .scenario import Mission, Scenario, generate_missions, make_scenarios
+from .render import SemanticClass
+from .sensors import (
+    GPS,
+    Camera,
+    DepthCamera,
+    Lidar2D,
+    SemanticCamera,
+    SensorFrame,
+    SensorSuite,
+    Speedometer,
+)
+from .server import SimulationServer
+from .tasks import TASK_SPECS, Task, TaskSpec, make_task_scenarios
+from .town import (
+    GridTownConfig,
+    Lane,
+    LaneRef,
+    SurfaceType,
+    Town,
+    build_grid_town,
+)
+from .violations import ACCIDENT_TYPES, ViolationEvent, ViolationMonitor, ViolationType
+from .weather import PRESETS, Weather, get_preset
+from .world import DEFAULT_FPS, World
+
+__all__ = [
+    "Actor",
+    "NPCVehicle",
+    "Pedestrian",
+    "Vehicle",
+    "Channel",
+    "ChannelTransform",
+    "Packet",
+    "Agent",
+    "AgentClient",
+    "OrientedBox",
+    "Polyline",
+    "Transform",
+    "Vec2",
+    "wrap_angle",
+    "BicycleModel",
+    "VehicleControl",
+    "VehicleSpec",
+    "VehicleState",
+    "CameraModel",
+    "Renderer",
+    "TownTexture",
+    "Mission",
+    "Scenario",
+    "generate_missions",
+    "make_scenarios",
+    "GPS",
+    "Camera",
+    "DepthCamera",
+    "SemanticCamera",
+    "SemanticClass",
+    "Lidar2D",
+    "SensorFrame",
+    "SensorSuite",
+    "Speedometer",
+    "SimulationServer",
+    "TASK_SPECS",
+    "Task",
+    "TaskSpec",
+    "make_task_scenarios",
+    "GridTownConfig",
+    "Lane",
+    "LaneRef",
+    "SurfaceType",
+    "Town",
+    "build_grid_town",
+    "ACCIDENT_TYPES",
+    "ViolationEvent",
+    "ViolationMonitor",
+    "ViolationType",
+    "PRESETS",
+    "Weather",
+    "get_preset",
+    "DEFAULT_FPS",
+    "World",
+]

@@ -1,0 +1,306 @@
+"""World actors: the ego vehicle, NPC traffic and pedestrians.
+
+Actors are server-side entities advanced by :class:`repro.sim.world.World`
+each tick.  The ego vehicle is externally controlled (by the agent client);
+NPC vehicles follow lanes with a simple pure-pursuit behaviour and yield to
+obstacles; pedestrians walk sidewalks and occasionally cross the road,
+which is what makes collision faults observable in campaigns.
+
+All behaviour randomness flows through the generator passed to ``tick`` so
+whole episodes are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .geometry import OrientedBox, Polyline, Transform, Vec2, wrap_angle
+from .physics import BicycleModel, VehicleControl, VehicleSpec, VehicleState
+from .town import Lane, Town
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .world import World
+
+__all__ = ["Actor", "Vehicle", "Pedestrian", "NPCVehicle", "PEDESTRIAN_SPEC"]
+
+_actor_ids = itertools.count(1)
+
+
+def _next_actor_id() -> int:
+    return next(_actor_ids)
+
+
+class Actor:
+    """Base class for anything with a pose and a collision box."""
+
+    role: str = "actor"
+
+    def __init__(self, transform: Transform, half_length: float, half_width: float, height: float):
+        self.id = _next_actor_id()
+        self.transform = transform
+        self.half_length = half_length
+        self.half_width = half_width
+        self.height = height
+        self.alive = True
+
+    @property
+    def position(self) -> Vec2:
+        """World position."""
+        return self.transform.position
+
+    @property
+    def yaw(self) -> float:
+        """World heading, radians."""
+        return self.transform.yaw
+
+    def bounding_box(self) -> OrientedBox:
+        """Ground-plane collision box at the current pose."""
+        return OrientedBox(self.position, self.yaw, self.half_length, self.half_width)
+
+    def speed(self) -> float:
+        """Scalar speed in m/s (zero for static actors)."""
+        return 0.0
+
+    def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
+        """Advance the actor by one frame.  Static actors do nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.id}, pos=({self.position.x:.1f}, {self.position.y:.1f}))"
+
+
+class Vehicle(Actor):
+    """A car driven by externally supplied controls (the ego, typically)."""
+
+    role = "vehicle"
+    color: tuple[int, int, int] = (180, 30, 30)
+
+    def __init__(self, transform: Transform, spec: VehicleSpec | None = None):
+        spec = spec or VehicleSpec()
+        hl, hw = spec.half_extents()
+        super().__init__(transform, hl, hw, spec.height)
+        self.spec = spec
+        self.model = BicycleModel(spec)
+        self.state = VehicleState(transform.position.x, transform.position.y, transform.yaw, 0.0)
+        self.control = VehicleControl()
+        self.odometer_m = 0.0
+
+    def speed(self) -> float:
+        """Current signed speed, m/s."""
+        return self.state.speed
+
+    def apply_control(self, control: VehicleControl) -> None:
+        """Set the control applied at the next tick (held until replaced)."""
+        self.control = control
+
+    def teleport(self, transform: Transform, speed: float = 0.0) -> None:
+        """Move the vehicle instantly (spawning / scenario reset)."""
+        self.state = self.model.teleport(self.state, transform, speed)
+        self.transform = transform
+
+    def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
+        prev = self.state.position
+        self.state = self.model.step(self.state, self.control, dt)
+        self.transform = self.state.transform
+        self.odometer_m += self.state.position.distance_to(prev)
+
+
+PEDESTRIAN_SPEC = {"half_length": 0.25, "half_width": 0.25, "height": 1.8}
+
+
+class Pedestrian(Actor):
+    """A walker that follows sidewalks and sometimes crosses the road.
+
+    The walker holds a current goal point; on arrival (or timeout) it draws
+    a new one.  With probability ``cross_rate`` per second the next goal is
+    directly across the adjacent road, creating the jaywalking events that
+    exercise collision detection.
+    """
+
+    role = "pedestrian"
+    color: tuple[int, int, int] = (220, 170, 40)
+
+    def __init__(
+        self,
+        transform: Transform,
+        town: Town,
+        walk_speed: float = 1.4,
+        cross_rate: float = 0.02,
+    ):
+        super().__init__(transform, **PEDESTRIAN_SPEC)
+        self.town = town
+        self.walk_speed = walk_speed
+        self.cross_rate = cross_rate
+        self._goal: Optional[Vec2] = None
+        self._goal_patience_s = 0.0
+
+    def speed(self) -> float:
+        """Walking speed while a goal is active."""
+        return self.walk_speed if self._goal is not None else 0.0
+
+    def _sidewalk_goal(self, rng: np.random.Generator) -> Vec2:
+        """A goal further along the sidewalk of the nearest road."""
+        lane, station, lateral = self.town.nearest_lane(self.position)
+        road = lane.road
+        side = 1.0 if lateral >= 0 else -1.0
+        walk_offset = road.half_width + self.town.sidewalk_width / 2.0
+        direction = 1.0 if rng.random() < 0.7 else -1.0
+        target_station = station + direction * float(rng.uniform(8.0, 25.0))
+        target_station = min(max(target_station, 0.0), lane.length)
+        base = lane.centerline.point_at(target_station)
+        heading = lane.centerline.heading_at(target_station)
+        normal = Vec2.from_heading(heading + math.pi / 2.0)
+        return base + normal * (side * walk_offset)
+
+    def _crossing_goal(self) -> Vec2:
+        """A goal straight across the nearest road."""
+        lane, station, lateral = self.town.nearest_lane(self.position)
+        road = lane.road
+        heading = lane.centerline.heading_at(station)
+        normal = Vec2.from_heading(heading + math.pi / 2.0)
+        span = 2.0 * road.half_width + self.town.sidewalk_width
+        sign = -1.0 if lateral >= 0 else 1.0
+        return self.position + normal * (sign * span)
+
+    def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
+        if self._goal is None or self._goal_patience_s <= 0.0:
+            # ``cross_rate`` is per second; goals last 6-20 s, so scale the
+            # per-goal crossing probability by the expected goal duration.
+            if rng.random() < min(0.5, self.cross_rate * 13.0):
+                self._goal = self._crossing_goal()
+            else:
+                self._goal = self._sidewalk_goal(rng)
+            self._goal_patience_s = float(rng.uniform(6.0, 20.0))
+        self._goal_patience_s -= dt
+
+        to_goal = self._goal - self.position
+        dist = to_goal.norm()
+        if dist < 0.5:
+            self._goal = None
+            return
+        step = min(self.walk_speed * dt, dist)
+        direction = to_goal.normalized()
+        new_pos = self.position + direction * step
+        self.transform = Transform(new_pos, direction.heading())
+
+
+class NPCVehicle(Vehicle):
+    """A background vehicle that follows lanes autonomously.
+
+    Pure pursuit over a rolling path buffer built from lane centrelines and
+    intersection connector curves; a proportional speed controller tracks
+    ``target_speed`` and a hazard check brakes for actors ahead.  Turns at
+    junctions are drawn from the seeded generator handed to ``tick``.
+    """
+
+    role = "npc_vehicle"
+    color = (40, 90, 190)
+
+    def __init__(
+        self,
+        lane: Lane,
+        station: float,
+        town: Town,
+        target_speed: float = 6.0,
+        spec: VehicleSpec | None = None,
+    ):
+        wp = lane.waypoint_at(station)
+        super().__init__(Transform(wp.position, wp.yaw), spec)
+        self.town = town
+        self.target_speed = target_speed
+        self._lane = lane
+        self._station = station
+        self._path: list[Vec2] = []
+        self._lookahead = 6.0
+
+    # ------------------------------------------------------------------
+    # Path maintenance
+    # ------------------------------------------------------------------
+    def _extend_path(self, rng: np.random.Generator) -> None:
+        """Append waypoints until the buffer reaches ~40 m ahead."""
+        while self._path_length_ahead() < 40.0:
+            remaining = self._lane.length - self._station
+            if remaining > 1.0:
+                step_end = min(self._lane.length, self._station + 20.0)
+                s = self._station + 2.0
+                while s <= step_end:
+                    self._path.append(self._lane.centerline.point_at(s))
+                    s += 2.0
+                self._station = step_end
+                continue
+            # At the lane end: pick the next lane through the junction.
+            options = self.town.lane_successors(self._lane)
+            next_lane = options[int(rng.integers(len(options)))]
+            connector = self.town.connection_curve(self._lane, next_lane)
+            self._path.extend(connector.points[1:])
+            self._lane = next_lane
+            self._station = 0.0
+
+    def _path_length_ahead(self) -> float:
+        if not self._path:
+            return 0.0
+        total = self.position.distance_to(self._path[0])
+        for a, b in zip(self._path, self._path[1:]):
+            total += a.distance_to(b)
+        return total
+
+    def _prune_path(self) -> None:
+        while len(self._path) > 1 and self.position.distance_to(self._path[0]) < 3.0:
+            self._path.pop(0)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def _hazard_ahead(self, world: "World") -> bool:
+        """Another actor inside the braking cone directly ahead.
+
+        Distances are bumper-to-bumper (both actors' extents subtracted),
+        otherwise a queued vehicle creeps forward until the boxes overlap.
+        """
+        stop_dist = self.model.stopping_distance(self.state.speed) + 3.0
+        forward = self.transform.forward()
+        for other in world.actors:
+            if other.id == self.id or not other.alive:
+                continue
+            rel = other.position - self.position
+            ahead = rel.dot(forward)
+            if ahead <= 0.0:
+                continue
+            clearance = self.half_length + max(other.half_length, other.half_width)
+            if ahead - clearance < stop_dist and abs(rel.cross(forward)) < 2.2:
+                return True
+        return False
+
+    def _pursuit_control(self, world: "World") -> VehicleControl:
+        self._prune_path()
+        if not self._path:
+            return VehicleControl(brake=1.0)
+        # Find the pursuit target: first path point beyond the lookahead.
+        target = self._path[-1]
+        for p in self._path:
+            if self.position.distance_to(p) >= self._lookahead:
+                target = p
+                break
+        local = self.transform.to_local(target)
+        dist = max(local.norm(), 1e-3)
+        curvature = 2.0 * local.y / (dist * dist)
+        steer_angle = math.atan(curvature * self.spec.wheelbase)
+        steer = steer_angle / self.spec.max_steer_angle
+
+        speed_target = self.target_speed * world.weather.friction
+        # Slow for curvature so turns stay on the connector curve.
+        speed_target = min(speed_target, max(2.0, 8.0 / (1.0 + 25.0 * abs(curvature))))
+        if self._hazard_ahead(world):
+            return VehicleControl(steer=steer, brake=1.0)
+        err = speed_target - self.state.speed
+        if err >= 0.0:
+            return VehicleControl(steer=steer, throttle=min(0.8, 0.3 + 0.25 * err))
+        return VehicleControl(steer=steer, brake=min(1.0, -0.4 * err))
+
+    def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
+        self._extend_path(rng)
+        self.apply_control(self._pursuit_control(world))
+        super().tick(world, dt, rng)

@@ -1,0 +1,85 @@
+"""Scenario realisation: turning a :class:`Scenario` into a live world.
+
+Towns and renderers are expensive to build (texture rasterisation) but
+immutable, so :class:`SimulationBuilder` caches them per town
+configuration and stamps out fresh :class:`~repro.sim.world.World`
+instances per episode.  Campaign code, dataset collection and the examples
+all go through this one path, which keeps episode construction identical
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .render import CameraModel, Renderer
+from .scenario import Scenario
+from .sensors import GPS, Camera, Lidar2D, SensorSuite, Speedometer
+from .town import GridTownConfig, Town, build_grid_town
+from .world import World
+
+__all__ = ["SimulationBuilder", "EpisodeHandles"]
+
+
+@dataclass
+class EpisodeHandles:
+    """Everything an episode runner needs for one scenario."""
+
+    world: World
+    sensors: SensorSuite
+    town: Town
+
+
+class SimulationBuilder:
+    """Builds worlds for scenarios, caching towns and renderers."""
+
+    def __init__(
+        self,
+        camera: CameraModel | None = None,
+        texture_resolution: float = 0.25,
+        with_lidar: bool = True,
+        gps_noise_std: float = 0.4,
+    ):
+        self.camera = camera or CameraModel()
+        self.texture_resolution = texture_resolution
+        self.with_lidar = with_lidar
+        self.gps_noise_std = gps_noise_std
+        self._towns: dict[GridTownConfig, Town] = {}
+        self._renderers: dict[GridTownConfig, Renderer] = {}
+
+    def town_for(self, config: GridTownConfig) -> Town:
+        """The (cached) town for a configuration."""
+        if config not in self._towns:
+            self._towns[config] = build_grid_town(config)
+        return self._towns[config]
+
+    def renderer_for(self, config: GridTownConfig) -> Renderer:
+        """The (cached) renderer for a configuration."""
+        if config not in self._renderers:
+            self._renderers[config] = Renderer(
+                self.town_for(config), self.camera, self.texture_resolution
+            )
+        return self._renderers[config]
+
+    def build_episode(self, scenario: Scenario) -> EpisodeHandles:
+        """A fresh world + sensor suite realising ``scenario``.
+
+        The ego spawns at the mission start; NPC traffic and pedestrians
+        are placed from the scenario seed with a clearance zone around the
+        ego.
+        """
+        town = self.town_for(scenario.town_config)
+        world = World(town, weather=scenario.weather, seed=scenario.seed)
+        world.spawn_ego(scenario.mission.start)
+        world.populate(
+            scenario.n_npc_vehicles,
+            scenario.n_pedestrians,
+            keep_clear=scenario.mission.start.position,
+        )
+        suite = SensorSuite(
+            camera=Camera(self.renderer_for(scenario.town_config)),
+            gps=GPS(noise_std=self.gps_noise_std),
+            speedometer=Speedometer(),
+            lidar=Lidar2D(n_rays=19, fov_deg=120.0) if self.with_lidar else None,
+        )
+        return EpisodeHandles(world=world, sensors=suite, town=town)

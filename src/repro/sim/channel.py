@@ -1,0 +1,159 @@
+"""Frame-stamped message channels between simulator server and agent client.
+
+CARLA runs the world server and the driving agent as separate processes
+joined by a socket protocol.  We keep the *semantics* of that boundary —
+every sensor reading and control command is a discrete, frame-stamped
+packet travelling through a channel with explicit delivery times — without
+the processes.  This boundary is load-bearing for AVFI: the paper's timing
+faults (delay, loss, reordering between the ADA and actuation) are
+implemented as :class:`ChannelTransform` hooks installed on these channels.
+
+Delivery model: a packet sent at frame ``f`` is delivered at the first poll
+with ``frame >= f + latency`` (default latency 0, i.e. same-frame delivery
+in the lockstep loop).  Transforms may increase latency, drop packets,
+duplicate them or scramble delivery order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Packet", "ChannelTransform", "Channel", "ChannelStats"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One message crossing the server/client boundary.
+
+    ``kind`` names the stream ("sensor", "control"); ``frame`` is the
+    simulation frame the payload was produced at; ``payload`` is an
+    arbitrary object (sensor bundle or control command).
+    """
+
+    kind: str
+    frame: int
+    payload: Any
+
+
+class ChannelTransform:
+    """Hook that rewrites packet delivery on a channel.
+
+    Subclasses (the timing-fault models, but also benign latency models)
+    override :meth:`on_send`.  Returning ``None`` drops the packet;
+    returning a list of ``(packet, deliver_frame)`` pairs reschedules it
+    (possibly duplicated).
+    """
+
+    def on_send(
+        self, packet: Packet, deliver_frame: int
+    ) -> Optional[list[tuple[Packet, int]]]:
+        """Rewrite one send.  Default: deliver unchanged."""
+        return [(packet, deliver_frame)]
+
+    def reset(self) -> None:
+        """Clear any internal state between episodes."""
+
+
+@dataclass
+class ChannelStats:
+    """Counters a channel keeps for diagnostics and fault-activation logs."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    delayed: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.delayed = 0
+
+
+class Channel:
+    """An ordered, frame-addressed packet queue with transform hooks."""
+
+    def __init__(self, name: str, latency_frames: int = 0):
+        if latency_frames < 0:
+            raise ValueError("latency cannot be negative")
+        self.name = name
+        self.latency_frames = latency_frames
+        self.transforms: list[ChannelTransform] = []
+        self.stats = ChannelStats()
+        self._heap: list[tuple[int, int, Packet]] = []
+        self._tiebreak = itertools.count()
+
+    def add_transform(self, transform: ChannelTransform) -> None:
+        """Install a transform; transforms apply in installation order."""
+        self.transforms.append(transform)
+
+    def remove_transform(self, transform: ChannelTransform) -> None:
+        """Uninstall a transform previously added."""
+        self.transforms.remove(transform)
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet``; transforms may drop/delay/duplicate it."""
+        self.stats.sent += 1
+        deliveries = [(packet, packet.frame + self.latency_frames)]
+        for transform in self.transforms:
+            next_deliveries: list[tuple[Packet, int]] = []
+            for pkt, frame in deliveries:
+                result = transform.on_send(pkt, frame)
+                if result is None:
+                    self.stats.dropped += 1
+                    continue
+                next_deliveries.extend(result)
+            deliveries = next_deliveries
+        for pkt, frame in deliveries:
+            if frame > pkt.frame + self.latency_frames:
+                self.stats.delayed += 1
+            heapq.heappush(self._heap, (frame, next(self._tiebreak), pkt))
+
+    def poll(self, frame: int) -> list[Packet]:
+        """All packets due at or before ``frame``, in delivery order."""
+        out: list[Packet] = []
+        while self._heap and self._heap[0][0] <= frame:
+            _, _, pkt = heapq.heappop(self._heap)
+            out.append(pkt)
+        self.stats.delivered += len(out)
+        return out
+
+    def poll_latest(self, frame: int) -> Optional[Packet]:
+        """The most recent due packet, discarding older ones.
+
+        This models an actuator that always applies the freshest command it
+        has received — the hold-and-replay semantics the paper's output
+        delay experiment relies on happen naturally at the caller, which
+        keeps using the previous command when this returns ``None``.
+        """
+        packets = self.poll(frame)
+        if not packets:
+            return None
+        return max(packets, key=lambda p: p.frame)
+
+    def pending(self) -> int:
+        """Number of packets waiting in flight."""
+        return len(self._heap)
+
+    def clear(self) -> None:
+        """Drop all in-flight packets and reset transforms and stats."""
+        self._heap.clear()
+        self.stats.reset()
+        for transform in self.transforms:
+            transform.reset()
+
+
+class FixedLatency(ChannelTransform):
+    """Benign constant extra latency (network model, not a fault)."""
+
+    def __init__(self, frames: int):
+        if frames < 0:
+            raise ValueError("latency cannot be negative")
+        self.frames = frames
+
+    def on_send(self, packet: Packet, deliver_frame: int):
+        return [(packet, deliver_frame + self.frames)]

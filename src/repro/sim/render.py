@@ -1,0 +1,442 @@
+"""Software perspective camera: the CARLA/Unreal rendering substitute.
+
+The camera renders what a forward-facing RGB sensor on the hood sees:
+
+1. *Ground pass* — every pixel below the horizon is intersected with the
+   ground plane (inverse perspective mapping, precomputed once per camera)
+   and coloured by sampling a rasterised town texture containing road
+   surfaces, curbs, grass and painted lane markings.
+2. *Billboard pass* — buildings and actors project to shaded screen-space
+   rectangles, painted far-to-near so occlusion works.
+3. *Atmosphere pass* — distance fog, rain streaks and global brightness
+   from the active :class:`~repro.sim.weather.Weather`.
+
+The result is a ``uint8`` RGB array with the semantic content the
+imitation-learning agent trains on (lane position, road edges, obstacles),
+which is exactly the content AVFI's camera fault models corrupt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import Transform, Vec2
+from .town import Building, SurfaceType, Town
+from .weather import Weather
+
+__all__ = ["CameraModel", "TownTexture", "Renderer", "SURFACE_COLORS", "SemanticClass"]
+
+
+class SemanticClass:
+    """Per-pixel class ids of the semantic camera (CARLA-style labels)."""
+
+    SKY = 0
+    OFFROAD = 1
+    CURB = 2
+    ROAD = 3
+    BUILDING = 4
+    VEHICLE = 5
+    PEDESTRIAN = 6
+
+    #: SurfaceType value -> semantic id for the ground pass.
+    FROM_SURFACE = {0: OFFROAD, 1: CURB, 2: ROAD}
+
+SURFACE_COLORS: dict[int, tuple[int, int, int]] = {
+    int(SurfaceType.OFFROAD): (96, 140, 72),  # grass
+    int(SurfaceType.CURB): (168, 168, 168),  # pavement
+    int(SurfaceType.ROAD): (58, 58, 64),  # asphalt
+}
+SKY_TOP = np.array([110, 150, 215], dtype=np.float32)
+SKY_BOTTOM = np.array([190, 205, 230], dtype=np.float32)
+FOG_COLOR = np.array([185, 190, 198], dtype=np.float32)
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """Intrinsics and mounting of the hood camera.
+
+    ``pitch_deg`` is negative when looking down.  ``forward_offset`` places
+    the camera ahead of the vehicle centre (on the hood).  ``max_depth``
+    bounds the ground pass; everything further renders as horizon haze.
+    """
+
+    width: int = 96
+    height: int = 64
+    fov_deg: float = 100.0
+    mount_height: float = 1.5
+    pitch_deg: float = -8.0
+    forward_offset: float = 1.0
+    max_depth: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 8:
+            raise ValueError("camera resolution too small")
+        if not 20.0 <= self.fov_deg <= 160.0:
+            raise ValueError("fov must be within [20, 160] degrees")
+
+    @property
+    def focal_px(self) -> float:
+        """Focal length in pixels (square pixels assumed)."""
+        return (self.width / 2.0) / math.tan(math.radians(self.fov_deg) / 2.0)
+
+
+class TownTexture:
+    """Rasterised ground-truth texture of a town.
+
+    Built once per town at ``resolution`` metres per texel: surface classes
+    are colour-mapped, then lane markings and building footprints are
+    stamped on top.  Sampling is a clipped nearest-neighbour lookup,
+    vectorised over pixel batches.
+    """
+
+    def __init__(self, town: Town, resolution: float = 0.25, margin: float = 12.0):
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = resolution
+        xmin, ymin, xmax, ymax = town.bounds
+        self.x0 = xmin - margin
+        self.y0 = ymin - margin
+        self.nx = int(math.ceil((xmax - xmin + 2 * margin) / resolution))
+        self.ny = int(math.ceil((ymax - ymin + 2 * margin) / resolution))
+        xs = self.x0 + (np.arange(self.nx) + 0.5) * resolution
+        ys = self.y0 + (np.arange(self.ny) + 0.5) * resolution
+        gx, gy = np.meshgrid(xs, ys)  # shape (ny, nx)
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        classes = town.classify_points(pts).reshape(self.ny, self.nx)
+        tex = np.zeros((self.ny, self.nx, 3), dtype=np.uint8)
+        for cls, color in SURFACE_COLORS.items():
+            tex[classes == cls] = color
+        self._stamp_markings(tex, town)
+        self._stamp_buildings(tex, town.buildings)
+        self.texture = tex
+        # Surface-class raster for the semantic camera (markings stay ROAD).
+        self.classes = classes
+
+    def _world_to_texel(self, xy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        col = ((xy[..., 0] - self.x0) / self.resolution).astype(np.int64)
+        row = ((xy[..., 1] - self.y0) / self.resolution).astype(np.int64)
+        return row, col
+
+    def _stamp_markings(self, tex: np.ndarray, town: Town) -> None:
+        for stripe in town.markings():
+            pts = stripe.polyline.resampled(self.resolution * 0.75).points
+            half_w_tex = max(1, int(round(stripe.width / 2.0 / self.resolution)))
+            dash_period = 6.0  # metres: 3 on, 3 off
+            dist = 0.0
+            prev = pts[0]
+            for p in pts:
+                dist += p.distance_to(prev)
+                prev = p
+                if stripe.dashed and (dist % dash_period) > dash_period / 2.0:
+                    continue
+                row = int((p.y - self.y0) / self.resolution)
+                col = int((p.x - self.x0) / self.resolution)
+                r0 = max(0, row - half_w_tex + 1)
+                r1 = min(self.ny, row + half_w_tex)
+                c0 = max(0, col - half_w_tex + 1)
+                c1 = min(self.nx, col + half_w_tex)
+                if r0 < r1 and c0 < c1:
+                    tex[r0:r1, c0:c1] = stripe.color
+
+    def _stamp_buildings(self, tex: np.ndarray, buildings: list[Building]) -> None:
+        for b in buildings:
+            corners = b.box.corners()
+            xs = [c.x for c in corners]
+            ys = [c.y for c in corners]
+            c0 = max(0, int((min(xs) - self.x0) / self.resolution))
+            c1 = min(self.nx, int((max(xs) - self.x0) / self.resolution) + 1)
+            r0 = max(0, int((min(ys) - self.y0) / self.resolution))
+            r1 = min(self.ny, int((max(ys) - self.y0) / self.resolution) + 1)
+            if r0 < r1 and c0 < c1:
+                footprint = tuple(int(ch * 0.55) for ch in b.color)
+                tex[r0:r1, c0:c1] = footprint
+
+    def sample(self, xy: np.ndarray) -> np.ndarray:
+        """Nearest-neighbour colour lookup for world points ``(N, 2)``."""
+        row, col = self._world_to_texel(xy)
+        inside = (row >= 0) & (row < self.ny) & (col >= 0) & (col < self.nx)
+        out = np.empty((len(xy), 3), dtype=np.uint8)
+        out[:] = SURFACE_COLORS[int(SurfaceType.OFFROAD)]
+        out[inside] = self.texture[row[inside], col[inside]]
+        return out
+
+    def sample_classes(self, xy: np.ndarray) -> np.ndarray:
+        """Surface-class lookup for world points ``(N, 2)`` (uint8)."""
+        row, col = self._world_to_texel(xy)
+        inside = (row >= 0) & (row < self.ny) & (col >= 0) & (col < self.nx)
+        out = np.full(len(xy), int(SurfaceType.OFFROAD), dtype=np.uint8)
+        out[inside] = self.classes[row[inside], col[inside]]
+        return out
+
+
+class Renderer:
+    """Renders camera frames for one town + camera configuration."""
+
+    def __init__(self, town: Town, camera: CameraModel | None = None, texture_resolution: float = 0.25):
+        self.town = town
+        self.camera = camera or CameraModel()
+        self.texture = TownTexture(town, texture_resolution)
+        self._precompute_rays()
+        self._sky = self._make_sky()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _precompute_rays(self) -> None:
+        cam = self.camera
+        f = cam.focal_px
+        cx = (cam.width - 1) / 2.0
+        cy = (cam.height - 1) / 2.0
+        u, v = np.meshgrid(np.arange(cam.width), np.arange(cam.height))
+        # Camera-frame ray directions: X forward, Y left, Z up.
+        dir_y = -(u - cx) / f
+        dir_z = -(v - cy) / f
+        theta = math.radians(cam.pitch_deg)
+        c, s = math.cos(theta), math.sin(theta)
+        # Rotate camera frame to vehicle frame (pitch about the Y/left axis).
+        vx = c * 1.0 - s * dir_z
+        vz = s * 1.0 + c * dir_z
+        vy = dir_y
+        descending = vz < -1e-6
+        # Rays at/above the horizon get t=0 so the arrays stay finite; the
+        # ground mask excludes them anyway.
+        t = np.where(descending, cam.mount_height / np.where(descending, -vz, 1.0), 0.0)
+        ground_x = cam.forward_offset + t * vx
+        ground_y = t * vy
+        depth = t * np.hypot(vx, vy)
+        self._ground_mask = descending & (depth <= cam.max_depth) & (ground_x > 0.0)
+        self._ground_local = np.stack([ground_x, ground_y], axis=-1)
+        self._ground_depth = depth
+        self._descending = descending
+
+    def _make_sky(self) -> np.ndarray:
+        cam = self.camera
+        rows = np.linspace(0.0, 1.0, cam.height, dtype=np.float32)[:, None, None]
+        sky = SKY_TOP[None, None, :] * (1.0 - rows) + SKY_BOTTOM[None, None, :] * rows
+        return np.broadcast_to(sky, (cam.height, cam.width, 3)).copy()
+
+    # ------------------------------------------------------------------
+    # Projection helpers (billboard pass)
+    # ------------------------------------------------------------------
+    def _project(self, pts_vehicle: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project vehicle-frame 3-D points to pixel coordinates.
+
+        ``pts_vehicle`` has shape ``(N, 3)`` (x forward, y left, z up,
+        relative to the vehicle origin on the ground).  Returns
+        ``(u, v, depth)``; points behind the camera get non-positive depth.
+        """
+        cam = self.camera
+        q = pts_vehicle.astype(np.float64).copy()
+        q[:, 0] -= cam.forward_offset
+        q[:, 2] -= cam.mount_height
+        theta = math.radians(cam.pitch_deg)
+        c, s = math.cos(theta), math.sin(theta)
+        xc = q[:, 0] * c + q[:, 2] * s
+        zc = -q[:, 0] * s + q[:, 2] * c
+        yc = q[:, 1]
+        f = cam.focal_px
+        cx = (cam.width - 1) / 2.0
+        cy = (cam.height - 1) / 2.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = cx - f * yc / xc
+            v = cy - f * zc / xc
+        return u, v, xc
+
+    def _draw_billboard(
+        self,
+        img: np.ndarray,
+        ego: Transform,
+        center: Vec2,
+        yaw: float,
+        half_length: float,
+        half_width: float,
+        height: float,
+        color: tuple[int, int, int],
+        fog_alpha_fn,
+    ) -> None:
+        cam = self.camera
+        local_center = ego.to_local(center)
+        dist = local_center.norm()
+        if local_center.x < 0.5 or dist > cam.max_depth:
+            return
+        rel_yaw = yaw - ego.yaw
+        c, s = math.cos(rel_yaw), math.sin(rel_yaw)
+        corners = []
+        for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+            ox = dx * half_length * c - dy * half_width * s
+            oy = dx * half_length * s + dy * half_width * c
+            corners.append((local_center.x + ox, local_center.y + oy))
+        pts = np.array(
+            [(x, y, 0.0) for x, y in corners] + [(x, y, height) for x, y in corners]
+        )
+        u, v, depth = self._project(pts)
+        if np.any(depth < 0.2):
+            return
+        u0 = int(math.floor(np.min(u)))
+        u1 = int(math.ceil(np.max(u)))
+        v_top = int(math.floor(np.min(v)))
+        v_base = int(math.ceil(np.max(v)))
+        u0 = max(0, u0)
+        u1 = min(cam.width - 1, u1)
+        v_top = max(0, v_top)
+        v_base = min(cam.height - 1, v_base)
+        if u0 > u1 or v_top > v_base:
+            return
+        shade = 1.0 - 0.35 * min(dist / cam.max_depth, 1.0)
+        col = np.array(color, dtype=np.float32) * shade
+        alpha = fog_alpha_fn(dist)
+        col = col * (1.0 - alpha) + FOG_COLOR * alpha
+        img[v_top : v_base + 1, u0 : u1 + 1] = col.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        ego: Transform,
+        actors: list | None = None,
+        weather: Weather | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Render one RGB frame from the ego vehicle's hood camera.
+
+        ``actors`` is any iterable of objects with ``position``, ``yaw``,
+        ``half_length``, ``half_width``, ``height`` and ``color`` attributes
+        (the ego itself should not be included).  ``rng`` drives rain streak
+        placement only.
+        """
+        weather = weather or Weather("ClearNoon")
+        cam = self.camera
+        img = self._sky.copy()
+
+        # Ground pass: transform precomputed local ground points to world.
+        cos_y, sin_y = math.cos(ego.yaw), math.sin(ego.yaw)
+        gl = self._ground_local
+        wx = ego.position.x + gl[..., 0] * cos_y - gl[..., 1] * sin_y
+        wy = ego.position.y + gl[..., 0] * sin_y + gl[..., 1] * cos_y
+        mask = self._ground_mask
+        pts = np.column_stack([wx[mask], wy[mask]])
+        colors = self.texture.sample(pts).astype(np.float32)
+
+        # Distance fog over the ground pass.
+        visibility = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
+        depth = self._ground_depth[mask]
+        alpha = np.clip(depth / visibility, 0.0, 1.0)[:, None].astype(np.float32)
+        if weather.fog_density > 0.0:
+            alpha = alpha ** max(0.5, (1.0 - weather.fog_density))
+        colors = colors * (1.0 - alpha) + FOG_COLOR[None, :] * alpha
+        img[mask] = colors
+
+        # Below-horizon pixels past max depth fade into haze.
+        haze_mask = (~mask) & self._descending & (self._ground_depth >= cam.max_depth)
+        img[haze_mask] = FOG_COLOR
+
+        def fog_alpha(d: float) -> float:
+            a = min(max(d / visibility, 0.0), 1.0)
+            if weather.fog_density > 0.0:
+                a = a ** max(0.5, 1.0 - weather.fog_density)
+            return float(a)
+
+        # Billboard pass: buildings then actors, far to near.
+        drawables = []
+        for b in self.town.buildings:
+            drawables.append(
+                (b.box.center, 0.0, b.box.half_length, b.box.half_width, b.height, b.color)
+            )
+        for a in actors or []:
+            drawables.append(
+                (a.position, a.yaw, a.half_length, a.half_width, a.height, a.color)
+            )
+        drawables.sort(key=lambda d: ego.position.distance_to(d[0]), reverse=True)
+        for center, yaw, hl, hw, height, color in drawables:
+            self._draw_billboard(img, ego, center, yaw, hl, hw, height, color, fog_alpha)
+
+        # Atmosphere: rain streaks and brightness.
+        if weather.rain_intensity > 0.0 and rng is not None:
+            n = int(weather.rain_intensity * cam.width * cam.height * 0.01)
+            if n > 0:
+                us = rng.integers(0, cam.width, n)
+                vs = rng.integers(0, max(1, cam.height - 4), n)
+                lengths = rng.integers(2, 5, n)
+                for ui, vi, li in zip(us, vs, lengths):
+                    img[vi : vi + li, ui] = np.minimum(
+                        img[vi : vi + li, ui] * 0.7 + 90.0, 255.0
+                    )
+        if weather.brightness != 1.0:
+            img = img * weather.brightness
+        return np.clip(img, 0.0, 255.0).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Ground-truth layers (semantic segmentation + depth)
+    # ------------------------------------------------------------------
+    def render_semantic_depth(
+        self, ego: Transform, actors: list | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ground-truth semantic and depth images for the current view.
+
+        Returns ``(semantic, depth)``: a ``uint8`` class map using
+        :class:`SemanticClass` ids and a ``float32`` depth map in metres
+        (``inf`` for sky).  These are the CARLA-style auxiliary camera
+        outputs — not consumed by the IL-CNN, but the natural substrate
+        for perception-level fault studies and for labelling datasets.
+        """
+        cam = self.camera
+        semantic = np.full((cam.height, cam.width), SemanticClass.SKY, dtype=np.uint8)
+        depth = np.full((cam.height, cam.width), np.inf, dtype=np.float32)
+
+        cos_y, sin_y = math.cos(ego.yaw), math.sin(ego.yaw)
+        gl = self._ground_local
+        wx = ego.position.x + gl[..., 0] * cos_y - gl[..., 1] * sin_y
+        wy = ego.position.y + gl[..., 0] * sin_y + gl[..., 1] * cos_y
+        mask = self._ground_mask
+        pts = np.column_stack([wx[mask], wy[mask]])
+        surface = self.texture.sample_classes(pts)
+        sem_ground = np.empty_like(surface)
+        for surf, sem_id in SemanticClass.FROM_SURFACE.items():
+            sem_ground[surface == surf] = sem_id
+        semantic[mask] = sem_ground
+        depth[mask] = self._ground_depth[mask]
+
+        drawables = [
+            (b.box.center, 0.0, b.box.half_length, b.box.half_width, b.height,
+             SemanticClass.BUILDING)
+            for b in self.town.buildings
+        ]
+        for a in actors or []:
+            cls = (
+                SemanticClass.PEDESTRIAN
+                if getattr(a, "role", "") == "pedestrian"
+                else SemanticClass.VEHICLE
+            )
+            drawables.append((a.position, a.yaw, a.half_length, a.half_width, a.height, cls))
+        drawables.sort(key=lambda d: ego.position.distance_to(d[0]), reverse=True)
+
+        for center, yaw, hl, hw, height, cls in drawables:
+            local_center = ego.to_local(center)
+            dist = local_center.norm()
+            if local_center.x < 0.5 or dist > cam.max_depth:
+                continue
+            c, s = math.cos(yaw - ego.yaw), math.sin(yaw - ego.yaw)
+            corners = []
+            for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+                ox = dx * hl * c - dy * hw * s
+                oy = dx * hl * s + dy * hw * c
+                corners.append((local_center.x + ox, local_center.y + oy))
+            pts3 = np.array(
+                [(x, y, 0.0) for x, y in corners] + [(x, y, height) for x, y in corners]
+            )
+            u, v, d = self._project(pts3)
+            if np.any(d < 0.2):
+                continue
+            u0 = max(0, int(math.floor(np.min(u))))
+            u1 = min(cam.width - 1, int(math.ceil(np.max(u))))
+            v_top = max(0, int(math.floor(np.min(v))))
+            v_base = min(cam.height - 1, int(math.ceil(np.max(v))))
+            if u0 > u1 or v_top > v_base:
+                continue
+            semantic[v_top : v_base + 1, u0 : u1 + 1] = cls
+            depth[v_top : v_base + 1, u0 : u1 + 1] = dist
+        return semantic, depth

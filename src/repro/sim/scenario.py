@@ -1,0 +1,185 @@
+"""Missions and scenarios: the experiment workloads.
+
+A :class:`Mission` is one navigation task — start pose, goal point, time
+limit — mirroring the CARLA benchmark tasks the paper's agent was evaluated
+on.  A :class:`Scenario` adds the environment around the mission: town
+configuration, weather, NPC traffic density and the seed that makes the
+whole episode reproducible.
+
+:func:`generate_missions` draws varied missions of a requested difficulty
+from a seeded RNG; campaign code uses it to build scenario suites so every
+fault-injector configuration is evaluated across the *same* missions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .geometry import Transform, Vec2
+from .town import GridTownConfig, Town, Waypoint
+
+__all__ = ["Mission", "Scenario", "generate_missions", "make_scenarios"]
+
+#: Nominal urban cruise speed used to derive mission time limits, m/s.
+NOMINAL_SPEED = 5.0
+
+
+@dataclass(frozen=True)
+class Mission:
+    """One navigation task for the ego vehicle.
+
+    ``time_limit_s`` is the budget after which the mission counts as failed
+    (the paper's MSR is "able to complete a navigation mission in a fixed
+    amount of time").  ``success_radius`` is how close to the goal counts
+    as arrival.
+    """
+
+    start: Transform
+    goal: Vec2
+    time_limit_s: float
+    success_radius: float = 5.0
+    name: str = "mission"
+
+    def __post_init__(self) -> None:
+        if self.time_limit_s <= 0:
+            raise ValueError("time limit must be positive")
+        if self.success_radius <= 0:
+            raise ValueError("success radius must be positive")
+
+    def straight_line_distance(self) -> float:
+        """Crow-flies start-to-goal distance, metres."""
+        return self.start.position.distance_to(self.goal)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A mission plus the world it runs in."""
+
+    mission: Mission
+    town_config: GridTownConfig = field(default_factory=GridTownConfig)
+    weather: str = "ClearNoon"
+    n_npc_vehicles: int = 0
+    n_pedestrians: int = 0
+    seed: int = 0
+    name: str = "scenario"
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """Copy of this scenario under a different episode seed."""
+        return replace(self, seed=seed, name=f"{self.name}-s{seed}")
+
+
+def _manhattan(a: Vec2, b: Vec2) -> float:
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+# A route-length oracle maps (start pose, goal) to route metres, or None
+# when the pair should be rejected (no feasible route).  Campaign code
+# passes the route planner in through this hook; see
+# repro.core.campaign.standard_scenarios.
+
+
+def generate_missions(
+    town: Town,
+    n: int,
+    rng: np.random.Generator,
+    min_distance: float = 100.0,
+    max_distance: float = 400.0,
+    time_factor: float = 1.8,
+    route_length_fn=None,
+) -> list[Mission]:
+    """Draw ``n`` missions with start/goal on lane centrelines.
+
+    Candidate pairs are filtered by *Manhattan* distance, which tracks
+    route length on a grid town better than the crow-flies distance.  When
+    ``route_length_fn`` is given (normally the route planner, wired in by
+    :func:`repro.core.campaign.standard_scenarios`), time limits come from
+    the true route length and unreachable or strongly detouring pairs
+    (route > 2x the Manhattan estimate) are rejected; otherwise the
+    Manhattan estimate itself sets the limit.
+    """
+    if min_distance >= max_distance:
+        raise ValueError("min_distance must be below max_distance")
+    spawns = town.spawn_points(spacing=10.0)
+    if len(spawns) < 2:
+        raise ValueError("town has too few spawn points for missions")
+    missions: list[Mission] = []
+    attempts = 0
+    while len(missions) < n and attempts < 6000:
+        attempts += 1
+        start_wp: Waypoint = spawns[int(rng.integers(len(spawns)))]
+        goal_wp: Waypoint = spawns[int(rng.integers(len(spawns)))]
+        dist = _manhattan(start_wp.position, goal_wp.position)
+        if not min_distance <= dist <= max_distance:
+            continue
+        start = Transform(start_wp.position, start_wp.yaw)
+        route_estimate = dist
+        if route_length_fn is not None:
+            route_len = route_length_fn(start, goal_wp.position)
+            if route_len is None or route_len > 2.0 * dist:
+                continue
+            route_estimate = route_len
+        time_limit = route_estimate / NOMINAL_SPEED * time_factor + 15.0
+        missions.append(
+            Mission(
+                start=start,
+                goal=goal_wp.position,
+                time_limit_s=time_limit,
+                name=f"mission-{len(missions)}",
+            )
+        )
+    if len(missions) < n:
+        raise RuntimeError(
+            f"could only generate {len(missions)}/{n} missions within "
+            f"[{min_distance}, {max_distance}] m; widen the distance band"
+        )
+    return missions
+
+
+def make_scenarios(
+    n: int,
+    seed: int = 0,
+    town_config: GridTownConfig | None = None,
+    weather: str = "ClearNoon",
+    n_npc_vehicles: int = 0,
+    n_pedestrians: int = 0,
+    min_distance: float = 100.0,
+    max_distance: float = 400.0,
+    route_length_fn=None,
+) -> list[Scenario]:
+    """Build a reproducible suite of ``n`` scenarios.
+
+    All scenarios share the town and traffic configuration and differ in
+    mission and per-episode seed.  The same ``seed`` always yields the same
+    suite, so different fault injectors can be compared on identical
+    workloads (paired experiment design).  See
+    :func:`repro.core.campaign.standard_scenarios` for the variant that
+    wires in the route planner for accurate time limits.
+    """
+    from .town import build_grid_town  # local import to keep module load light
+
+    cfg = town_config or GridTownConfig()
+    town = build_grid_town(cfg)
+    rng = np.random.default_rng(seed)
+    missions = generate_missions(
+        town,
+        n,
+        rng,
+        min_distance=min_distance,
+        max_distance=max_distance,
+        route_length_fn=route_length_fn,
+    )
+    return [
+        Scenario(
+            mission=m,
+            town_config=cfg,
+            weather=weather,
+            n_npc_vehicles=n_npc_vehicles,
+            n_pedestrians=n_pedestrians,
+            seed=seed * 1000 + i,
+            name=f"scn-{i}",
+        )
+        for i, m in enumerate(missions)
+    ]

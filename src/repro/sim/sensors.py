@@ -1,0 +1,244 @@
+"""Sensor models attached to the ego vehicle.
+
+Each sensor produces one reading per frame on the server side; readings are
+bundled into a :class:`SensorFrame` and shipped to the agent client through
+the sensor channel.  AVFI's *input fault injectors* operate on exactly this
+bundle (between server and agent), so every reading type here is a fault
+target.
+
+Noise models are intentionally simple but real: Gaussian position noise on
+GPS scaled by weather, multiplicative speedometer noise, and max-range
+clipping on the 2-D LIDAR.  All randomness flows through the world RNG so
+episodes replay exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .geometry import Vec2
+from .render import CameraModel, Renderer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .actors import Vehicle
+    from .world import World
+
+__all__ = [
+    "SensorFrame",
+    "Sensor",
+    "Camera",
+    "SemanticCamera",
+    "DepthCamera",
+    "GPS",
+    "Speedometer",
+    "Lidar2D",
+    "SensorSuite",
+]
+
+
+@dataclass
+class SensorFrame:
+    """All sensor readings produced at one simulation frame.
+
+    This is the payload of a "sensor" packet.  ``image`` is the RGB camera
+    array (H, W, 3) uint8; ``gps`` is the measured world position (metres);
+    ``speed`` the measured speed (m/s); ``lidar`` the range array (metres)
+    or ``None`` when no LIDAR is mounted; ``heading`` the measured yaw.
+    """
+
+    frame: int
+    image: np.ndarray
+    gps: tuple[float, float]
+    speed: float
+    heading: float
+    lidar: Optional[np.ndarray] = None
+
+    def copy(self) -> "SensorFrame":
+        """Deep-enough copy so fault injectors can mutate safely."""
+        return SensorFrame(
+            frame=self.frame,
+            image=self.image.copy(),
+            gps=tuple(self.gps),
+            speed=float(self.speed),
+            heading=float(self.heading),
+            lidar=None if self.lidar is None else self.lidar.copy(),
+        )
+
+
+class Sensor:
+    """Base sensor; subclasses implement :meth:`read`."""
+
+    name = "sensor"
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator):
+        """Produce this sensor's reading for the current frame."""
+        raise NotImplementedError
+
+
+class Camera(Sensor):
+    """Forward RGB camera rendered by :class:`repro.sim.render.Renderer`."""
+
+    name = "camera"
+
+    def __init__(self, renderer: Renderer):
+        self.renderer = renderer
+
+    @property
+    def model(self) -> CameraModel:
+        """The camera intrinsics in use."""
+        return self.renderer.camera
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        return self.renderer.render(vehicle.transform, others, world.weather, rng)
+
+
+class SemanticCamera(Sensor):
+    """Ground-truth semantic segmentation camera (CARLA parity).
+
+    Not part of the standard :class:`SensorFrame` (the paper's ADA is
+    RGB-only); used for perception-level fault studies and for labelling
+    datasets.  Returns a ``uint8`` class map of
+    :class:`~repro.sim.render.SemanticClass` ids.
+    """
+
+    name = "semantic"
+
+    def __init__(self, renderer: Renderer):
+        self.renderer = renderer
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        semantic, _ = self.renderer.render_semantic_depth(vehicle.transform, others)
+        return semantic
+
+
+class DepthCamera(Sensor):
+    """Ground-truth depth camera: metres per pixel, ``inf`` for sky."""
+
+    name = "depth"
+
+    def __init__(self, renderer: Renderer):
+        self.renderer = renderer
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        _, depth = self.renderer.render_semantic_depth(vehicle.transform, others)
+        return depth
+
+
+class GPS(Sensor):
+    """Position sensor with weather-scaled Gaussian noise and optional bias."""
+
+    name = "gps"
+
+    def __init__(self, noise_std: float = 0.5, bias: Vec2 = Vec2(0.0, 0.0)):
+        if noise_std < 0:
+            raise ValueError("noise_std cannot be negative")
+        self.noise_std = noise_std
+        self.bias = bias
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> tuple[float, float]:
+        scale = self.noise_std * world.weather.sensor_noise_scale
+        nx, ny = rng.normal(0.0, scale, 2) if scale > 0 else (0.0, 0.0)
+        return (
+            vehicle.position.x + self.bias.x + float(nx),
+            vehicle.position.y + self.bias.y + float(ny),
+        )
+
+
+class Speedometer(Sensor):
+    """Speed sensor with multiplicative noise (wheel-encoder style)."""
+
+    name = "speed"
+
+    def __init__(self, noise_frac: float = 0.01):
+        if noise_frac < 0:
+            raise ValueError("noise_frac cannot be negative")
+        self.noise_frac = noise_frac
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> float:
+        noise = rng.normal(0.0, self.noise_frac) if self.noise_frac > 0 else 0.0
+        return float(vehicle.speed() * (1.0 + noise))
+
+
+class Lidar2D(Sensor):
+    """Planar LIDAR: ``n_rays`` ranges over ``fov_deg`` centred forward.
+
+    Rays hit actor bounding boxes and building boxes; misses return
+    ``max_range``.  Readings are metres, ordered left-to-right.
+    """
+
+    name = "lidar"
+
+    def __init__(self, n_rays: int = 36, fov_deg: float = 180.0, max_range: float = 40.0):
+        if n_rays < 1:
+            raise ValueError("need at least one ray")
+        self.n_rays = n_rays
+        self.fov = math.radians(fov_deg)
+        self.max_range = max_range
+
+    def ray_angles(self) -> np.ndarray:
+        """Relative bearing of every ray, radians, left to right."""
+        if self.n_rays == 1:
+            return np.array([0.0])
+        return np.linspace(self.fov / 2.0, -self.fov / 2.0, self.n_rays)
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+        origin = vehicle.position
+        ranges = np.full(self.n_rays, self.max_range, dtype=np.float64)
+        boxes = [a.bounding_box() for a in world.actors if a.id != vehicle.id and a.alive]
+        boxes += [b.box for b in world.town.buildings]
+        # Prune boxes clearly out of range before per-ray tests.
+        near = [
+            b
+            for b in boxes
+            if origin.distance_to(b.center) <= self.max_range + max(b.half_length, b.half_width)
+        ]
+        for i, rel in enumerate(self.ray_angles()):
+            direction = Vec2.from_heading(vehicle.yaw + float(rel))
+            best = self.max_range
+            for box in near:
+                hit = box.ray_hit_distance(origin, direction, best)
+                if hit is not None and hit < best:
+                    best = hit
+            ranges[i] = best
+        return ranges
+
+
+class SensorSuite:
+    """The set of sensors mounted on the ego vehicle.
+
+    ``read_frame`` produces the :class:`SensorFrame` bundle the server ships
+    each tick.  The camera is mandatory (the ADA is camera-driven); LIDAR is
+    optional.
+    """
+
+    def __init__(
+        self,
+        camera: Camera,
+        gps: GPS | None = None,
+        speedometer: Speedometer | None = None,
+        lidar: Lidar2D | None = None,
+    ):
+        self.camera = camera
+        self.gps = gps or GPS()
+        self.speedometer = speedometer or Speedometer()
+        self.lidar = lidar
+
+    def read_frame(
+        self, world: "World", vehicle: "Vehicle", frame: int, rng: np.random.Generator
+    ) -> SensorFrame:
+        """Read every sensor and bundle the results."""
+        return SensorFrame(
+            frame=frame,
+            image=self.camera.read(world, vehicle, rng),
+            gps=self.gps.read(world, vehicle, rng),
+            speed=self.speedometer.read(world, vehicle, rng),
+            heading=vehicle.yaw,
+            lidar=None if self.lidar is None else self.lidar.read(world, vehicle, rng),
+        )

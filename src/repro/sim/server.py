@@ -1,0 +1,87 @@
+"""The simulation server: world tick loop plus packet I/O.
+
+Mirrors CARLA's server role.  Each frame the server:
+
+1. polls the **control channel** for the freshest due command and applies
+   it to the ego's actuators — if nothing arrived (delayed or dropped by a
+   timing fault) the previous command stays applied, which is exactly the
+   "replay" semantics of the paper's output-delay experiment;
+2. ticks the :class:`~repro.sim.world.World` (physics, NPCs, pedestrians);
+3. runs the violation monitor;
+4. reads the ego's :class:`~repro.sim.sensors.SensorSuite` and ships the
+   bundle on the **sensor channel**.
+
+The server never sees the agent: the channels are the only coupling, so
+every fault the paper injects between components has a concrete seam here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .channel import Channel, Packet
+from .physics import VehicleControl
+from .sensors import SensorSuite
+from .violations import ViolationEvent, ViolationMonitor
+from .world import World
+
+__all__ = ["SimulationServer", "ServerFrameResult"]
+
+
+@dataclass
+class ServerFrameResult:
+    """What one server tick produced (for the episode runner)."""
+
+    frame: int
+    new_violations: list[ViolationEvent]
+    applied_control: VehicleControl
+
+
+class SimulationServer:
+    """Owns the world and the server side of both channels."""
+
+    def __init__(
+        self,
+        world: World,
+        sensors: SensorSuite,
+        sensor_channel: Channel,
+        control_channel: Channel,
+        monitor: ViolationMonitor | None = None,
+    ):
+        if world.ego is None:
+            raise ValueError("world must have an ego vehicle before the server starts")
+        self.world = world
+        self.sensors = sensors
+        self.sensor_channel = sensor_channel
+        self.control_channel = control_channel
+        self.monitor = monitor or ViolationMonitor()
+        self._last_control = VehicleControl()
+
+    @property
+    def frame(self) -> int:
+        """Current world frame."""
+        return self.world.frame
+
+    def send_initial_frame(self) -> None:
+        """Ship the frame-0 sensor bundle so the agent has input to start."""
+        ego = self.world.ego
+        assert ego is not None
+        bundle = self.sensors.read_frame(self.world, ego, self.world.frame, self.world.rng)
+        self.sensor_channel.send(Packet("sensor", self.world.frame, bundle))
+
+    def tick(self) -> ServerFrameResult:
+        """Advance the simulation one frame (steps 1-4 above)."""
+        ego = self.world.ego
+        assert ego is not None
+
+        packet = self.control_channel.poll_latest(self.world.frame)
+        if packet is not None:
+            self._last_control = packet.payload
+        ego.apply_control(self._last_control)
+
+        frame = self.world.tick()
+        new_events = self.monitor.step(self.world, ego, frame)
+
+        bundle = self.sensors.read_frame(self.world, ego, frame, self.world.rng)
+        self.sensor_channel.send(Packet("sensor", frame, bundle))
+        return ServerFrameResult(frame, new_events, self._last_control)

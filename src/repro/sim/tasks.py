@@ -1,0 +1,129 @@
+"""Benchmark task tiers, after the CARLA driving benchmark.
+
+The agent the paper uses (Codevilla et al.) was evaluated on CARLA's four
+benchmark tasks of increasing difficulty; AVFI's campaigns run "across
+multiple test scenarios" of the same kind.  This module provides the tiers
+as reproducible scenario suites:
+
+* ``STRAIGHT`` — short missions with no junction turns and empty streets;
+* ``ONE_TURN`` — one junction manoeuvre, empty streets;
+* ``NAVIGATION`` — full multi-junction routes, empty streets;
+* ``DYNAMIC_NAVIGATION`` — full routes with NPC vehicles and pedestrians.
+
+Tiers matter for fault-injection studies: a fault that is benign on
+STRAIGHT (occlusion while lane following) can be fatal on
+DYNAMIC_NAVIGATION (the occluded region hides a pedestrian).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .geometry import Transform
+from .scenario import Mission, Scenario, generate_missions
+from .town import GridTownConfig, Town, build_grid_town
+
+__all__ = ["Task", "TaskSpec", "TASK_SPECS", "make_task_scenarios"]
+
+
+class Task(str, Enum):
+    """CARLA-benchmark-style task tiers."""
+
+    STRAIGHT = "straight"
+    ONE_TURN = "one_turn"
+    NAVIGATION = "navigation"
+    DYNAMIC_NAVIGATION = "dynamic_navigation"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Workload parameters of one task tier."""
+
+    min_distance: float
+    max_distance: float
+    max_turns: int | None  # None = unconstrained
+    n_npc_vehicles: int
+    n_pedestrians: int
+
+
+TASK_SPECS: dict[Task, TaskSpec] = {
+    Task.STRAIGHT: TaskSpec(60.0, 180.0, 0, 0, 0),
+    Task.ONE_TURN: TaskSpec(90.0, 250.0, 1, 0, 0),
+    Task.NAVIGATION: TaskSpec(150.0, 450.0, None, 0, 0),
+    Task.DYNAMIC_NAVIGATION: TaskSpec(150.0, 450.0, None, 3, 4),
+}
+
+
+def _route_turn_count(route) -> int:
+    """Number of *turning* manoeuvres (LEFT/RIGHT) on a planned route.
+
+    Crossing a junction straight ahead is not a turn — CARLA's "Straight"
+    task routes through intersections without turning, and ours match.
+    """
+    from ..agent.planner import Command
+
+    turning = {Command.LEFT, Command.RIGHT}
+    turns = 0
+    previously_turning = False
+    for command in route.commands:
+        is_turning = command in turning
+        if is_turning and not previously_turning:
+            turns += 1
+        previously_turning = is_turning
+    return turns
+
+
+def make_task_scenarios(
+    task: Task | str,
+    n: int,
+    seed: int = 0,
+    town_config: GridTownConfig | None = None,
+    weather: str = "ClearNoon",
+) -> list[Scenario]:
+    """Build ``n`` scenarios of one task tier.
+
+    Route constraints (turn counts, reachability, accurate time limits)
+    are enforced with the route planner, so a STRAIGHT mission really has
+    zero junction manoeuvres and a ONE_TURN mission exactly one.
+    """
+    from ..agent.planner import PlanningError, RoutePlanner
+
+    task = Task(task)
+    spec = TASK_SPECS[task]
+    cfg = town_config or GridTownConfig()
+    town = build_grid_town(cfg)
+    planner = RoutePlanner(town)
+
+    def route_length(start: Transform, goal) -> float | None:
+        try:
+            route = planner.plan(start.position, goal, start_yaw=start.yaw)
+        except PlanningError:
+            return None
+        if spec.max_turns is not None and _route_turn_count(route) != spec.max_turns:
+            return None
+        return route.length
+
+    rng = np.random.default_rng(seed)
+    missions = generate_missions(
+        town,
+        n,
+        rng,
+        min_distance=spec.min_distance,
+        max_distance=spec.max_distance,
+        route_length_fn=route_length,
+    )
+    return [
+        Scenario(
+            mission=m,
+            town_config=cfg,
+            weather=weather,
+            n_npc_vehicles=spec.n_npc_vehicles,
+            n_pedestrians=spec.n_pedestrians,
+            seed=seed * 1000 + i,
+            name=f"{task.value}-{i}",
+        )
+        for i, m in enumerate(missions)
+    ]

@@ -1,0 +1,232 @@
+"""Traffic-violation detection.
+
+The paper's resilience metrics count *events*: "traffic violations
+(including lane violations, driving on the curb, and collisions with
+pedestrians, cars, and other objects on the streets)".  Detectors here
+translate continuous world state into discrete debounced events:
+
+* a **lane violation** starts when the ego centre leaves its own lane's
+  paint-to-paint span while on pavement outside a junction (this covers
+  both crossing the centre line into oncoming traffic and hugging the
+  road edge);
+* a **curb violation** starts when the ego centre leaves the drivable
+  surface entirely (sidewalk or off-road);
+* a **collision** starts when the ego's bounding box first overlaps
+  another actor's or a building's, classified by what was hit.
+
+A condition that stays true for many frames is one violation; it must
+clear for ``clear_frames`` before a new event of the same type can start.
+However, a *sustained* surface violation re-triggers every
+``retrigger_m`` metres driven — driving half a kilometre down the sidewalk
+is not one curb violation, it is one per stretch of sidewalk consumed.
+Collisions additionally track per-object contact, so hitting two distinct
+pedestrians is two accidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+from .geometry import OrientedBox, Vec2
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .actors import Vehicle
+    from .world import World
+
+__all__ = ["ViolationType", "ViolationEvent", "ViolationMonitor", "ACCIDENT_TYPES"]
+
+
+class ViolationType(str, Enum):
+    """Categories of traffic violations AVFI counts."""
+
+    LANE = "lane"
+    CURB = "curb"
+    COLLISION_VEHICLE = "collision_vehicle"
+    COLLISION_PEDESTRIAN = "collision_pedestrian"
+    COLLISION_STATIC = "collision_static"
+
+
+#: Violation types that count as *accidents* for the APK metric.
+ACCIDENT_TYPES = frozenset(
+    {
+        ViolationType.COLLISION_VEHICLE,
+        ViolationType.COLLISION_PEDESTRIAN,
+        ViolationType.COLLISION_STATIC,
+    }
+)
+
+
+@dataclass
+class ViolationEvent:
+    """One detected violation.
+
+    ``start_frame`` is when the condition first held; ``end_frame`` is set
+    when it clears (or stays ``None`` if the episode ends mid-violation).
+    """
+
+    type: ViolationType
+    start_frame: int
+    position: tuple[float, float]
+    details: dict = field(default_factory=dict)
+    end_frame: Optional[int] = None
+
+    @property
+    def is_accident(self) -> bool:
+        """Whether this event counts towards Accidents-Per-KM."""
+        return self.type in ACCIDENT_TYPES
+
+
+class _DebouncedCondition:
+    """Turns a per-frame boolean into debounced open/close events."""
+
+    def __init__(self, clear_frames: int):
+        self.clear_frames = clear_frames
+        self.active = False
+        self._clear_count = 0
+
+    def reset(self) -> None:
+        self.active = False
+        self._clear_count = 0
+
+    def update(self, condition: bool) -> str:
+        """Advance one frame.  Returns 'start', 'end' or 'none'."""
+        if condition:
+            self._clear_count = 0
+            if not self.active:
+                self.active = True
+                return "start"
+            return "none"
+        if self.active:
+            self._clear_count += 1
+            if self._clear_count >= self.clear_frames:
+                self.active = False
+                self._clear_count = 0
+                return "end"
+        return "none"
+
+
+class ViolationMonitor:
+    """Tracks all violation events for the ego vehicle over an episode.
+
+    Call :meth:`step` once per frame after the world has ticked.  Newly
+    started events are returned (and retained in :attr:`events`).
+    """
+
+    def __init__(self, clear_frames: int = 8, retrigger_m: float = 25.0):
+        if retrigger_m <= 0:
+            raise ValueError("retrigger_m must be positive")
+        self.clear_frames = clear_frames
+        self.retrigger_m = retrigger_m
+        self.events: list[ViolationEvent] = []
+        self._lane = _DebouncedCondition(clear_frames)
+        self._curb = _DebouncedCondition(clear_frames)
+        self._contacts: dict[object, ViolationEvent] = {}
+        self._open: dict[ViolationType, ViolationEvent] = {}
+        self._open_odometer: dict[ViolationType, float] = {}
+
+    def reset(self) -> None:
+        """Clear all state between episodes."""
+        self.events.clear()
+        self._lane.reset()
+        self._curb.reset()
+        self._contacts.clear()
+        self._open.clear()
+        self._open_odometer.clear()
+
+    # ------------------------------------------------------------------
+    def _update_surface_conditions(
+        self, world: "World", ego: "Vehicle", frame: int
+    ) -> list[ViolationEvent]:
+        new_events: list[ViolationEvent] = []
+        loc = world.town.locate(ego.position, yaw_hint=ego.yaw)
+        on_pavement = loc.surface.name == "ROAD"
+        off_surface = not on_pavement
+        lane_bad = on_pavement and not loc.in_intersection and loc.off_lane
+
+        for detector, vtype, condition, details in (
+            (self._lane, ViolationType.LANE, lane_bad, {"lateral": loc.lateral}),
+            (self._curb, ViolationType.CURB, off_surface, {"surface": loc.surface.name}),
+        ):
+            edge = detector.update(condition)
+            if edge == "start":
+                event = ViolationEvent(
+                    vtype, frame, (ego.position.x, ego.position.y), dict(details)
+                )
+                self._open[vtype] = event
+                self._open_odometer[vtype] = ego.odometer_m
+                self.events.append(event)
+                new_events.append(event)
+            elif edge == "end" and vtype in self._open:
+                self._open.pop(vtype).end_frame = frame
+                self._open_odometer.pop(vtype, None)
+            elif vtype in self._open and condition:
+                # Sustained violation: another event per retrigger_m driven.
+                if ego.odometer_m - self._open_odometer[vtype] >= self.retrigger_m:
+                    self._open[vtype].end_frame = frame
+                    event = ViolationEvent(
+                        vtype,
+                        frame,
+                        (ego.position.x, ego.position.y),
+                        {**details, "retriggered": True},
+                    )
+                    self._open[vtype] = event
+                    self._open_odometer[vtype] = ego.odometer_m
+                    self.events.append(event)
+                    new_events.append(event)
+        return new_events
+
+    def _update_collisions(
+        self, world: "World", ego: "Vehicle", frame: int
+    ) -> list[ViolationEvent]:
+        new_events: list[ViolationEvent] = []
+        ego_box = ego.bounding_box()
+        current: set[object] = set()
+
+        def check(key: object, box: OrientedBox, vtype: ViolationType, detail: dict) -> None:
+            if not ego_box.overlaps(box):
+                return
+            current.add(key)
+            if key in self._contacts:
+                return
+            event = ViolationEvent(vtype, frame, (ego.position.x, ego.position.y), detail)
+            self._contacts[key] = event
+            self.events.append(event)
+            new_events.append(event)
+
+        for actor in world.actors:
+            if actor.id == ego.id or not actor.alive:
+                continue
+            vtype = (
+                ViolationType.COLLISION_PEDESTRIAN
+                if actor.role == "pedestrian"
+                else ViolationType.COLLISION_VEHICLE
+            )
+            check(("actor", actor.id), actor.bounding_box(), vtype, {"other": actor.role})
+        for i, building in enumerate(world.town.buildings):
+            check(("building", i), building.box, ViolationType.COLLISION_STATIC, {"other": "building"})
+
+        # Close contacts that separated this frame.
+        for key in list(self._contacts):
+            if key not in current:
+                self._contacts.pop(key).end_frame = frame
+        return new_events
+
+    # ------------------------------------------------------------------
+    def step(self, world: "World", ego: "Vehicle", frame: int) -> list[ViolationEvent]:
+        """Process one frame; returns events that *started* this frame."""
+        new_events = self._update_surface_conditions(world, ego, frame)
+        new_events += self._update_collisions(world, ego, frame)
+        return new_events
+
+    # ------------------------------------------------------------------
+    def count(self, vtype: ViolationType | None = None) -> int:
+        """Total events, optionally filtered by type."""
+        if vtype is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.type == vtype)
+
+    def accidents(self) -> list[ViolationEvent]:
+        """All events that count as accidents."""
+        return [e for e in self.events if e.is_accident]

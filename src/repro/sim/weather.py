@@ -1,0 +1,106 @@
+"""Weather presets and their effects on rendering and sensing.
+
+CARLA exposes weather as a set of named presets that change both what the
+camera sees and how other sensors behave.  We model the same surface:
+a :class:`Weather` bundles the parameters the renderer (fog, rain,
+brightness) and the sensor models (noise scaling) consume, plus a road
+friction multiplier used by NPC speed planning.
+
+Weather is part of the *world measurements* AVFI can corrupt ("data faults
+... world measurements such as car speed or weather type"), so presets are
+addressable by name through :func:`get_preset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Weather", "PRESETS", "get_preset"]
+
+
+@dataclass(frozen=True)
+class Weather:
+    """A weather condition and its sensing/rendering parameters.
+
+    ``fog_density`` in ``[0, 1]`` controls distance fading (0 = clear);
+    ``rain_intensity`` in ``[0, 1]`` adds streak noise to camera images;
+    ``brightness`` scales the rendered image (night < 1);
+    ``sensor_noise_scale`` multiplies the stochastic noise of GPS/speed
+    sensors (bad weather degrades them);
+    ``friction`` multiplies comfortable NPC cornering/braking speeds.
+    """
+
+    name: str
+    fog_density: float = 0.0
+    rain_intensity: float = 0.0
+    brightness: float = 1.0
+    sensor_noise_scale: float = 1.0
+    friction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("fog_density", "rain_intensity"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{field_name} must be within [0, 1], got {v}")
+        if self.brightness <= 0.0:
+            raise ValueError("brightness must be positive")
+
+
+PRESETS: dict[str, Weather] = {
+    w.name: w
+    for w in (
+        Weather("ClearNoon"),
+        Weather(
+            "CloudyNoon",
+            fog_density=0.05,
+            brightness=0.85,
+            sensor_noise_scale=1.1,
+        ),
+        Weather(
+            "WetNoon",
+            rain_intensity=0.25,
+            fog_density=0.05,
+            brightness=0.9,
+            sensor_noise_scale=1.2,
+            friction=0.9,
+        ),
+        Weather(
+            "HardRainNoon",
+            rain_intensity=0.7,
+            fog_density=0.15,
+            brightness=0.75,
+            sensor_noise_scale=1.5,
+            friction=0.75,
+        ),
+        Weather(
+            "FoggyNoon",
+            fog_density=0.5,
+            brightness=0.8,
+            sensor_noise_scale=1.4,
+        ),
+        Weather(
+            "ClearSunset",
+            brightness=0.7,
+            sensor_noise_scale=1.2,
+        ),
+        Weather(
+            "Night",
+            brightness=0.45,
+            sensor_noise_scale=1.6,
+            fog_density=0.1,
+        ),
+    )
+}
+
+
+def get_preset(name: str) -> Weather:
+    """Look up a weather preset by name.
+
+    Raises ``KeyError`` with the list of known presets on a miss, because a
+    typo in a campaign config should fail loudly, not fall back silently.
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown weather preset {name!r}; known presets: {known}") from None

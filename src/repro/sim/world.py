@@ -1,0 +1,146 @@
+"""The world: town + actors + weather advancing in lockstep.
+
+:class:`World` is the single mutable simulation container.  It owns the
+frame counter, the episode RNG, the actor list and the active weather, and
+advances everything one fixed ``dt`` per :meth:`tick` (15 FPS by default,
+matching the paper's CARLA configuration).
+
+Spawning helpers place NPC traffic on lanes and pedestrians on sidewalks
+deterministically from the episode RNG, keeping a clearance zone around the
+ego spawn so campaigns do not start inside a collision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .actors import Actor, NPCVehicle, Pedestrian, Vehicle
+from .geometry import Transform, Vec2
+from .physics import VehicleSpec
+from .town import Town
+from .weather import Weather, get_preset
+
+__all__ = ["World", "DEFAULT_FPS"]
+
+DEFAULT_FPS = 15.0
+
+
+class World:
+    """All mutable simulation state for one episode."""
+
+    def __init__(
+        self,
+        town: Town,
+        weather: Weather | str = "ClearNoon",
+        seed: int | None = 0,
+        fps: float = DEFAULT_FPS,
+    ):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.town = town
+        self.weather = get_preset(weather) if isinstance(weather, str) else weather
+        self.fps = fps
+        self.dt = 1.0 / fps
+        self.rng = np.random.default_rng(seed)
+        self.frame = 0
+        self.actors: list[Actor] = []
+        self.ego: Vehicle | None = None
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def time_s(self) -> float:
+        """Elapsed simulation time in seconds."""
+        return self.frame * self.dt
+
+    def tick(self) -> int:
+        """Advance the world one frame; returns the new frame index."""
+        self.frame += 1
+        for actor in self.actors:
+            if actor.alive:
+                actor.tick(self, self.dt, self.rng)
+        return self.frame
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def spawn_ego(self, transform: Transform, spec: VehicleSpec | None = None) -> Vehicle:
+        """Create the ego vehicle at ``transform`` (exactly one per world)."""
+        if self.ego is not None:
+            raise RuntimeError("world already has an ego vehicle")
+        ego = Vehicle(transform, spec)
+        self.ego = ego
+        self.actors.append(ego)
+        return ego
+
+    def add_actor(self, actor: Actor) -> Actor:
+        """Register an externally built actor."""
+        self.actors.append(actor)
+        return actor
+
+    def populate(
+        self,
+        n_vehicles: int,
+        n_pedestrians: int,
+        keep_clear: Vec2 | None = None,
+        clear_radius: float = 20.0,
+        npc_speed: float = 6.0,
+    ) -> None:
+        """Scatter NPC traffic over the town using the episode RNG.
+
+        Spawn candidates inside ``clear_radius`` of ``keep_clear`` (the ego
+        start, normally) are skipped, as are candidates too close to an
+        already placed vehicle.
+        """
+        candidates = self.town.spawn_points(spacing=14.0)
+        order = self.rng.permutation(len(candidates))
+        placed = 0
+        for idx in order:
+            if placed >= n_vehicles:
+                break
+            wp = candidates[int(idx)]
+            if keep_clear is not None and wp.position.distance_to(keep_clear) < clear_radius:
+                continue
+            if any(
+                a.position.distance_to(wp.position) < 10.0
+                for a in self.actors
+                if isinstance(a, Vehicle)
+            ):
+                continue
+            speed = npc_speed * float(self.rng.uniform(0.8, 1.2))
+            self.actors.append(NPCVehicle(wp.lane, wp.station, self.town, target_speed=speed))
+            placed += 1
+
+        for _ in range(n_pedestrians):
+            lane_refs = list(self.town.lanes)
+            lane = self.town.lanes[lane_refs[int(self.rng.integers(len(lane_refs)))]]
+            station = float(self.rng.uniform(0.0, lane.length))
+            base = lane.centerline.point_at(station)
+            heading = lane.centerline.heading_at(station)
+            side = 1.0 if self.rng.random() < 0.5 else -1.0
+            offset = lane.road.half_width + self.town.sidewalk_width / 2.0
+            pos = base + Vec2.from_heading(heading + math.pi / 2.0) * (side * offset)
+            if keep_clear is not None and pos.distance_to(keep_clear) < clear_radius / 2.0:
+                continue
+            self.actors.append(Pedestrian(Transform(pos, heading), self.town))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def actors_near(self, position: Vec2, radius: float, exclude_id: int | None = None) -> list[Actor]:
+        """Alive actors within ``radius`` metres of ``position``."""
+        return [
+            a
+            for a in self.actors
+            if a.alive
+            and a.id != exclude_id
+            and a.position.distance_to(position) <= radius
+        ]
+
+    def set_weather(self, weather: Weather | str) -> None:
+        """Switch the active weather (world-measurement fault target)."""
+        self.weather = get_preset(weather) if isinstance(weather, str) else weather

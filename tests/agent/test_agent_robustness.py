@@ -1,0 +1,103 @@
+"""Fuzz tests: the NN agent must survive arbitrary sensor garbage.
+
+Fault injection deliberately feeds the agent corrupted data — NaN GPS,
+saturated images, absurd speeds.  Whatever arrives, ``step`` must return a
+:class:`VehicleControl` with finite, in-range fields and never raise: an
+agent that crashes on bad input would abort the campaign instead of
+exhibiting the degraded driving the experiment measures.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent.agents import NNAgent
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.sim.physics import VehicleControl
+from repro.sim.scenario import make_scenarios
+from repro.sim.sensors import SensorFrame
+from repro.sim.town import GridTownConfig, build_grid_town
+
+TOWN_CFG = GridTownConfig(rows=2, cols=3)
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+weird_floats = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True, width=32),
+    st.sampled_from([0.0, -0.0, 1e30, -1e30, float("nan"), float("inf")]),
+)
+
+
+@pytest.fixture(scope="module")
+def agent():
+    town = build_grid_town(TOWN_CFG)
+    scenario = make_scenarios(
+        1, seed=7, town_config=TOWN_CFG, min_distance=60, max_distance=160
+    )[0]
+    model = ILCNN(TINY)
+    model.set_training(False)
+    nn_agent = NNAgent(model, town)
+    nn_agent.reset(scenario.mission)
+    return nn_agent
+
+
+def _assert_sane(control: VehicleControl) -> None:
+    assert isinstance(control, VehicleControl)
+    assert math.isfinite(control.steer) and -1.0 <= control.steer <= 1.0
+    assert math.isfinite(control.throttle) and 0.0 <= control.throttle <= 1.0
+    assert math.isfinite(control.brake) and 0.0 <= control.brake <= 1.0
+
+
+class TestSensorGarbage:
+    @given(
+        gps_x=weird_floats,
+        gps_y=weird_floats,
+        speed=weird_floats,
+        heading=weird_floats,
+        image_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_step_survives_arbitrary_bundles(self, agent, gps_x, gps_y, speed, heading, image_seed):
+        gen = np.random.default_rng(image_seed)
+        frame = SensorFrame(
+            frame=0,
+            image=gen.integers(0, 256, (16, 24, 3), dtype=np.uint8),
+            gps=(gps_x, gps_y),
+            speed=speed,
+            heading=heading,
+        )
+        _assert_sane(agent.step(frame))
+
+    @pytest.mark.parametrize("fill", [0, 255])
+    def test_saturated_images(self, agent, fill):
+        frame = SensorFrame(
+            frame=0,
+            image=np.full((16, 24, 3), fill, dtype=np.uint8),
+            gps=(40.0, -1.75),
+            speed=5.0,
+            heading=0.0,
+        )
+        _assert_sane(agent.step(frame))
+
+    def test_gps_far_outside_map(self, agent):
+        frame = SensorFrame(
+            frame=0,
+            image=np.zeros((16, 24, 3), dtype=np.uint8),
+            gps=(1e7, -1e7),
+            speed=5.0,
+            heading=0.0,
+        )
+        _assert_sane(agent.step(frame))
+
+    def test_negative_speed(self, agent):
+        frame = SensorFrame(
+            frame=0,
+            image=np.zeros((16, 24, 3), dtype=np.uint8),
+            gps=(40.0, -1.75),
+            speed=-30.0,
+            heading=0.0,
+        )
+        _assert_sane(agent.step(frame))

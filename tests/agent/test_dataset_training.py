@@ -1,0 +1,179 @@
+"""Tests for imitation dataset collection and the training loop.
+
+Kept deliberately small (tiny town, tiny network, few frames) so the suite
+stays fast; full-scale training quality is exercised by the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agent.dataset import CollectionConfig, DrivingDataset, collect_imitation_data
+from repro.agent.ilcnn import ILCNNConfig
+from repro.agent.training import TrainConfig, get_or_train_default_model, train_ilcnn
+from repro.sim.builders import SimulationBuilder
+from repro.sim.render import CameraModel
+from repro.sim.scenario import make_scenarios
+from repro.sim.town import GridTownConfig
+
+TOWN_CFG = GridTownConfig(rows=2, cols=3, with_buildings=False)
+CAMERA = CameraModel(width=24, height=16)
+MODEL_CFG = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                        speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+def _tiny_dataset(n=40, seed=0):
+    gen = np.random.default_rng(seed)
+    return DrivingDataset(
+        images=gen.integers(0, 255, (n, 16, 24, 3), dtype=np.uint8),
+        speeds=gen.uniform(0, 8, n).astype(np.float32),
+        commands=gen.integers(0, 4, n).astype(np.int8),
+        actions=gen.uniform(-1, 1, (n, 3)).astype(np.float32),
+    )
+
+
+class TestDrivingDataset:
+    def test_length_validation(self):
+        ds = _tiny_dataset()
+        with pytest.raises(ValueError):
+            DrivingDataset(ds.images, ds.speeds[:-1], ds.commands, ds.actions)
+
+    def test_histogram(self):
+        ds = _tiny_dataset()
+        hist = ds.command_histogram()
+        assert sum(hist.values()) == len(ds)
+
+    def test_split_fractions(self):
+        ds = _tiny_dataset(100)
+        train, val = ds.split(0.2, np.random.default_rng(0))
+        assert len(val) == 20
+        assert len(train) == 80
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            _tiny_dataset().split(0.0, np.random.default_rng(0))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = _tiny_dataset()
+        path = tmp_path / "ds.npz"
+        ds.save(path)
+        loaded = DrivingDataset.load(path)
+        assert np.array_equal(ds.images, loaded.images)
+        assert np.array_equal(ds.actions, loaded.actions)
+
+    def test_concatenate(self):
+        a, b = _tiny_dataset(10, 0), _tiny_dataset(15, 1)
+        both = DrivingDataset.concatenate([a, b])
+        assert len(both) == 25
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DrivingDataset.concatenate([])
+
+    def test_subset(self):
+        ds = _tiny_dataset(20)
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.speeds, ds.speeds[[0, 5, 7]])
+
+
+class TestCollection:
+    @pytest.fixture(scope="class")
+    def collected(self):
+        builder = SimulationBuilder(camera=CAMERA, with_lidar=False)
+        scenarios = make_scenarios(
+            1, seed=3, town_config=TOWN_CFG, min_distance=60, max_distance=150
+        )
+        cfg = CollectionConfig(seed=0, max_frames_per_episode=120)
+        return collect_imitation_data(scenarios, builder=builder, config=cfg)
+
+    def test_produces_frames(self, collected):
+        assert len(collected) > 30
+
+    def test_image_geometry_matches_camera(self, collected):
+        assert collected.images.shape[1:] == (16, 24, 3)
+
+    def test_actions_within_actuation_ranges(self, collected):
+        steer, throttle, brake = collected.actions.T
+        assert np.all(np.abs(steer) <= 1.0)
+        assert np.all((0.0 <= throttle) & (throttle <= 1.0))
+        assert np.all((0.0 <= brake) & (brake <= 1.0))
+
+    def test_commands_are_valid_branches(self, collected):
+        assert set(np.unique(collected.commands)) <= {0, 1, 2, 3}
+
+    def test_collection_deterministic(self):
+        builder = SimulationBuilder(camera=CAMERA, with_lidar=False)
+        scenarios = make_scenarios(
+            1, seed=3, town_config=TOWN_CFG, min_distance=60, max_distance=150
+        )
+        cfg = CollectionConfig(seed=7, max_frames_per_episode=60)
+        a = collect_imitation_data(scenarios, builder=builder, config=cfg)
+        b = collect_imitation_data(scenarios, builder=builder, config=cfg)
+        assert np.array_equal(a.actions, b.actions)
+        assert np.array_equal(a.images, b.images)
+
+
+class TestTraining:
+    def test_loss_decreases_on_learnable_data(self):
+        # Labels correlated with the mean image brightness: learnable signal.
+        gen = np.random.default_rng(0)
+        n = 120
+        images = gen.integers(0, 255, (n, 16, 24, 3), dtype=np.uint8)
+        brightness = images.mean(axis=(1, 2, 3)) / 255.0
+        actions = np.stack(
+            [brightness * 2 - 1, brightness, 1 - brightness], axis=1
+        ).astype(np.float32)
+        ds = DrivingDataset(
+            images,
+            gen.uniform(0, 8, n).astype(np.float32),
+            gen.integers(0, 4, n).astype(np.int8),
+            actions,
+        )
+        model, hist = train_ilcnn(
+            ds, MODEL_CFG, TrainConfig(epochs=6, batch_size=16, lr=2e-3, seed=0)
+        )
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.5
+        assert len(hist.val_loss) == 6
+
+    def test_command_balancing_oversamples(self):
+        gen = np.random.default_rng(1)
+        n = 60
+        commands = np.zeros(n, dtype=np.int8)
+        commands[:5] = 1  # rare branch
+        ds = DrivingDataset(
+            gen.integers(0, 255, (n, 16, 24, 3), dtype=np.uint8),
+            gen.uniform(0, 8, n).astype(np.float32),
+            commands,
+            gen.uniform(-1, 1, (n, 3)).astype(np.float32),
+        )
+        # Training must run and touch branch 1 despite its rarity.
+        model, hist = train_ilcnn(
+            ds, MODEL_CFG, TrainConfig(epochs=1, batch_size=16, seed=0)
+        )
+        assert len(hist.train_loss) == 1
+
+    def test_history_best_val(self):
+        from repro.agent.training import TrainingHistory
+
+        h = TrainingHistory(train_loss=[1, 2], val_loss=[0.5, 0.2])
+        assert h.best_val() == 0.2
+
+    def test_default_model_cache_roundtrip(self, tmp_path):
+        """get_or_train_default_model trains once, then loads from cache."""
+        kwargs = dict(
+            cache_dir=tmp_path,
+            town_config=TOWN_CFG,
+            n_scenarios=1,
+            collection=CollectionConfig(seed=0, max_frames_per_episode=60),
+            model_config=MODEL_CFG,
+            train_config=TrainConfig(epochs=1, batch_size=16, seed=0),
+            builder=SimulationBuilder(camera=CAMERA, with_lidar=False),
+            verbose=False,
+        )
+        m1 = get_or_train_default_model(**kwargs)
+        files = list(tmp_path.glob("ilcnn-*.npz"))
+        assert len(files) == 1
+        m2 = get_or_train_default_model(**kwargs)
+        # Second call must load the same weights, not retrain.
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        assert all(np.array_equal(s1[k], s2[k]) for k in s1)

@@ -1,0 +1,178 @@
+"""Unit tests for the conditional imitation-learning network."""
+
+import numpy as np
+import pytest
+
+from repro.agent.ilcnn import ILCNN, ILCNNConfig, preprocess_image
+from repro.agent.nn.losses import mse_loss
+from repro.agent.nn.optim import Adam
+from repro.agent.planner import Command
+
+SMALL = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 8, 8), trunk_dim=32,
+                    speed_dim=8, branch_hidden=16, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ILCNN(SMALL)
+
+
+def batch(n=6, seed=0, hw=(16, 24)):
+    gen = np.random.default_rng(seed)
+    images = gen.random((n, 3, *hw)).astype(np.float32)
+    speeds = gen.uniform(0, 10, n).astype(np.float32)
+    commands = gen.integers(0, 4, n)
+    return images, speeds, commands
+
+
+class TestPreprocess:
+    def test_pools_and_scales(self):
+        img = np.full((32, 48, 3), 255, dtype=np.uint8)
+        x = preprocess_image(img, (16, 24))
+        assert x.shape == (3, 16, 24)
+        assert x.max() == pytest.approx(1.0)
+
+    def test_mean_pooling_value(self):
+        img = np.zeros((4, 4, 3), dtype=np.uint8)
+        img[0::2, 0::2] = 255  # checkerboard quarters
+        x = preprocess_image(img, (2, 2))
+        assert np.allclose(x, 0.25, atol=1e-6)
+
+    def test_rejects_non_integer_factor(self):
+        with pytest.raises(ValueError):
+            preprocess_image(np.zeros((30, 48, 3), dtype=np.uint8), (16, 24))
+
+    def test_sanitises_non_finite(self):
+        # A bit-flipped payload can surface as a float image with NaN/inf.
+        img = np.zeros((16, 24, 3), dtype=np.float64)
+        img[0, 0, 0] = np.nan
+        img[1, 1, 1] = np.inf
+        x = preprocess_image(img, (16, 24))
+        assert np.isfinite(x).all()
+
+
+class TestForward:
+    def test_output_shape(self, model):
+        images, speeds, commands = batch()
+        out = model.forward(images, speeds, commands)
+        assert out.shape == (6, 3)
+        assert np.isfinite(out).all()
+
+    def test_rejects_bad_command(self, model):
+        images, speeds, _ = batch(2)
+        with pytest.raises(ValueError):
+            model.forward(images, speeds, np.array([0, 9]))
+
+    def test_branch_selection_matters(self, model):
+        images, speeds, _ = batch(1)
+        outs = [
+            model.forward(images, speeds, np.array([c]))[0] for c in range(4)
+        ]
+        # Different branches are differently initialised: outputs must differ.
+        assert not all(np.allclose(outs[0], o) for o in outs[1:])
+
+    def test_same_branch_deterministic(self, model):
+        model.set_training(False)
+        images, speeds, commands = batch()
+        a = model.forward(images, speeds, commands)
+        b = model.forward(images, speeds, commands)
+        assert np.array_equal(a, b)
+
+    def test_predict_one(self, model):
+        img = np.random.default_rng(0).integers(0, 255, (16, 24, 3), dtype=np.uint8)
+        out = model.predict_one(img, 5.0, Command.FOLLOW)
+        assert out.shape == (3,)
+
+    def test_speed_influences_output(self, model):
+        images, _, _ = batch(1)
+        slow = model.forward(images, np.array([0.0]), np.array([0]))
+        fast = model.forward(images, np.array([10.0]), np.array([0]))
+        assert not np.allclose(slow, fast)
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self):
+        m = ILCNN(SMALL)
+        with pytest.raises(RuntimeError):
+            m.backward(np.zeros((1, 3), dtype=np.float32))
+
+    def test_gradients_populate_used_branch_only(self):
+        m = ILCNN(SMALL)
+        images, speeds, _ = batch(4)
+        commands = np.zeros(4, dtype=np.int64)  # all through branch 0
+        out = m.forward(images, speeds, commands)
+        m.zero_grad()
+        m.backward(np.ones_like(out))
+        b0_grads = sum(float(np.abs(p.grad).sum()) for p in m.branches[0].parameters())
+        b1_grads = sum(float(np.abs(p.grad).sum()) for p in m.branches[1].parameters())
+        assert b0_grads > 0.0
+        assert b1_grads == 0.0
+
+    def test_trunk_gets_gradient(self):
+        m = ILCNN(SMALL)
+        images, speeds, commands = batch(4)
+        out = m.forward(images, speeds, commands)
+        m.zero_grad()
+        m.backward(np.ones_like(out))
+        trunk_grad = sum(float(np.abs(p.grad).sum()) for p in m.trunk.parameters())
+        speed_grad = sum(float(np.abs(p.grad).sum()) for p in m.speed_head.parameters())
+        assert trunk_grad > 0.0
+        assert speed_grad > 0.0
+
+    def test_can_overfit_tiny_dataset(self):
+        """End-to-end learning sanity: loss collapses on 8 samples."""
+        m = ILCNN(SMALL)
+        gen = np.random.default_rng(3)
+        images = gen.random((8, 3, 16, 24)).astype(np.float32)
+        speeds = gen.uniform(0, 10, 8).astype(np.float32)
+        commands = gen.integers(0, 4, 8)
+        targets = gen.uniform(-1, 1, (8, 3)).astype(np.float32)
+        opt = Adam(m.parameters(), lr=3e-3)
+        m.set_training(True)
+        first = None
+        for _ in range(150):
+            out = m.forward(images, speeds, commands)
+            loss, grad = mse_loss(out, targets)
+            if first is None:
+                first = loss
+            opt.zero_grad()
+            m.backward(grad)
+            opt.step()
+        assert loss < first * 0.05, f"no learning: {first} -> {loss}"
+
+
+class TestParameterPlumbing:
+    def test_named_parameters_cover_everything(self, model):
+        named = model.named_parameters()
+        assert sum(p.size for p in named.values()) == model.n_weights()
+        assert any(name.startswith("trunk.") for name in named)
+        assert any(name.startswith("branch3.") for name in named)
+
+    def test_submodules_stable(self, model):
+        blocks = model.submodules()
+        assert list(blocks) == ["trunk", "speed_head", "join", "branch0", "branch1", "branch2", "branch3"]
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        m1 = ILCNN(SMALL)
+        path = tmp_path / "model.npz"
+        m1.save(path)
+        m2 = ILCNN.load(path, SMALL)
+        images, speeds, commands = batch(3)
+        m1.set_training(False)
+        assert np.array_equal(
+            m1.forward(images, speeds, commands), m2.forward(images, speeds, commands)
+        )
+
+    def test_load_rejects_wrong_architecture(self, tmp_path):
+        m1 = ILCNN(SMALL)
+        path = tmp_path / "model.npz"
+        m1.save(path)
+        other = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 8, 8), trunk_dim=64)
+        with pytest.raises((KeyError, ValueError)):
+            ILCNN.load(path, other)
+
+    def test_state_dict_is_copy(self, model):
+        state = model.state_dict()
+        name = next(iter(state))
+        state[name][...] = 1e9
+        assert not np.any(model.named_parameters()[name].data >= 1e9)

@@ -1,0 +1,392 @@
+"""Unit tests for the numpy NN library: layers, gradients, optimisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent.nn import (
+    SGD,
+    Adam,
+    Conv2d,
+    Dense,
+    Dropout,
+    ElmanRNN,
+    Flatten,
+    ReLU,
+    Sequential,
+    Tanh,
+    col2im,
+    conv_output_size,
+    huber_loss,
+    im2col,
+    l1_loss,
+    mse_loss,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def numeric_grad(f, x, eps=1e-4):
+    """Central-difference gradient of scalar f at x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        g[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestTensorLib:
+    def test_conv_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape(self):
+        x = rng().normal(size=(2, 3, 8, 10)).astype(np.float32)
+        cols, oh, ow = im2col(x, 3, 3, stride=2, pad=1)
+        assert (oh, ow) == (4, 5)
+        assert cols.shape == (2 * 4 * 5, 3 * 9)
+
+    def test_im2col_values_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, 1, 1, stride=1, pad=0)
+        assert np.array_equal(cols.ravel(), x.ravel())
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y.
+        gen = rng()
+        x = gen.normal(size=(2, 3, 6, 7)).astype(np.float64)
+        cols, oh, ow = im2col(x, 3, 3, stride=2, pad=1)
+        y = gen.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 3, stride=2, pad=1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        layer = Dense(3, 2, rng())
+        layer.W.data[:] = np.eye(3, 2)
+        layer.b.data[:] = [1.0, -1.0]
+        out = layer(np.array([[1.0, 2.0, 3.0]], dtype=np.float32))
+        assert out.shape == (1, 2)
+        assert out[0, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            Dense(3, 2, rng()).forward(np.zeros((1, 4), dtype=np.float32))
+
+    def test_gradients_match_numeric(self):
+        gen = rng()
+        layer = Dense(4, 3, gen)
+        x = gen.normal(size=(5, 4)).astype(np.float64)
+        target = gen.normal(size=(5, 3)).astype(np.float64)
+
+        def loss():
+            out = layer.forward(x.astype(np.float32)).astype(np.float64)
+            return float(((out - target) ** 2).sum())
+
+        out = layer.forward(x.astype(np.float32))
+        grad_out = 2.0 * (out - target)
+        layer.zero_grad()
+        grad_x = layer.backward(grad_out.astype(np.float32))
+
+        num_w = numeric_grad(loss, layer.W.data)
+        assert np.allclose(layer.W.grad, num_w, atol=1e-2, rtol=1e-2)
+        num_x = numeric_grad(loss, x)
+        assert np.allclose(grad_x, num_x, atol=1e-2, rtol=1e-2)
+
+
+class TestConv2d:
+    def test_forward_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, pad=1, rng=rng())
+        out = conv(np.zeros((2, 3, 16, 20), dtype=np.float32))
+        assert out.shape == (2, 8, 8, 10)
+
+    def test_rejects_wrong_channels(self):
+        conv = Conv2d(3, 8, 3, rng=rng())
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+
+    def test_output_shape_helper(self):
+        conv = Conv2d(3, 8, 5, stride=2, pad=2, rng=rng())
+        assert conv.output_shape(32, 48) == (8, 16, 24)
+
+    def test_known_convolution_value(self):
+        conv = Conv2d(1, 1, 3, stride=1, pad=0, rng=rng())
+        conv.W.data[:] = 1.0 / 9.0  # box filter
+        conv.b.data[:] = 0.0
+        x = np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = conv(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == pytest.approx(1.0)
+
+    def test_gradients_match_numeric(self):
+        gen = rng()
+        conv = Conv2d(2, 3, 3, stride=1, pad=1, rng=gen)
+        x = gen.normal(size=(2, 2, 5, 5)).astype(np.float64)
+        target = gen.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            out = conv.forward(x.astype(np.float32)).astype(np.float64)
+            return float(((out - target) ** 2).sum())
+
+        out = conv.forward(x.astype(np.float32))
+        conv.zero_grad()
+        grad_x = conv.backward((2.0 * (out - target)).astype(np.float32))
+        num_w = numeric_grad(loss, conv.W.data)
+        assert np.allclose(conv.W.grad, num_w, atol=5e-2, rtol=5e-2)
+        num_x = numeric_grad(loss, x)
+        assert np.allclose(grad_x, num_x, atol=5e-2, rtol=5e-2)
+
+
+class TestActivationsAndShape:
+    def test_relu(self):
+        layer = ReLU()
+        out = layer(np.array([[-1.0, 2.0]], dtype=np.float32))
+        assert np.array_equal(out, [[0.0, 2.0]])
+        grad = layer.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_gradient(self):
+        layer = Tanh()
+        x = np.array([[0.5]], dtype=np.float32)
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        assert grad[0, 0] == pytest.approx(1.0 - np.tanh(0.5) ** 2, rel=1e-5)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.zeros((2, 3, 4, 5), dtype=np.float32)
+        out = layer(x)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_dropout_train_vs_eval(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((4, 100), dtype=np.float32)
+        layer.set_training(True)
+        out = layer(x)
+        assert (out == 0).any()
+        assert out.mean() == pytest.approx(1.0, abs=0.15)  # inverted scaling
+        layer.set_training(False)
+        assert np.array_equal(layer(x), x)
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_forward_hook_modifies_output(self):
+        layer = Dense(2, 2, rng())
+
+        def hook(module, out):
+            return out * 0.0
+
+        layer.forward_hooks.append(hook)
+        out = layer(np.ones((1, 2), dtype=np.float32))
+        assert np.array_equal(out, np.zeros((1, 2)))
+
+
+class TestSequential:
+    def test_chained_shapes(self):
+        gen = rng()
+        net = Sequential(
+            Conv2d(3, 4, 3, stride=2, pad=1, rng=gen),
+            ReLU(),
+            Flatten(),
+            Dense(4 * 4 * 4, 7, gen),
+        )
+        out = net(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 7)
+
+    def test_parameters_collected(self):
+        gen = rng()
+        net = Sequential(Dense(2, 3, gen), ReLU(), Dense(3, 1, gen))
+        assert len(net.parameters()) == 4  # 2x (W, b)
+
+    def test_named_parameters_stable(self):
+        gen = rng()
+        net = Sequential(Dense(2, 3, gen), ReLU(), Dense(3, 1, gen))
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.W", "0.b", "2.W", "2.b"]
+
+    def test_nested_sequential_names(self):
+        gen = rng()
+        inner = Sequential(Dense(2, 2, gen))
+        net = Sequential(inner, Dense(2, 1, gen))
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.0.W", "0.0.b", "1.W", "1.b"]
+
+    def test_training_flag_cascades(self):
+        net = Sequential(Dropout(0.5), Dropout(0.5))
+        net.set_training(False)
+        assert all(not m.training for m in net)
+
+    def test_backward_through_chain(self):
+        gen = rng()
+        net = Sequential(Dense(3, 4, gen), ReLU(), Dense(4, 2, gen))
+        x = gen.normal(size=(5, 3)).astype(np.float32)
+        out = net(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestLosses:
+    def test_mse_zero_at_match(self):
+        pred = np.ones((2, 3), dtype=np.float32)
+        loss, grad = mse_loss(pred, pred.copy())
+        assert loss == 0.0
+        assert np.array_equal(grad, np.zeros_like(pred))
+
+    def test_mse_gradient_direction(self):
+        pred = np.array([[1.0]], dtype=np.float32)
+        target = np.array([[0.0]], dtype=np.float32)
+        loss, grad = mse_loss(pred, target)
+        assert loss == pytest.approx(1.0)
+        assert grad[0, 0] > 0
+
+    def test_mse_weights_scale_loss(self):
+        pred = np.array([[1.0, 1.0]], dtype=np.float32)
+        target = np.zeros_like(pred)
+        w = np.array([2.0, 0.0], dtype=np.float32)
+        loss, grad = mse_loss(pred, target, w)
+        assert loss == pytest.approx(1.0)  # (2*1 + 0*1) / 2
+        assert grad[0, 1] == 0.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((1, 2)), np.zeros((2, 1)))
+
+    def test_l1(self):
+        loss, grad = l1_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == pytest.approx(2.0)
+        assert grad[0, 0] == pytest.approx(1.0)
+
+    def test_huber_quadratic_then_linear(self):
+        small, g_small = huber_loss(np.array([[0.5]]), np.array([[0.0]]), delta=1.0)
+        big, g_big = huber_loss(np.array([[5.0]]), np.array([[0.0]]), delta=1.0)
+        assert small == pytest.approx(0.125)
+        assert big == pytest.approx(4.5)
+        assert g_big[0, 0] == pytest.approx(1.0)
+
+    def test_huber_validation(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros((1,)), np.zeros((1,)), delta=0.0)
+
+    @given(st.integers(1, 5), st.integers(1, 4))
+    @settings(max_examples=20)
+    def test_mse_numeric_gradient(self, n, d):
+        gen = np.random.default_rng(n * 10 + d)
+        pred = gen.normal(size=(n, d))
+        target = gen.normal(size=(n, d))
+        loss, grad = mse_loss(pred, target)
+        eps = 1e-6
+        i = (0, 0)
+        pred2 = pred.copy()
+        pred2[i] += eps
+        loss2, _ = mse_loss(pred2, target)
+        assert (loss2 - loss) / eps == pytest.approx(grad[i], rel=1e-3, abs=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        gen = rng()
+        layer = Dense(4, 1, gen)
+        x = gen.normal(size=(64, 4)).astype(np.float32)
+        w_true = np.array([[1.0], [-2.0], [0.5], [3.0]], dtype=np.float32)
+        y = x @ w_true
+        return layer, x, y
+
+    @pytest.mark.parametrize("make_opt", [
+        lambda p: SGD(p, lr=0.05),
+        lambda p: SGD(p, lr=0.02, momentum=0.9),
+        lambda p: Adam(p, lr=0.05),
+    ])
+    def test_converges_on_linear_regression(self, make_opt):
+        layer, x, y = self._quadratic_problem()
+        opt = make_opt(layer.parameters())
+        for _ in range(300):
+            pred = layer.forward(x)
+            loss, grad = mse_loss(pred, y)
+            opt.zero_grad()
+            layer.backward(grad)
+            opt.step()
+        pred = layer.forward(x)
+        final, _ = mse_loss(pred, y)
+        assert final < 1e-3
+
+    def test_validation(self):
+        layer = Dense(2, 1, rng())
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), lr=0.1, beta1=1.0)
+
+    def test_zero_grad(self):
+        layer = Dense(2, 1, rng())
+        opt = SGD(layer.parameters(), lr=0.1)
+        layer.forward(np.ones((1, 2), dtype=np.float32))
+        layer.backward(np.ones((1, 1), dtype=np.float32))
+        assert layer.W.grad.any()
+        opt.zero_grad()
+        assert not layer.W.grad.any()
+
+
+class TestElmanRNN:
+    def test_forward_shape(self):
+        rnn = ElmanRNN(3, 5, rng())
+        out = rnn(np.zeros((7, 2, 3), dtype=np.float32))
+        assert out.shape == (7, 2, 5)
+
+    def test_rejects_bad_shape(self):
+        rnn = ElmanRNN(3, 5, rng())
+        with pytest.raises(ValueError):
+            rnn.forward(np.zeros((7, 2, 4), dtype=np.float32))
+
+    def test_state_propagates(self):
+        rnn = ElmanRNN(1, 4, rng())
+        x = np.zeros((5, 1, 1), dtype=np.float32)
+        x[0] = 1.0  # impulse at t=0
+        out = rnn(x)
+        # The impulse must still influence later steps (nonzero hidden state).
+        assert np.abs(out[-1]).max() > 0.0
+
+    def test_bptt_gradient_matches_numeric(self):
+        gen = rng()
+        rnn = ElmanRNN(2, 3, gen)
+        x = gen.normal(size=(4, 2, 2)).astype(np.float64)
+        target = gen.normal(size=(4, 2, 3))
+
+        def loss():
+            out = rnn.forward(x.astype(np.float32)).astype(np.float64)
+            return float(((out - target) ** 2).sum())
+
+        out = rnn.forward(x.astype(np.float32))
+        rnn.zero_grad()
+        rnn.backward((2.0 * (out - target)).astype(np.float32))
+        num_wh = numeric_grad(loss, rnn.Wh.data)
+        assert np.allclose(rnn.Wh.grad, num_wh, atol=5e-2, rtol=5e-2)
+
+    def test_last_hidden(self):
+        rnn = ElmanRNN(2, 3, rng())
+        x = np.random.default_rng(5).normal(size=(6, 2, 2)).astype(np.float32)
+        assert np.array_equal(rnn.last_hidden(x), rnn.forward(x)[-1])

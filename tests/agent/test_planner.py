@@ -1,0 +1,169 @@
+"""Unit tests for :mod:`repro.agent.planner`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.agent.planner import COMMAND_HORIZON, Command, PlanningError, Route, RoutePlanner
+from repro.sim.geometry import Polyline, Vec2
+from repro.sim.town import GridTownConfig, SurfaceType, build_grid_town
+
+
+@pytest.fixture(scope="module")
+def town():
+    return build_grid_town(GridTownConfig(rows=3, cols=3))
+
+
+@pytest.fixture(scope="module")
+def planner(town):
+    return RoutePlanner(town)
+
+
+def _lane_point(town, road_id, direction, station):
+    lane = town.roads[road_id].lane(direction)
+    return lane.centerline.point_at(station), lane.centerline.heading_at(station)
+
+
+class TestRoute:
+    def _route(self):
+        pts = [Vec2(0, 0), Vec2(10, 0), Vec2(20, 0)]
+        return Route(Polyline(pts), [Command.FOLLOW, Command.LEFT, Command.LEFT])
+
+    def test_command_count_must_match(self):
+        with pytest.raises(ValueError):
+            Route(Polyline([Vec2(0, 0), Vec2(1, 0)]), [Command.FOLLOW])
+
+    def test_command_at_nearest_vertex(self):
+        r = self._route()
+        assert r.command_at(Vec2(2, 1)) == Command.FOLLOW
+        assert r.command_at(Vec2(15, -1)) == Command.LEFT
+
+    def test_target_point_ahead(self):
+        r = self._route()
+        t = r.target_point(Vec2(0, 0), 5.0)
+        assert t.x == pytest.approx(5.0)
+
+    def test_distance_remaining_monotone(self):
+        r = self._route()
+        assert r.distance_remaining(Vec2(0, 0)) > r.distance_remaining(Vec2(15, 0))
+
+    def test_cross_track_error_sign(self):
+        r = self._route()
+        assert r.cross_track_error(Vec2(5, 2)) == pytest.approx(2.0)
+        assert r.cross_track_error(Vec2(5, -2)) == pytest.approx(-2.0)
+
+    def test_off_route(self):
+        r = self._route()
+        assert not r.off_route(Vec2(5, 3))
+        assert r.off_route(Vec2(5, 20))
+
+
+class TestPlannerSameLane:
+    def test_trivial_forward_route(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 5.0)
+        goal, _ = _lane_point(town, 0, +1, 40.0)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        assert route.length == pytest.approx(35.0, abs=1.0)
+        assert all(c == Command.FOLLOW for c in route.commands)
+
+    def test_goal_behind_loops_around(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 40.0)
+        goal, _ = _lane_point(town, 0, +1, 5.0)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        # Must loop around a block: much longer than the 35 m separation.
+        assert route.length > 100.0
+
+
+class TestPlannerGraphRoutes:
+    def test_multi_leg_route_reaches_goal(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        # Goal on a distant road.
+        goal_lane = town.roads[10].lane(+1)
+        goal = goal_lane.centerline.point_at(goal_lane.length / 2)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        assert route.polyline.points[-1].distance_to(goal) < 3.0
+        assert route.polyline.points[0].distance_to(start) < 3.0
+
+    def test_no_uturn_transitions(self, town, planner):
+        """Consecutive route headings never flip by ~180 degrees."""
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        for road_id in range(1, len(town.roads)):
+            goal_lane = town.roads[road_id].lane(-1)
+            goal = goal_lane.centerline.point_at(goal_lane.length / 2)
+            route = planner.plan(start, goal, start_yaw=yaw)
+            pts = route.polyline.points
+            for a, b, c in zip(pts, pts[1:], pts[2:]):
+                h1 = (b - a).heading()
+                h2 = (c - b).heading()
+                turn = abs(math.atan2(math.sin(h2 - h1), math.cos(h2 - h1)))
+                assert turn < math.radians(120), (
+                    f"kink of {math.degrees(turn):.0f} deg en route to road {road_id}"
+                )
+
+    def test_route_stays_on_pavement(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        goal_lane = town.roads[9].lane(+1)
+        goal = goal_lane.centerline.point_at(10.0)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        pts = np.array([[p.x, p.y] for p in route.polyline.points])
+        classes = town.classify_points(pts)
+        assert np.all(classes == SurfaceType.ROAD)
+
+    def test_turn_commands_appear_before_junctions(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        goal_lane = town.roads[10].lane(+1)
+        goal = goal_lane.centerline.point_at(goal_lane.length / 2)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        commands = set(route.commands)
+        assert commands - {Command.FOLLOW}, "route must cross a junction"
+
+    def test_command_horizon_length(self, town, planner):
+        """Turn labels start roughly COMMAND_HORIZON before the junction."""
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        goal_lane = town.roads[10].lane(+1)
+        goal = goal_lane.centerline.point_at(goal_lane.length / 2)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        pts = route.polyline.points
+        cmds = route.commands
+        # Measure the contiguous pre-junction stretch of the first turn label.
+        first_turn = next(i for i, c in enumerate(cmds) if c != Command.FOLLOW)
+        stretch = 0.0
+        i = first_turn
+        while i + 1 < len(cmds) and cmds[i + 1] == cmds[first_turn]:
+            stretch += pts[i].distance_to(pts[i + 1])
+            i += 1
+        assert stretch >= COMMAND_HORIZON * 0.7
+
+    def test_plan_is_deterministic(self, town, planner):
+        start, yaw = _lane_point(town, 0, +1, 10.0)
+        goal_lane = town.roads[7].lane(+1)
+        goal = goal_lane.centerline.point_at(5.0)
+        r1 = planner.plan(start, goal, start_yaw=yaw)
+        r2 = planner.plan(start, goal, start_yaw=yaw)
+        assert [(p.x, p.y) for p in r1.polyline.points] == [
+            (p.x, p.y) for p in r2.polyline.points
+        ]
+
+    def test_all_lane_pairs_routable(self, town, planner):
+        """A* must reach every lane from every other lane (strong connectivity)."""
+        lanes = list(town.lanes.values())
+        start_lane = lanes[0]
+        start = start_lane.centerline.point_at(5.0)
+        yaw = start_lane.centerline.heading_at(5.0)
+        for goal_lane in lanes:
+            goal = goal_lane.centerline.point_at(goal_lane.length / 2)
+            route = planner.plan(start, goal, start_yaw=yaw)
+            assert route.polyline.points[-1].distance_to(goal) < 3.0
+
+
+class TestPlannerOnMinimalTown:
+    def test_2x2_routes(self):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        planner = RoutePlanner(town)
+        lanes = list(town.lanes.values())
+        start = lanes[0].centerline.point_at(5.0)
+        yaw = lanes[0].centerline.heading_at(5.0)
+        goal = lanes[-1].centerline.point_at(5.0)
+        route = planner.plan(start, goal, start_yaw=yaw)
+        assert route.length > 0

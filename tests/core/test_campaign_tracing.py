@@ -1,0 +1,109 @@
+"""Tests for trace recording through run_episode and monitor retriggering."""
+
+import math
+
+import pytest
+
+from repro.agent import autopilot_agent_factory
+from repro.core import TraceReader, run_episode, standard_scenarios
+from repro.core.faults import ControlStuckAt, Trigger
+from repro.sim.actors import Vehicle
+from repro.sim.builders import SimulationBuilder
+from repro.sim.geometry import Transform, Vec2
+from repro.sim.render import CameraModel
+from repro.sim.town import GridTownConfig, build_grid_town
+from repro.sim.violations import ViolationMonitor, ViolationType
+from repro.sim.world import World
+
+TOWN = GridTownConfig(rows=2, cols=3)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return SimulationBuilder(camera=CameraModel(width=24, height=16), with_lidar=False)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return standard_scenarios(
+        1, seed=9, town_config=TOWN, min_distance=60, max_distance=160
+    )[0]
+
+
+class TestRunEpisodeTracing:
+    def test_trace_has_one_state_per_frame(self, builder, scenario, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record = run_episode(
+            builder, scenario, autopilot_agent_factory(), trace_path=path
+        )
+        trace = TraceReader(path)
+        assert len(trace.states) == record.frames
+        assert trace.header["scenario"] == scenario.name
+        assert trace.footer["success"] == record.success
+
+    def test_trace_records_violations_and_injections(self, builder, scenario, tmp_path):
+        path = tmp_path / "faulted.jsonl"
+        record = run_episode(
+            builder,
+            scenario,
+            autopilot_agent_factory(),
+            faults=[ControlStuckAt("steer", 1.0, trigger=Trigger(start_frame=30))],
+            injector_name="stuck",
+            trace_path=path,
+        )
+        trace = TraceReader(path)
+        assert len(trace.violations) == record.n_violations
+        assert len(trace.injections) == len(record.injection_frames)
+        assert all(i["fault"] == "stuck" for i in trace.injections)
+
+    def test_no_trace_by_default(self, builder, scenario, tmp_path):
+        run_episode(builder, scenario, autopilot_agent_factory())
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSustainedViolationRetrigger:
+    def test_long_offroad_drive_accumulates_events(self):
+        """Driving far on the sidewalk re-triggers per retrigger_m metres."""
+        town = build_grid_town(TOWN)
+        world = World(town, seed=0)
+        road = town.roads[0]
+        lane = road.lane(+1)
+        start = lane.centerline.point_at(5.0)
+        heading = lane.centerline.heading_at(5.0)
+        off = Vec2.from_heading(heading + math.pi / 2.0) * (
+            -(road.half_width + town.sidewalk_width / 2.0 - 1.0)
+        )
+        ego = world.spawn_ego(Transform(start + off, heading))
+        monitor = ViolationMonitor(retrigger_m=10.0)
+        from repro.sim.physics import VehicleControl
+
+        ego.apply_control(VehicleControl(throttle=0.6))
+        for _ in range(15 * 10):  # ~10 s, tens of metres
+            world.tick()
+            monitor.step(world, ego, world.frame)
+        curb_events = [e for e in monitor.events if e.type == ViolationType.CURB]
+        expected = ego.odometer_m / 10.0
+        assert len(curb_events) >= max(2, int(expected) - 1)
+        # Retriggered events carry the marker.
+        assert any(e.details.get("retriggered") for e in curb_events[1:])
+
+    def test_short_excursion_single_event(self):
+        town = build_grid_town(TOWN)
+        world = World(town, seed=0)
+        road = town.roads[0]
+        lane = road.lane(+1)
+        start = lane.centerline.point_at(20.0)
+        heading = lane.centerline.heading_at(20.0)
+        ego = world.spawn_ego(Transform(start, heading))
+        monitor = ViolationMonitor(retrigger_m=25.0)
+        # Static off-lane position: no distance accrues, so one event only.
+        off = Vec2.from_heading(heading + math.pi / 2.0) * 2.5
+        ego.teleport(Transform(start + off, heading))
+        for _ in range(60):
+            world.tick()
+            monitor.step(world, ego, world.frame)
+        assert monitor.count(ViolationType.LANE) == 1
+
+    def test_retrigger_validation(self):
+        with pytest.raises(ValueError):
+            ViolationMonitor(retrigger_m=0.0)

@@ -1,0 +1,348 @@
+"""Tests for hardware, timing and machine-learning fault models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core.faults import (
+    ActivationFault,
+    ControlBitFlip,
+    ControlStuckAt,
+    OutputDelay,
+    PacketBitFlip,
+    PacketLoss,
+    PacketReorder,
+    SensorBitFlip,
+    SensorDelay,
+    Trigger,
+    WeightBitFlip,
+    WeightNoise,
+    flip_float32_bits,
+    set_float32_bit,
+)
+from repro.sim.channel import Channel, Packet
+from repro.sim.physics import VehicleControl
+from repro.sim.sensors import SensorFrame
+
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+def bind(fault, seed=0):
+    fault.reset()
+    fault.bind(np.random.default_rng(seed))
+    return fault
+
+
+class TestBitPrimitives:
+    def test_flip_sign_bit(self):
+        arr = np.array([1.5], dtype=np.float32)
+        flip_float32_bits(arr, np.array([0]), np.array([31]))
+        assert arr[0] == -1.5
+
+    def test_flip_is_involution(self):
+        arr = np.array([3.25, -7.5], dtype=np.float32)
+        original = arr.copy()
+        for bit in range(32):
+            flip_float32_bits(arr, np.array([0, 1]), np.array([bit, bit]))
+            flip_float32_bits(arr, np.array([0, 1]), np.array([bit, bit]))
+        assert np.array_equal(arr, original)
+
+    def test_exponent_flip_changes_magnitude(self):
+        arr = np.array([1.0], dtype=np.float32)
+        flip_float32_bits(arr, np.array([0]), np.array([30]))
+        assert arr[0] != 1.0
+
+    def test_requires_float32(self):
+        with pytest.raises(TypeError):
+            flip_float32_bits(np.array([1.0]), np.array([0]), np.array([0]))
+
+    def test_stuck_at_high_and_low(self):
+        arr = np.array([1.5], dtype=np.float32)
+        set_float32_bit(arr, 0, 31, True)
+        assert arr[0] == -1.5
+        set_float32_bit(arr, 0, 31, False)
+        assert arr[0] == 1.5
+
+
+class TestControlFaults:
+    def test_bitflip_changes_one_field(self):
+        fault = bind(ControlBitFlip(), seed=3)
+        control = VehicleControl(steer=0.25, throttle=0.5, brake=0.0)
+        out = fault.apply(control, 0)
+        changed = sum(
+            getattr(out, f) != getattr(control, f) for f in ("steer", "throttle", "brake")
+        )
+        assert changed == 1
+
+    def test_bitflip_survives_physics(self):
+        from repro.sim.physics import BicycleModel, VehicleState
+
+        fault = bind(ControlBitFlip(bit_range=(30, 32)), seed=1)
+        model = BicycleModel()
+        state = VehicleState(0, 0, 0, 5.0)
+        for f in range(50):
+            control = fault.apply(VehicleControl(throttle=0.5), f)
+            state = model.step(state, control, 1 / 15)
+        assert math.isfinite(state.x)
+
+    def test_bitflip_validation(self):
+        with pytest.raises(ValueError):
+            ControlBitFlip(fields=())
+        with pytest.raises(ValueError):
+            ControlBitFlip(fields=("warp",))
+        with pytest.raises(ValueError):
+            ControlBitFlip(bit_range=(30, 40))
+
+    def test_stuck_at_forces_field(self):
+        fault = bind(ControlStuckAt(field="steer", value=1.0))
+        out = fault.apply(VehicleControl(steer=-0.2, throttle=0.4), 0)
+        assert out.steer == 1.0
+        assert out.throttle == 0.4
+
+    def test_stuck_at_validation(self):
+        with pytest.raises(ValueError):
+            ControlStuckAt(field="gear")
+
+    def test_preserves_flags(self):
+        fault = bind(ControlStuckAt(field="brake", value=1.0))
+        out = fault.apply(VehicleControl(reverse=True), 0)
+        assert out.reverse
+
+
+class TestSensorBitFlip:
+    def test_flips_image_bytes(self):
+        fault = bind(SensorBitFlip(n_bits=200, gps_fraction=0.0))
+        gen = np.random.default_rng(0)
+        b = SensorFrame(0, gen.integers(0, 255, (32, 48, 3), dtype=np.uint8),
+                        (1.0, 2.0), 3.0, 0.0)
+        out = fault.apply(b, 0)
+        n_changed = (out.image != b.image).sum()
+        assert 0 < n_changed <= 200
+
+    def test_gps_corruption_possible(self):
+        fault = bind(SensorBitFlip(n_bits=1, gps_fraction=1.0))
+        b = SensorFrame(0, np.zeros((8, 8, 3), dtype=np.uint8), (1.0, 2.0), 3.0, 0.0)
+        out = fault.apply(b, 0)
+        assert out.gps != (1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorBitFlip(n_bits=0)
+        with pytest.raises(ValueError):
+            SensorBitFlip(gps_fraction=2.0)
+
+
+class TestTimingFaults:
+    def _run_channel(self, fault, n=10, poll_offset=0):
+        ch = Channel("control")
+        ch.add_transform(fault)
+        delivered = []
+        for f in range(n):
+            ch.send(Packet("control", f, f))
+            delivered.extend(p.payload for p in ch.poll(f + poll_offset))
+        return ch, delivered
+
+    def test_output_delay_replay_shifts_delivery(self):
+        fault = bind(OutputDelay(delay_frames=3))
+        ch, delivered = self._run_channel(fault, n=10)
+        # Packet f arrives at frame f+3: at poll f we see packet f-3.
+        assert delivered == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_output_delay_drop_discards(self):
+        fault = bind(OutputDelay(delay_frames=5, mode="drop"))
+        ch, delivered = self._run_channel(fault, n=10)
+        assert delivered == []
+        assert ch.stats.dropped == 10
+
+    def test_output_delay_zero_noop(self):
+        fault = bind(OutputDelay(delay_frames=0))
+        _, delivered = self._run_channel(fault, n=5)
+        assert delivered == [0, 1, 2, 3, 4]
+
+    def test_output_delay_windowed(self):
+        fault = bind(OutputDelay(delay_frames=100, trigger=Trigger(start_frame=3, end_frame=5)))
+        _, delivered = self._run_channel(fault, n=10)
+        assert delivered == [0, 1, 2, 6, 7, 8, 9]
+        assert fault.log.frames == [3, 4, 5]
+
+    def test_output_delay_validation(self):
+        with pytest.raises(ValueError):
+            OutputDelay(delay_frames=-1)
+        with pytest.raises(ValueError):
+            OutputDelay(delay_frames=5, mode="mangle")
+
+    def test_sensor_delay_channel_attr(self):
+        fault = SensorDelay(delay_frames=2)
+        assert fault.channel == "sensor"
+
+    def test_packet_loss_rate(self):
+        fault = bind(PacketLoss(Trigger(probability=0.5)))
+        ch, delivered = self._run_channel(fault, n=400)
+        assert 120 <= len(delivered) <= 280
+        assert ch.stats.dropped == 400 - len(delivered)
+
+    def test_packet_loss_channel_validation(self):
+        with pytest.raises(ValueError):
+            PacketLoss(channel="wifi")
+
+    def test_reorder_produces_out_of_order_delivery(self):
+        fault = bind(PacketReorder(max_extra_frames=4, trigger=Trigger(probability=0.5)))
+        ch = Channel("control")
+        ch.add_transform(fault)
+        order = []
+        for f in range(200):
+            ch.send(Packet("control", f, f))
+            order.extend(p.payload for p in ch.poll(f))
+        order.extend(p.payload for p in ch.poll(10_000))
+        assert sorted(order) == list(range(200))
+        inversions = sum(a > b for a, b in zip(order, order[1:]))
+        assert inversions > 0, "reordering must actually reorder something"
+
+    def test_reorder_validation(self):
+        with pytest.raises(ValueError):
+            PacketReorder(max_extra_frames=0)
+
+    def test_packet_bitflip_corrupts_payload(self):
+        fault = bind(PacketBitFlip(), seed=2)
+        ch = Channel("control")
+        ch.add_transform(fault)
+        ch.send(Packet("control", 0, VehicleControl(steer=0.5, throttle=0.5)))
+        out = ch.poll(0)[0].payload
+        assert (out.steer, out.throttle, out.brake) != (0.5, 0.5, 0.0)
+
+    def test_packet_bitflip_ignores_non_control(self):
+        fault = bind(PacketBitFlip())
+        result = fault.rewrite(Packet("sensor", 0, "not-a-control"), 0)
+        assert result[0][0].payload == "not-a-control"
+
+
+class TestWeightFaults:
+    def test_weight_noise_install_and_exact_restore(self):
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        fault = bind(WeightNoise(sigma_rel=0.5))
+        fault.install(model)
+        after = model.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+        fault.remove(model)
+        restored = model.state_dict()
+        assert all(np.array_equal(before[k], restored[k]) for k in before)
+
+    def test_weight_noise_changes_predictions(self):
+        model = ILCNN(TINY)
+        model.set_training(False)
+        gen = np.random.default_rng(0)
+        img = gen.integers(0, 255, (16, 24, 3), dtype=np.uint8)
+        clean = model.predict_one(img, 5.0, 0)
+        fault = bind(WeightNoise(sigma_rel=1.0))
+        fault.install(model)
+        noisy = model.predict_one(img, 5.0, 0)
+        fault.remove(model)
+        assert not np.allclose(clean, noisy)
+        assert np.allclose(clean, model.predict_one(img, 5.0, 0))
+
+    def test_weight_noise_double_install_rejected(self):
+        model = ILCNN(TINY)
+        fault = bind(WeightNoise())
+        fault.install(model)
+        with pytest.raises(RuntimeError):
+            fault.install(model)
+        fault.remove(model)
+
+    def test_weight_noise_fraction(self):
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        fault = bind(WeightNoise(sigma_rel=0.5, fraction=0.1))
+        fault.install(model)
+        after = model.state_dict()
+        changed = sum(
+            (before[k] != after[k]).sum() for k in before
+        )
+        total = sum(v.size for v in before.values())
+        assert 0.02 < changed / total < 0.25
+        fault.remove(model)
+
+    def test_weight_noise_validation(self):
+        with pytest.raises(ValueError):
+            WeightNoise(sigma_rel=-1.0)
+        with pytest.raises(ValueError):
+            WeightNoise(fraction=0.0)
+
+    def test_weight_bitflip_sites_and_restore(self):
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        fault = bind(WeightBitFlip(n_flips=5))
+        fault.install(model)
+        assert len(fault.sites) == 5
+        changed = sum(
+            (before[k] != model.state_dict()[k]).sum() for k in before
+        )
+        assert 1 <= changed <= 5  # flips may collide
+        fault.remove(model)
+        assert all(np.array_equal(before[k], model.state_dict()[k]) for k in before)
+
+    def test_weight_bitflip_describe_reports_sites(self):
+        model = ILCNN(TINY)
+        fault = bind(WeightBitFlip(n_flips=2))
+        fault.install(model)
+        desc = fault.describe()
+        assert len(desc["sites"]) == 2
+        fault.remove(model)
+
+    def test_weight_bitflip_validation(self):
+        with pytest.raises(ValueError):
+            WeightBitFlip(n_flips=0)
+        with pytest.raises(ValueError):
+            WeightBitFlip(bit_range=(10, 40))
+
+
+class TestActivationFault:
+    def _model_and_input(self):
+        model = ILCNN(TINY)
+        model.set_training(False)
+        gen = np.random.default_rng(1)
+        img = gen.integers(0, 255, (16, 24, 3), dtype=np.uint8)
+        return model, img
+
+    @pytest.mark.parametrize("mode", ["zero", "saturate", "noise"])
+    def test_modes_change_output(self, mode):
+        model, img = self._model_and_input()
+        clean = model.predict_one(img, 5.0, 0)
+        fault = bind(ActivationFault(block="join", layer_index=0, n_units=8, mode=mode))
+        fault.install(model)
+        faulty = model.predict_one(img, 5.0, 0)
+        fault.remove(model)
+        assert not np.allclose(clean, faulty)
+        assert np.allclose(clean, model.predict_one(img, 5.0, 0))
+
+    def test_fire_count_tracks_forwards(self):
+        model, img = self._model_and_input()
+        fault = bind(ActivationFault(block="trunk", layer_index=0, n_units=2))
+        fault.install(model)
+        model.predict_one(img, 5.0, 0)
+        model.predict_one(img, 5.0, 0)
+        assert fault.fire_count == 2
+        fault.remove(model)
+
+    def test_conv_layer_targetable(self):
+        model, img = self._model_and_input()
+        fault = bind(ActivationFault(block="trunk", layer_index=0, n_units=1, mode="zero"))
+        fault.install(model)
+        out = model.predict_one(img, 5.0, 0)
+        assert np.isfinite(out).all()
+        fault.remove(model)
+
+    def test_unknown_block_rejected(self):
+        model, _ = self._model_and_input()
+        fault = bind(ActivationFault(block="cerebellum"))
+        with pytest.raises(KeyError):
+            fault.install(model)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationFault(mode="explode")
+        with pytest.raises(ValueError):
+            ActivationFault(n_units=0)

@@ -1,0 +1,274 @@
+"""Tests for the injection harness and campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.agent import autopilot_agent_factory, nn_agent_factory
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core import Campaign, CampaignResult, InjectionHarness, run_episode, standard_scenarios
+from repro.core.campaign import RunRecord
+from repro.core.faults import (
+    ControlStuckAt,
+    GaussianNoise,
+    OutputDelay,
+    Trigger,
+    WeatherShiftFault,
+    WeightNoise,
+)
+from repro.sim.builders import SimulationBuilder
+from repro.sim.channel import Channel
+from repro.sim.client import AgentClient
+from repro.sim.physics import VehicleControl
+from repro.sim.server import SimulationServer
+from repro.sim.town import GridTownConfig
+
+TOWN = GridTownConfig(rows=2, cols=3)
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    from repro.sim.render import CameraModel
+
+    return SimulationBuilder(camera=CameraModel(width=24, height=16), with_lidar=False)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return standard_scenarios(2, seed=9, town_config=TOWN, min_distance=60, max_distance=160)
+
+
+def _episode_parts(builder, scenario):
+    handles = builder.build_episode(scenario)
+    agent = autopilot_agent_factory()(handles, scenario.mission)
+    sensor_ch, control_ch = Channel("sensor"), Channel("control")
+    server = SimulationServer(handles.world, handles.sensors, sensor_ch, control_ch)
+    client = AgentClient(agent, sensor_ch, control_ch)
+    return handles, server, client
+
+
+class TestInjectionHarness:
+    def test_attach_detach_restores_hooks(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        faults = [GaussianNoise(0.1), ControlStuckAt("steer", 1.0), OutputDelay(5)]
+        harness = InjectionHarness(faults, seed=1)
+        harness.attach(server, client)
+        assert len(client.input_filters) == 1
+        assert len(client.output_filters) == 1
+        assert len(server.control_channel.transforms) == 1
+        harness.detach()
+        assert client.input_filters == []
+        assert client.output_filters == []
+        assert server.control_channel.transforms == []
+
+    def test_double_attach_rejected(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        harness = InjectionHarness([], seed=0)
+        harness.attach(server, client)
+        with pytest.raises(RuntimeError):
+            harness.attach(server, client)
+        harness.detach()
+
+    def test_model_fault_requires_model(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        harness = InjectionHarness([WeightNoise(0.2)], seed=0)
+        with pytest.raises(ValueError, match="autopilot"):
+            harness.attach(server, client, model=None)
+
+    def test_model_fault_installed_and_removed(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        harness = InjectionHarness([WeightNoise(0.5)], seed=0)
+        harness.attach(server, client, model=model)
+        assert any(
+            not np.array_equal(before[k], model.state_dict()[k]) for k in before
+        )
+        harness.detach()
+        assert all(np.array_equal(before[k], model.state_dict()[k]) for k in before)
+
+    def test_world_fault_stepped(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        harness = InjectionHarness([WeatherShiftFault("Night")], seed=0)
+        harness.attach(server, client)
+        harness.on_frame(handles.world, 1)
+        assert handles.world.weather.name == "Night"
+        harness.detach()
+
+    def test_injection_frames_merged_sorted(self, builder, scenarios):
+        handles, server, client = _episode_parts(builder, scenarios[0])
+        f1 = GaussianNoise(0.1, trigger=Trigger(start_frame=5, end_frame=5))
+        f2 = GaussianNoise(0.1, trigger=Trigger(start_frame=2, end_frame=2))
+        harness = InjectionHarness([f1, f2], seed=0)
+        harness.attach(server, client)
+        server.send_initial_frame()
+        for _ in range(8):
+            client.tick(handles.world.frame)
+            server.tick()
+        assert harness.injection_frames() == [2, 5]
+        assert harness.first_injection_frame() == 2
+        harness.detach()
+
+    def test_unknown_fault_kind_rejected(self):
+        class NotAFault:
+            pass
+
+        with pytest.raises(TypeError):
+            InjectionHarness([NotAFault()], seed=0)
+
+
+class TestRunEpisode:
+    def test_baseline_run_succeeds(self, builder, scenarios):
+        record = run_episode(builder, scenarios[0], autopilot_agent_factory())
+        assert record.success
+        assert record.distance_km > 0.05
+        assert record.injector == "none"
+        assert record.violations == []
+        assert record.injection_frames == []
+
+    def test_fault_run_records_injections(self, builder, scenarios):
+        record = run_episode(
+            builder,
+            scenarios[0],
+            autopilot_agent_factory(),
+            faults=[GaussianNoise(0.05)],
+            injector_name="gaussian",
+            harness_seed=4,
+        )
+        assert record.injector == "gaussian"
+        assert record.injection_frames, "always-on fault must log activations"
+        assert record.faults[0]["name"] == "gaussian"
+
+    def test_stuck_steer_causes_violations(self, builder, scenarios):
+        record = run_episode(
+            builder,
+            scenarios[0],
+            autopilot_agent_factory(),
+            faults=[ControlStuckAt("steer", 1.0, trigger=Trigger(start_frame=30))],
+            injector_name="stuck-steer",
+        )
+        assert not record.success
+        assert record.n_violations > 0
+        ttv = record.time_to_violation_s()
+        assert ttv is not None and ttv >= 0.0
+
+    def test_deterministic_replay(self, builder, scenarios):
+        kwargs = dict(
+            faults=[GaussianNoise(0.08)], injector_name="g", harness_seed=11
+        )
+        a = run_episode(builder, scenarios[0], autopilot_agent_factory(), **kwargs)
+        b = run_episode(builder, scenarios[0], autopilot_agent_factory(), **kwargs)
+        assert a.distance_km == b.distance_km
+        assert a.frames == b.frames
+        assert [v["frame"] for v in a.violations] == [v["frame"] for v in b.violations]
+
+    def test_nn_agent_episode_runs(self, builder, scenarios):
+        model = ILCNN(TINY)
+        model.set_training(False)
+        record = run_episode(
+            builder, scenarios[0], nn_agent_factory(model), faults=[WeightNoise(0.3)],
+            injector_name="wnoise",
+        )
+        # The tiny random model won't succeed; the pipeline must still work.
+        assert record.frames > 0
+        assert record.faults[0]["name"] == "weight-noise"
+
+
+class TestRunRecord:
+    def _record(self, **kw):
+        defaults = dict(
+            scenario="s", injector="i", seed=0, success=False, frames=150,
+            duration_s=10.0, distance_km=0.5, time_limit_s=60.0,
+            violations=[
+                {"type": "lane", "frame": 30, "time_s": 2.0, "is_accident": False, "position": [0, 0]},
+                {"type": "collision_vehicle", "frame": 90, "time_s": 6.0, "is_accident": True, "position": [0, 0]},
+            ],
+            injection_frames=[15],
+        )
+        defaults.update(kw)
+        return RunRecord(**defaults)
+
+    def test_counts(self):
+        r = self._record()
+        assert r.n_violations == 2
+        assert r.n_accidents == 1
+        assert r.violations_per_km == pytest.approx(4.0)
+        assert r.accidents_per_km == pytest.approx(2.0)
+
+    def test_zero_distance_guard(self):
+        r = self._record(distance_km=0.0)
+        assert r.violations_per_km == 0.0
+
+    def test_ttv_first_violation_after_injection(self):
+        r = self._record()
+        assert r.time_to_violation_s() == pytest.approx((30 - 15) / 15.0)
+
+    def test_ttv_none_without_injection(self):
+        r = self._record(injection_frames=[])
+        assert r.time_to_violation_s() is None
+
+    def test_ttv_none_when_violations_precede(self):
+        r = self._record(injection_frames=[120])
+        assert r.time_to_violation_s() is None
+
+
+class TestCampaign:
+    def test_paired_design_and_grouping(self, builder, scenarios):
+        campaign = Campaign(
+            scenarios,
+            autopilot_agent_factory(),
+            injectors={"none": [], "delay": [OutputDelay(10)]},
+            builder=builder,
+        )
+        assert campaign.total_runs() == 4
+        result = campaign.run()
+        groups = result.by_injector()
+        assert set(groups) == {"none", "delay"}
+        assert [r.scenario for r in groups["none"]] == [r.scenario for r in groups["delay"]]
+
+    def test_validation(self, builder, scenarios):
+        with pytest.raises(ValueError):
+            Campaign([], autopilot_agent_factory(), {"none": []})
+        with pytest.raises(ValueError):
+            Campaign(scenarios, autopilot_agent_factory(), {})
+
+    def test_result_save_load_roundtrip(self, tmp_path, builder, scenarios):
+        campaign = Campaign(
+            scenarios[:1], autopilot_agent_factory(), {"none": []}, builder=builder
+        )
+        result = campaign.run()
+        path = tmp_path / "result.json"
+        result.save(path)
+        loaded = CampaignResult.load(path)
+        assert len(loaded.records) == 1
+        assert loaded.records[0].scenario == result.records[0].scenario
+        assert loaded.records[0].success == result.records[0].success
+
+    def test_filter_and_injector_order(self, builder, scenarios):
+        campaign = Campaign(
+            scenarios[:1],
+            autopilot_agent_factory(),
+            injectors={"none": [], "a": [GaussianNoise(0.01)]},
+            builder=builder,
+        )
+        result = campaign.run()
+        assert result.injectors() == ["none", "a"]
+        assert len(result.filter("a")) == 1
+
+    def test_fault_models_reusable_across_episodes(self, builder, scenarios):
+        """The same fault instances serve every episode of an injector."""
+        fault = GaussianNoise(0.05)
+        campaign = Campaign(
+            scenarios, autopilot_agent_factory(), {"g": [fault]}, builder=builder
+        )
+        result = campaign.run()
+        assert all(r.injection_frames for r in result.records)
+
+
+class TestStandardScenarios:
+    def test_time_limits_track_route_length(self):
+        suite = standard_scenarios(3, seed=4, town_config=TOWN)
+        for scn in suite:
+            # limit = route/5*1.8 + 15 and route >= manhattan >= 100
+            assert scn.mission.time_limit_s >= 100 / 5.0 * 1.8

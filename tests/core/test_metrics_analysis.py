@@ -1,0 +1,207 @@
+"""Tests for resilience metrics and statistical analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    bootstrap_ci,
+    compare_to_baseline,
+    mann_whitney_u,
+    summarize,
+)
+from repro.core.campaign import RunRecord
+from repro.core.metrics import (
+    accidents_per_km,
+    compute_metrics,
+    metrics_by_injector,
+    mission_success_rate,
+    time_to_violation,
+    violations_per_km,
+)
+
+
+def record(injector="none", success=True, km=1.0, violations=(), injections=(), frames=150):
+    return RunRecord(
+        scenario="s",
+        injector=injector,
+        seed=0,
+        success=success,
+        frames=frames,
+        duration_s=frames / 15.0,
+        distance_km=km,
+        time_limit_s=60.0,
+        violations=[
+            {
+                "type": t,
+                "frame": f,
+                "time_s": f / 15.0,
+                "is_accident": t.startswith("collision"),
+                "position": [0, 0],
+            }
+            for t, f in violations
+        ],
+        injection_frames=list(injections),
+    )
+
+
+class TestMetricFunctions:
+    def test_msr(self):
+        records = [record(success=True), record(success=True), record(success=False)]
+        assert mission_success_rate(records) == pytest.approx(100.0 * 2 / 3)
+
+    def test_msr_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mission_success_rate([])
+
+    def test_vpk_pooled_over_distance(self):
+        records = [
+            record(km=1.0, violations=[("lane", 10)]),
+            record(km=3.0, violations=[("lane", 10), ("curb", 20), ("lane", 30)]),
+        ]
+        assert violations_per_km(records) == pytest.approx(4 / 4.0)
+
+    def test_vpk_zero_distance(self):
+        assert violations_per_km([record(km=0.0)]) == 0.0
+
+    def test_apk_counts_only_collisions(self):
+        records = [
+            record(km=2.0, violations=[("lane", 10), ("collision_vehicle", 20)]),
+        ]
+        assert accidents_per_km(records) == pytest.approx(0.5)
+        assert violations_per_km(records) == pytest.approx(1.0)
+
+    def test_ttv_only_manifested(self):
+        records = [
+            record(violations=[("lane", 30)], injections=[15]),  # ttv = 1 s
+            record(violations=[("lane", 30)], injections=[]),  # no injection
+            record(violations=[], injections=[15]),  # no manifestation
+        ]
+        ttvs = time_to_violation(records)
+        assert len(ttvs) == 1
+        assert ttvs[0] == pytest.approx(1.0)
+
+
+class TestComputeMetrics:
+    def test_aggregate_fields(self):
+        records = [
+            record(success=True, km=1.0, violations=[("lane", 30)], injections=[15]),
+            record(success=False, km=2.0, violations=[("collision_vehicle", 45)], injections=[15]),
+        ]
+        m = compute_metrics(records)
+        assert m.n_runs == 2
+        assert m.msr == pytest.approx(50.0)
+        assert m.total_km == pytest.approx(3.0)
+        assert m.total_violations == 2
+        assert m.total_accidents == 1
+        assert len(m.vpk_per_run) == 2
+        assert m.ttv_median_s == pytest.approx(np.median([1.0, 2.0]))
+
+    def test_ttv_median_nan_when_empty(self):
+        m = compute_metrics([record()])
+        assert np.isnan(m.ttv_median_s)
+
+    def test_summary_row_keys(self):
+        m = compute_metrics([record()])
+        row = m.summary_row()
+        assert set(row) == {"runs", "MSR_%", "VPK", "APK", "TTV_median_s", "km"}
+
+    def test_group_by_injector(self):
+        records = [record("none"), record("gauss"), record("gauss", success=False)]
+        groups = metrics_by_injector(records)
+        assert groups["none"].n_runs == 1
+        assert groups["gauss"].n_runs == 2
+        assert groups["gauss"].msr == pytest.approx(50.0)
+
+
+class TestSummarize:
+    def test_five_numbers(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert (s.minimum, s.median, s.maximum) == (1, 3, 5)
+        assert s.q1 == 2 and s.q3 == 4
+        assert s.iqr() == 2
+        assert s.n == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, 200)
+        lo, hi = bootstrap_ci(values, np.mean, seed=1)
+        assert lo < values.mean() < hi
+        assert hi - lo < 1.5
+
+    def test_ci_narrows_with_n(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, 10)
+        large = rng.normal(0, 1, 1000)
+        lo_s, hi_s = bootstrap_ci(small, np.mean, seed=2)
+        lo_l, hi_l = bootstrap_ci(large, np.mean, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestMannWhitney:
+    def test_detects_clear_shift(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(3, 1, 40)
+        _, p = mann_whitney_u(a, b)
+        assert p < 1e-4
+
+    def test_no_difference_high_p(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(0, 1, 40)
+        _, p = mann_whitney_u(a, b)
+        assert p > 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_fallback_matches_scipy(self):
+        """Our normal-approximation fallback agrees with scipy on ranks."""
+        pytest.importorskip("scipy")
+        import repro.core.analysis as analysis
+
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0.8, 1, 30)
+        u_scipy, p_scipy = mann_whitney_u(a, b)
+
+        # Re-run with scipy hidden to exercise the fallback.
+        import sys
+        import unittest.mock as mock
+
+        with mock.patch.dict(sys.modules, {"scipy": None, "scipy.stats": None}):
+            u_fallback, p_fallback = analysis.mann_whitney_u(a, b)
+        assert p_fallback == pytest.approx(p_scipy, abs=0.02)
+
+
+class TestCompareToBaseline:
+    def test_effect_summary(self):
+        groups = {
+            "none": [0.0, 0.0, 0.5, 0.0],
+            "gauss": [3.0, 5.0, 4.0, 6.0],
+        }
+        out = compare_to_baseline(groups, baseline="none")
+        assert "gauss" in out and "none" not in out
+        assert out["gauss"]["median_shift"] > 3.0
+        assert out["gauss"]["p_value"] < 0.1
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            compare_to_baseline({"a": [1.0]}, baseline="none")

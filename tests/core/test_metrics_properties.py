@@ -1,0 +1,126 @@
+"""Property-based invariants on metrics aggregation (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import RunRecord
+from repro.core.faults import ActivationLog
+from repro.core.metrics import compute_metrics, metrics_by_injector
+
+
+@st.composite
+def run_records(draw, injectors=("none", "a", "b")):
+    n = draw(st.integers(1, 12))
+    records = []
+    for i in range(n):
+        frames = draw(st.integers(10, 600))
+        km = draw(st.floats(0.0, 2.0, allow_nan=False))
+        n_viol = draw(st.integers(0, 6))
+        violations = []
+        for _ in range(n_viol):
+            frame = draw(st.integers(0, frames))
+            is_accident = draw(st.booleans())
+            violations.append(
+                {
+                    "type": "collision_vehicle" if is_accident else "lane",
+                    "frame": frame,
+                    "time_s": frame / 15.0,
+                    "is_accident": is_accident,
+                    "position": [0.0, 0.0],
+                }
+            )
+        injections = sorted(
+            draw(st.lists(st.integers(0, frames), min_size=0, max_size=3))
+        )
+        records.append(
+            RunRecord(
+                scenario=f"s{i}",
+                injector=draw(st.sampled_from(list(injectors))),
+                seed=i,
+                success=draw(st.booleans()),
+                frames=frames,
+                duration_s=frames / 15.0,
+                distance_km=km,
+                time_limit_s=60.0,
+                violations=violations,
+                injection_frames=injections,
+            )
+        )
+    return records
+
+
+class TestMetricsInvariants:
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_msr_bounded(self, records):
+        m = compute_metrics(records)
+        assert 0.0 <= m.msr <= 100.0
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_pooled_vpk_identity(self, records):
+        m = compute_metrics(records)
+        if m.total_km > 0:
+            assert m.vpk == pytest.approx(m.total_violations / m.total_km)
+            assert m.apk == pytest.approx(m.total_accidents / m.total_km)
+        else:
+            assert m.vpk == 0.0
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_accidents_never_exceed_violations(self, records):
+        m = compute_metrics(records)
+        assert 0 <= m.total_accidents <= m.total_violations
+        assert m.apk <= m.vpk + 1e-12
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_per_run_lists_align(self, records):
+        m = compute_metrics(records)
+        assert len(m.vpk_per_run) == m.n_runs == len(records)
+        assert len(m.success_flags) == m.n_runs
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_type_breakdown_sums_to_total(self, records):
+        m = compute_metrics(records)
+        assert sum(m.violations_by_type.values()) == m.total_violations
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_grouping_partitions_records(self, records):
+        groups = metrics_by_injector(records)
+        assert sum(g.n_runs for g in groups.values()) == len(records)
+        assert {r.injector for r in records} == set(groups)
+
+    @given(run_records())
+    @settings(max_examples=60)
+    def test_ttv_non_negative_and_bounded(self, records):
+        m = compute_metrics(records)
+        for ttv in m.ttv_s:
+            assert ttv >= 0.0
+            assert ttv <= max(r.duration_s for r in records) + 1e-9
+
+
+class TestActivationLog:
+    def test_first_and_latest_before(self):
+        log = ActivationLog()
+        for f in (5, 9, 20):
+            log.record(f)
+        assert log.first() == 5
+        assert log.latest_before(9) == 9
+        assert log.latest_before(19) == 9
+        assert log.latest_before(4) is None
+
+    def test_empty(self):
+        log = ActivationLog()
+        assert log.first() is None
+        assert log.latest_before(100) is None
+
+    def test_clear(self):
+        log = ActivationLog()
+        log.record(1)
+        log.clear()
+        assert log.frames == []

@@ -1,0 +1,165 @@
+"""Tests for WeightStuckAt, LidarGhostFault, Wilson intervals and
+violation-type breakdowns — the extension features beyond the first
+feature-complete pass."""
+
+import numpy as np
+import pytest
+
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core.analysis import wilson_interval
+from repro.core.campaign import RunRecord
+from repro.core.faults import LidarGhostFault, WeightStuckAt
+from repro.core.metrics import compute_metrics
+from repro.sim.sensors import SensorFrame
+
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+def bind(fault, seed=0):
+    fault.reset()
+    fault.bind(np.random.default_rng(seed))
+    return fault
+
+
+class TestWeightStuckAt:
+    def test_install_restore(self):
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        fault = bind(WeightStuckAt(n_cells=6))
+        fault.install(model)
+        assert len(fault.sites) == 6
+        after = model.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+        fault.remove(model)
+        assert all(np.array_equal(before[k], model.state_dict()[k]) for k in before)
+
+    def test_stuck_high_raises_magnitude(self):
+        model = ILCNN(TINY)
+        before = model.state_dict()
+        fault = bind(WeightStuckAt(n_cells=4, bit_range=(30, 31), stuck_high=True), seed=2)
+        fault.install(model)
+        after = model.state_dict()
+        for pname, idx, _ in fault.sites:
+            old = abs(float(before[pname].reshape(-1)[idx]))
+            new = abs(float(after[pname].reshape(-1)[idx]))
+            assert new >= old  # setting an exponent bit high never shrinks
+        fault.remove(model)
+
+    def test_stuck_low_is_idempotent(self):
+        """A stuck-at-0 cell re-stuck stays at the same value."""
+        model = ILCNN(TINY)
+        fault = bind(WeightStuckAt(n_cells=3, stuck_high=False), seed=3)
+        fault.install(model)
+        state_once = model.state_dict()
+        sites = list(fault.sites)
+        fault.remove(model)
+        # Reinstall with the same rng state recreated.
+        fault2 = bind(WeightStuckAt(n_cells=3, stuck_high=False), seed=3)
+        fault2.install(model)
+        assert fault2.sites == sites
+        state_twice = model.state_dict()
+        for k in state_once:
+            assert np.array_equal(state_once[k], state_twice[k])
+        fault2.remove(model)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightStuckAt(n_cells=0)
+        with pytest.raises(ValueError):
+            WeightStuckAt(bit_range=(0, 40))
+
+    def test_double_install_rejected(self):
+        model = ILCNN(TINY)
+        fault = bind(WeightStuckAt())
+        fault.install(model)
+        with pytest.raises(RuntimeError):
+            fault.install(model)
+        fault.remove(model)
+
+
+class TestLidarGhost:
+    def _bundle(self):
+        return SensorFrame(
+            frame=0,
+            image=np.zeros((8, 8, 3), dtype=np.uint8),
+            gps=(0.0, 0.0),
+            speed=0.0,
+            heading=0.0,
+            lidar=np.full(50, 40.0),
+        )
+
+    def test_ghosts_are_short_ranges(self):
+        fault = bind(LidarGhostFault(ghost_prob=0.5, min_ghost_m=1.0, max_ghost_m=8.0))
+        out = fault.apply(self._bundle(), 0)
+        ghosts = out.lidar < 40.0
+        assert ghosts.any()
+        assert np.all(out.lidar[ghosts] >= 1.0)
+        assert np.all(out.lidar[ghosts] <= 8.0)
+
+    def test_probability_zero_noop(self):
+        fault = bind(LidarGhostFault(ghost_prob=0.0))
+        out = fault.apply(self._bundle(), 0)
+        assert np.all(out.lidar == 40.0)
+
+    def test_no_lidar_tolerated(self):
+        fault = bind(LidarGhostFault())
+        b = self._bundle()
+        b.lidar = None
+        assert fault.apply(b, 0).lidar is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LidarGhostFault(ghost_prob=1.5)
+        with pytest.raises(ValueError):
+            LidarGhostFault(min_ghost_m=5.0, max_ghost_m=2.0)
+
+
+class TestWilsonInterval:
+    def test_brackets_proportion(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+    def test_perfect_success_upper_is_one(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi == pytest.approx(1.0)
+        assert lo > 0.6
+
+    def test_zero_success_lower_is_zero(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == pytest.approx(0.0)
+        assert hi < 0.4
+
+    def test_narrows_with_n(self):
+        lo_s, hi_s = wilson_interval(5, 10)
+        lo_l, hi_l = wilson_interval(500, 1000)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.0)
+
+    def test_matches_known_value(self):
+        # Classic textbook case: 15/20 at 95% -> (0.531, 0.888) approx.
+        lo, hi = wilson_interval(15, 20)
+        assert lo == pytest.approx(0.531, abs=0.02)
+        assert hi == pytest.approx(0.888, abs=0.02)
+
+
+class TestViolationBreakdown:
+    def test_by_type_counts(self):
+        record = RunRecord(
+            scenario="s", injector="i", seed=0, success=False, frames=100,
+            duration_s=6.7, distance_km=0.5, time_limit_s=60.0,
+            violations=[
+                {"type": "lane", "frame": 5, "time_s": 0.3, "is_accident": False, "position": [0, 0]},
+                {"type": "lane", "frame": 50, "time_s": 3.3, "is_accident": False, "position": [0, 0]},
+                {"type": "curb", "frame": 60, "time_s": 4.0, "is_accident": False, "position": [0, 0]},
+            ],
+        )
+        m = compute_metrics([record])
+        assert m.violations_by_type == {"lane": 2, "curb": 1}

@@ -1,0 +1,205 @@
+"""Tests for reporting, tracing and fault localisation."""
+
+import numpy as np
+import pytest
+
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core.localizer import FaultLocalizer
+from repro.core.reporting import bar_chart, boxplot, figure_header, format_table
+from repro.core.trace import TraceReader, TraceWriter, compare_traces
+
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        assert "2.50" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["x"], [])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        out = bar_chart({"a": 1.0}, unit="%")
+        assert "1.00%" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestBoxplot:
+    def test_render_contains_median_markers(self):
+        out = boxplot({"g1": [1, 2, 3, 4, 5], "g2": [2, 4, 6, 8, 10]}, width=30)
+        assert out.count("|") >= 2
+        assert "med=3.00" in out
+        assert "n=5" in out
+
+    def test_shared_axis(self):
+        out = boxplot({"low": [0, 1], "high": [9, 10]}, width=40)
+        lines = out.splitlines()
+        # low group's box must start left of high group's.
+        low_start = lines[0].index("-")
+        high_start = lines[1].index("-")
+        assert low_start < high_start
+
+    def test_skips_empty_groups(self):
+        out = boxplot({"a": [1.0, 2.0], "b": []})
+        assert "a" in out and "b [" not in out
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot({"a": []})
+
+
+class TestFigureHeader:
+    def test_banner(self):
+        out = figure_header("Figure 2", "Mission success rate")
+        assert "Figure 2" in out
+        assert out.splitlines()[0] == "=" * 72
+
+
+class TestTrace:
+    def _write(self, path, states, violations=(), injections=()):
+        with TraceWriter(path, header={"scenario": "s0"}) as tw:
+            for frame, x in states:
+                tw.state(frame, x, 0.0, 0.0, 1.0)
+            for frame in violations:
+                tw.violation(frame, "lane")
+            for frame in injections:
+                tw.injection(frame, "gaussian")
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        path = self._write(tmp_path / "t.jsonl", [(0, 1.0), (1, 2.0)], [1], [0])
+        reader = TraceReader(path)
+        assert reader.header["scenario"] == "s0"
+        assert len(reader.states) == 2
+        assert reader.violations[0]["type"] == "lane"
+        assert reader.injections[0]["fault"] == "gaussian"
+        assert reader.trajectory() == [(1.0, 0.0), (2.0, 0.0)]
+
+    def test_footer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tw = TraceWriter(path)
+        tw.state(0, 0, 0, 0, 0)
+        tw.close(footer={"success": True})
+        reader = TraceReader(path)
+        assert reader.footer["success"] is True
+
+    def test_write_after_close_rejected(self, tmp_path):
+        tw = TraceWriter(tmp_path / "t.jsonl")
+        tw.close()
+        with pytest.raises(RuntimeError):
+            tw.state(0, 0, 0, 0, 0)
+
+    def test_compare_identical(self, tmp_path):
+        a = TraceReader(self._write(tmp_path / "a.jsonl", [(0, 1.0), (1, 2.0)]))
+        b = TraceReader(self._write(tmp_path / "b.jsonl", [(0, 1.0), (1, 2.0)]))
+        assert compare_traces(a, b) is None
+
+    def test_compare_divergence_field(self, tmp_path):
+        a = TraceReader(self._write(tmp_path / "a.jsonl", [(0, 1.0), (1, 2.0)]))
+        b = TraceReader(self._write(tmp_path / "b.jsonl", [(0, 1.0), (1, 9.0)]))
+        div = compare_traces(a, b)
+        assert div is not None
+        assert div.frame == 1
+        assert div.field == "x"
+
+    def test_compare_length_mismatch(self, tmp_path):
+        a = TraceReader(self._write(tmp_path / "a.jsonl", [(0, 1.0)]))
+        b = TraceReader(self._write(tmp_path / "b.jsonl", [(0, 1.0), (1, 2.0)]))
+        div = compare_traces(a, b)
+        assert div is not None
+        assert div.field == "length"
+
+
+class TestFaultLocalizer:
+    def test_pixel_region_inside_image(self):
+        loc = FaultLocalizer(0)
+        for _ in range(50):
+            site = loc.pick_pixel_region((48, 64), size_frac=0.3)
+            assert 0 <= site.row and site.row + site.height <= 48
+            assert 0 <= site.col and site.col + site.width <= 64
+
+    def test_pixel_region_validation(self):
+        with pytest.raises(ValueError):
+            FaultLocalizer(0).pick_pixel_region((48, 64), size_frac=0.0)
+
+    def test_weight_sites_valid(self):
+        model = ILCNN(TINY)
+        named = model.named_parameters()
+        sites = FaultLocalizer(1).pick_weights(model, 20)
+        assert len(sites) == 20
+        for site in sites:
+            assert site.param in named
+            assert 0 <= site.flat_index < named[site.param].size
+
+    def test_weight_sites_spread_over_params(self):
+        model = ILCNN(TINY)
+        sites = FaultLocalizer(2).pick_weights(model, 200)
+        assert len({s.param for s in sites}) > 3
+
+    def test_neuron_sites(self):
+        model = ILCNN(TINY)
+        sites = FaultLocalizer(3).pick_neurons(model, 10)
+        blocks = model.submodules()
+        for site in sites:
+            assert site.block in blocks
+            module = blocks[site.block].modules[site.layer_index]
+            width = module.parameters()[0].data.shape[-1]
+            assert 0 <= site.unit < width
+
+    def test_neuron_sites_restricted_block(self):
+        model = ILCNN(TINY)
+        sites = FaultLocalizer(4).pick_neurons(model, 5, block="join")
+        assert all(s.block == "join" for s in sites)
+
+    def test_bit_site_range(self):
+        loc = FaultLocalizer(5)
+        for _ in range(50):
+            site = loc.pick_bit(20, 32)
+            assert 20 <= site.bit < 32
+        with pytest.raises(ValueError):
+            loc.pick_bit(10, 40)
+
+    def test_channel_site(self):
+        loc = FaultLocalizer(6)
+        channels = {loc.pick_channel().channel for _ in range(30)}
+        assert channels == {"sensor", "control"}
+
+    def test_deterministic_under_seed(self):
+        model = ILCNN(TINY)
+        a = FaultLocalizer(7).pick_weights(model, 5)
+        b = FaultLocalizer(7).pick_weights(model, 5)
+        assert a == b
+
+    def test_accepts_generator(self):
+        loc = FaultLocalizer(np.random.default_rng(8))
+        assert loc.pick_bit().bit >= 0
+
+    def test_pick_weights_validation(self):
+        model = ILCNN(TINY)
+        with pytest.raises(ValueError):
+            FaultLocalizer(0).pick_weights(model, 0)

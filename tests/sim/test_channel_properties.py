@@ -1,0 +1,126 @@
+"""Property-based tests on channel delivery invariants (hypothesis).
+
+The channel layer underpins every timing-fault experiment, so its
+accounting must be exact: every packet sent is eventually delivered or
+counted dropped, delivery order follows delivery frames, and transforms
+cannot corrupt the conservation law.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import OutputDelay, PacketLoss, PacketReorder, Trigger
+from repro.sim.channel import Channel, ChannelTransform, FixedLatency, Packet
+
+
+@st.composite
+def send_schedule(draw):
+    """A list of (send_frame, payload) with non-decreasing frames."""
+    n = draw(st.integers(1, 40))
+    gaps = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    frames = np.cumsum(gaps).tolist()
+    return [(int(f), i) for i, f in enumerate(frames)]
+
+
+class TestConservation:
+    @given(send_schedule())
+    @settings(max_examples=50)
+    def test_plain_channel_delivers_everything_once(self, schedule):
+        ch = Channel("c")
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert sorted(delivered) == [p for _, p in schedule]
+        assert ch.stats.delivered == len(schedule)
+        assert ch.stats.dropped == 0
+
+    @given(send_schedule(), st.integers(0, 10))
+    @settings(max_examples=50)
+    def test_latency_preserves_count_and_order(self, schedule, latency):
+        ch = Channel("c")
+        ch.add_transform(FixedLatency(latency))
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert delivered == [p for _, p in schedule]  # uniform delay keeps order
+
+    @given(send_schedule(), st.integers(1, 20), st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_nothing_delivered_before_due(self, schedule, delay, poll_frame):
+        ch = Channel("c")
+        fault = OutputDelay(delay)
+        fault.bind(np.random.default_rng(0))
+        ch.add_transform(fault)
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        for p in ch.poll(poll_frame):
+            assert p.frame + delay <= poll_frame
+
+    @given(send_schedule(), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_loss_conserves_sent(self, schedule, prob):
+        ch = Channel("c")
+        fault = PacketLoss(Trigger(probability=prob))
+        fault.bind(np.random.default_rng(1))
+        ch.add_transform(fault)
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        delivered = ch.poll(10_000)
+        assert len(delivered) + ch.stats.dropped == len(schedule)
+
+    @given(send_schedule(), st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_reorder_is_a_permutation(self, schedule, max_extra):
+        ch = Channel("c")
+        fault = PacketReorder(max_extra_frames=max_extra, trigger=Trigger(probability=0.7))
+        fault.bind(np.random.default_rng(2))
+        ch.add_transform(fault)
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert sorted(delivered) == [p for _, p in schedule]
+
+    @given(send_schedule())
+    @settings(max_examples=30)
+    def test_poll_latest_never_returns_stale_after_fresh(self, schedule):
+        """poll_latest is monotone in packet frame across polls."""
+        ch = Channel("c")
+        last_seen = -1
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+            pkt = ch.poll_latest(frame)
+            if pkt is not None:
+                assert pkt.frame >= last_seen
+                last_seen = pkt.frame
+
+
+class TestTransformComposition:
+    @given(send_schedule(), st.integers(0, 5), st.integers(0, 5))
+    @settings(max_examples=40)
+    def test_two_latencies_add(self, schedule, l1, l2):
+        ch = Channel("c")
+        ch.add_transform(FixedLatency(l1))
+        ch.add_transform(FixedLatency(l2))
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+        horizon = schedule[-1][0] + l1 + l2
+        early = ch.poll(horizon - 1) if horizon > 0 else []
+        late = ch.poll(horizon)
+        assert len(early) + len(late) == len(schedule)
+
+    def test_drop_then_delay_order_matters_for_stats(self):
+        class DropEven(ChannelTransform):
+            def on_send(self, packet, deliver_frame):
+                if packet.payload % 2 == 0:
+                    return None
+                return [(packet, deliver_frame)]
+
+        ch = Channel("c")
+        ch.add_transform(DropEven())
+        ch.add_transform(FixedLatency(2))
+        for i in range(10):
+            ch.send(Packet("k", i, i))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert delivered == [1, 3, 5, 7, 9]
+        assert ch.stats.dropped == 5

@@ -1,0 +1,263 @@
+"""Unit tests for channels and the server/client loop."""
+
+import numpy as np
+import pytest
+
+from repro.sim.builders import SimulationBuilder
+from repro.sim.channel import Channel, ChannelTransform, FixedLatency, Packet
+from repro.sim.client import AgentClient
+from repro.sim.physics import VehicleControl
+from repro.sim.scenario import Mission, Scenario
+from repro.sim.server import SimulationServer
+from repro.sim.town import GridTownConfig
+
+
+class TestChannel:
+    def test_same_frame_delivery(self):
+        ch = Channel("c")
+        ch.send(Packet("control", 3, "x"))
+        assert [p.payload for p in ch.poll(3)] == ["x"]
+
+    def test_not_delivered_early(self):
+        ch = Channel("c", latency_frames=2)
+        ch.send(Packet("control", 3, "x"))
+        assert ch.poll(4) == []
+        assert [p.payload for p in ch.poll(5)] == ["x"]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c", latency_frames=-1)
+
+    def test_poll_order_stable(self):
+        ch = Channel("c")
+        ch.send(Packet("k", 1, "a"))
+        ch.send(Packet("k", 1, "b"))
+        assert [p.payload for p in ch.poll(1)] == ["a", "b"]
+
+    def test_poll_latest_picks_freshest(self):
+        ch = Channel("c")
+        ch.send(Packet("k", 1, "old"))
+        ch.send(Packet("k", 2, "new"))
+        pkt = ch.poll_latest(5)
+        assert pkt is not None and pkt.payload == "new"
+
+    def test_poll_latest_empty(self):
+        assert Channel("c").poll_latest(10) is None
+
+    def test_drop_transform_counts(self):
+        class DropAll(ChannelTransform):
+            def on_send(self, packet, deliver_frame):
+                return None
+
+        ch = Channel("c")
+        ch.add_transform(DropAll())
+        ch.send(Packet("k", 1, "x"))
+        assert ch.poll(10) == []
+        assert ch.stats.dropped == 1
+        assert ch.stats.sent == 1
+
+    def test_delay_transform_counts(self):
+        ch = Channel("c")
+        ch.add_transform(FixedLatency(3))
+        ch.send(Packet("k", 1, "x"))
+        assert ch.poll(2) == []
+        assert len(ch.poll(4)) == 1
+        assert ch.stats.delayed == 1
+
+    def test_duplicating_transform(self):
+        class Dup(ChannelTransform):
+            def on_send(self, packet, deliver_frame):
+                return [(packet, deliver_frame), (packet, deliver_frame + 1)]
+
+        ch = Channel("c")
+        ch.add_transform(Dup())
+        ch.send(Packet("k", 1, "x"))
+        assert len(ch.poll(0)) == 0
+        assert len(ch.poll(1)) == 1
+        assert len(ch.poll(2)) == 1
+
+    def test_transforms_chain_in_order(self):
+        ch = Channel("c")
+        ch.add_transform(FixedLatency(1))
+        ch.add_transform(FixedLatency(2))
+        ch.send(Packet("k", 0, "x"))
+        assert ch.poll(2) == []
+        assert len(ch.poll(3)) == 1
+
+    def test_remove_transform(self):
+        t = FixedLatency(5)
+        ch = Channel("c")
+        ch.add_transform(t)
+        ch.remove_transform(t)
+        ch.send(Packet("k", 0, "x"))
+        assert len(ch.poll(0)) == 1
+
+    def test_clear_resets_everything(self):
+        ch = Channel("c")
+        ch.send(Packet("k", 0, "x"))
+        ch.clear()
+        assert ch.pending() == 0
+        assert ch.stats.sent == 0
+        assert ch.poll(100) == []
+
+    def test_reordered_delivery_by_frame(self):
+        ch = Channel("c")
+        ch.send(Packet("k", 0, "slow"))
+        ch.send(Packet("k", 1, "fast"))
+        # Delay the first packet by rescheduling through the heap directly:
+        # packets delivered in deliver-frame order regardless of send order.
+        ch2 = Channel("c2")
+        ch2.add_transform(FixedLatency(2))
+        ch2.send(Packet("k", 0, "slow"))
+        ch2.remove_transform(ch2.transforms[0])
+        ch2.send(Packet("k", 1, "fast"))
+        delivered = [p.payload for p in ch2.poll(10)]
+        assert delivered == ["fast", "slow"]
+
+
+class _ConstantAgent:
+    """Drives straight at fixed throttle; counts steps."""
+
+    def __init__(self):
+        self.steps = 0
+
+    def reset(self, mission):
+        pass
+
+    def step(self, frame):
+        self.steps += 1
+        return VehicleControl(throttle=0.5)
+
+
+@pytest.fixture(scope="module")
+def episode():
+    builder = SimulationBuilder(with_lidar=False)
+    scenarios = _scenario()
+    handles = builder.build_episode(scenarios)
+    return handles
+
+
+def _scenario():
+    from repro.sim.town import build_grid_town
+
+    cfg = GridTownConfig(rows=2, cols=3)
+    town = build_grid_town(cfg)
+    wp = town.spawn_points()[0]
+    from repro.sim.geometry import Transform, Vec2
+
+    mission = Mission(
+        start=Transform(wp.position, wp.yaw),
+        goal=wp.next(40.0).position,
+        time_limit_s=30.0,
+    )
+    return Scenario(mission=mission, town_config=cfg, seed=5)
+
+
+class TestServerClientLoop:
+    def test_lockstep_loop_moves_vehicle(self):
+        builder = SimulationBuilder(with_lidar=False)
+        handles = builder.build_episode(_scenario())
+        world = handles.world
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+        agent = _ConstantAgent()
+        client = AgentClient(agent, sensor_ch, control_ch)
+        server.send_initial_frame()
+        for _ in range(30):
+            client.tick(world.frame)
+            server.tick()
+        assert agent.steps == 30
+        assert world.ego.odometer_m > 1.0
+        assert client.frames_missed == 0
+
+    def test_server_requires_ego(self):
+        from repro.sim.town import build_grid_town
+        from repro.sim.world import World
+
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        world = World(town)
+        builder = SimulationBuilder(with_lidar=False)
+        suite = builder.build_episode(_scenario()).sensors
+        with pytest.raises(ValueError):
+            SimulationServer(world, suite, Channel("s"), Channel("c"))
+
+    def test_control_hold_when_channel_starved(self):
+        """When control packets stop, the server replays the last command."""
+        builder = SimulationBuilder(with_lidar=False)
+        handles = builder.build_episode(_scenario())
+        world = handles.world
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+        agent = _ConstantAgent()
+        client = AgentClient(agent, sensor_ch, control_ch)
+        server.send_initial_frame()
+        for _ in range(10):
+            client.tick(world.frame)
+            server.tick()
+        # Stop the client entirely: the car must keep its last throttle.
+        speed_before = world.ego.speed()
+        for _ in range(10):
+            server.tick()
+        assert world.ego.speed() >= speed_before * 0.8
+
+    def test_input_filters_applied(self):
+        builder = SimulationBuilder(with_lidar=False)
+        handles = builder.build_episode(_scenario())
+        world = handles.world
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+
+        seen = []
+
+        class Spy:
+            def reset(self, mission):
+                pass
+
+            def step(self, frame):
+                seen.append(frame.image.max())
+                return VehicleControl()
+
+        client = AgentClient(Spy(), sensor_ch, control_ch)
+
+        def blackout(bundle):
+            bundle = bundle.copy()
+            bundle.image[:] = 0
+            return bundle
+
+        client.input_filters.append(blackout)
+        server.send_initial_frame()
+        client.tick(world.frame)
+        assert seen == [0]
+
+    def test_output_filters_applied(self):
+        builder = SimulationBuilder(with_lidar=False)
+        handles = builder.build_episode(_scenario())
+        world = handles.world
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+        client = AgentClient(_ConstantAgent(), sensor_ch, control_ch)
+
+        def slam_brakes(control, frame):
+            return VehicleControl(brake=1.0)
+
+        client.output_filters.append(slam_brakes)
+        server.send_initial_frame()
+        for _ in range(20):
+            client.tick(world.frame)
+            server.tick()
+        assert world.ego.speed() == pytest.approx(0.0, abs=1e-6)
+        assert world.ego.odometer_m < 0.5
+
+    def test_client_counts_missed_frames(self):
+        builder = SimulationBuilder(with_lidar=False)
+        handles = builder.build_episode(_scenario())
+        world = handles.world
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+        client = AgentClient(_ConstantAgent(), sensor_ch, control_ch)
+        sensor_ch.add_transform(FixedLatency(5))
+        server.send_initial_frame()
+        for _ in range(10):
+            client.tick(world.frame)
+            server.tick()
+        assert client.frames_missed > 0

@@ -1,0 +1,183 @@
+"""Unit tests for :mod:`repro.sim.physics`."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.geometry import Transform, Vec2
+from repro.sim.physics import BicycleModel, VehicleControl, VehicleSpec, VehicleState
+
+DT = 1.0 / 15.0
+
+
+@pytest.fixture
+def model():
+    return BicycleModel()
+
+
+def drive(model, state, control, seconds):
+    for _ in range(int(seconds / DT)):
+        state = model.step(state, control, DT)
+    return state
+
+
+class TestControlSanitisation:
+    def test_clamps_out_of_range(self):
+        c = VehicleControl(steer=3.0, throttle=-1.0, brake=7.0).clamped()
+        assert c.steer == 1.0
+        assert c.throttle == 0.0
+        assert c.brake == 1.0
+
+    def test_non_finite_degrades_to_neutral(self):
+        c = VehicleControl(steer=float("nan"), throttle=float("inf"), brake=float("nan")).clamped()
+        assert c.steer == 0.0
+        assert c.throttle == 0.0  # non-finite (incl. inf) -> neutral
+        assert c.brake == 0.0
+
+    def test_neg_inf_throttle(self):
+        assert VehicleControl(throttle=float("-inf")).clamped().throttle == 0.0
+
+    def test_preserves_flags(self):
+        c = VehicleControl(reverse=True, hand_brake=True).clamped()
+        assert c.reverse and c.hand_brake
+
+
+class TestLongitudinal:
+    def test_accelerates_from_rest(self, model):
+        s = drive(model, VehicleState(0, 0, 0), VehicleControl(throttle=1.0), 3.0)
+        assert s.speed > 5.0
+        assert s.x > 5.0
+
+    def test_braking_stops_without_reversing(self, model):
+        s = VehicleState(0, 0, 0, speed=10.0)
+        s = drive(model, s, VehicleControl(brake=1.0), 3.0)
+        assert s.speed == 0.0
+
+    def test_coasting_decays(self, model):
+        s0 = VehicleState(0, 0, 0, speed=10.0)
+        s = drive(model, s0, VehicleControl(), 5.0)
+        assert 0.0 <= s.speed < 10.0
+
+    def test_speed_capped(self, model):
+        s = drive(model, VehicleState(0, 0, 0), VehicleControl(throttle=1.0), 60.0)
+        assert s.speed <= model.spec.max_speed + 1e-9
+
+    def test_reverse(self, model):
+        s = drive(model, VehicleState(0, 0, 0), VehicleControl(throttle=0.5, reverse=True), 3.0)
+        assert s.speed < 0.0
+        assert s.x < 0.0
+        assert s.speed >= -model.spec.max_reverse_speed
+
+    def test_hand_brake_stops(self, model):
+        s = VehicleState(0, 0, 0, speed=8.0)
+        s = drive(model, s, VehicleControl(throttle=1.0, hand_brake=True), 3.0)
+        assert s.speed == pytest.approx(0.0, abs=0.2)
+
+    def test_brake_holds_at_standstill(self, model):
+        s = VehicleState(0, 0, 0, 0.0)
+        s = drive(model, s, VehicleControl(throttle=0.3, brake=1.0), 1.0)
+        assert s.speed == pytest.approx(0.0, abs=1e-6)
+
+    def test_dt_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.step(VehicleState(0, 0, 0), VehicleControl(), 0.0)
+
+
+class TestLateral:
+    def test_straight_line_keeps_heading(self, model):
+        s = drive(model, VehicleState(0, 0, 0.5, 5.0), VehicleControl(throttle=0.3), 2.0)
+        assert s.yaw == pytest.approx(0.5)
+
+    def test_positive_steer_turns_left(self, model):
+        s = drive(
+            model, VehicleState(0, 0, 0, 5.0), VehicleControl(throttle=0.3, steer=0.5), 1.0
+        )
+        assert s.yaw > 0.1
+        assert s.y > 0.0
+
+    def test_negative_steer_turns_right(self, model):
+        s = drive(
+            model, VehicleState(0, 0, 0, 5.0), VehicleControl(throttle=0.3, steer=-0.5), 1.0
+        )
+        assert s.yaw < -0.1
+        assert s.y < 0.0
+
+    def test_turn_radius_matches_bicycle_formula(self, model):
+        # Hold speed and steer; the turning radius must match L / tan(delta).
+        spec = model.spec
+        steer = 0.6
+        delta = steer * spec.max_steer_angle
+        expected_radius = spec.wheelbase / math.tan(delta)
+        state = VehicleState(0, 0, 0, 5.0)
+        # Run half a circle with constant speed (no throttle/drag: force speed).
+        positions = []
+        for _ in range(400):
+            state = model.step(state, VehicleControl(steer=steer, throttle=0.25), DT)
+            state = VehicleState(state.x, state.y, state.yaw, 5.0)
+            positions.append((state.x, state.y))
+        xs = [p[0] for p in positions]
+        ys = [p[1] for p in positions]
+        measured_radius = (max(ys) - min(ys)) / 2.0
+        assert measured_radius == pytest.approx(expected_radius, rel=0.1)
+
+    def test_no_yaw_change_at_standstill(self, model):
+        s = drive(model, VehicleState(0, 0, 0.2, 0.0), VehicleControl(steer=1.0), 1.0)
+        assert s.yaw == pytest.approx(0.2)
+
+    @given(
+        st.floats(-1, 1),
+        st.floats(0, 1),
+        st.floats(0, 1),
+        st.floats(0, 25),
+    )
+    @settings(max_examples=60)
+    def test_state_always_finite(self, steer, throttle, brake, speed):
+        model = BicycleModel()
+        s = VehicleState(0, 0, 0, speed)
+        for _ in range(20):
+            s = model.step(s, VehicleControl(steer, throttle, brake), DT)
+        assert math.isfinite(s.x) and math.isfinite(s.y)
+        assert math.isfinite(s.yaw) and math.isfinite(s.speed)
+        assert -math.pi < s.yaw <= math.pi
+
+
+class TestCorruptedControls:
+    """Fault injection feeds raw bit-flipped floats into the integrator."""
+
+    @pytest.mark.parametrize(
+        "control",
+        [
+            VehicleControl(steer=float("nan")),
+            VehicleControl(throttle=float("inf")),
+            VehicleControl(brake=float("-inf")),
+            VehicleControl(steer=1e30, throttle=-1e30, brake=float("nan")),
+        ],
+    )
+    def test_survives_non_finite_commands(self, model, control):
+        s = VehicleState(0, 0, 0, 10.0)
+        for _ in range(30):
+            s = model.step(s, control, DT)
+        assert math.isfinite(s.x) and math.isfinite(s.speed)
+
+
+class TestHelpers:
+    def test_stopping_distance_increases_with_speed(self, model):
+        assert model.stopping_distance(20.0) > model.stopping_distance(5.0)
+        assert model.stopping_distance(0.0) == pytest.approx(0.0)
+
+    def test_teleport(self, model):
+        s = model.teleport(VehicleState(0, 0, 0, 5.0), Transform(Vec2(7, 8), 1.0), speed=2.0)
+        assert (s.x, s.y, s.yaw, s.speed) == (7.0, 8.0, 1.0, 2.0)
+
+    def test_state_accessors(self):
+        s = VehicleState(1, 2, math.pi / 2, 3.0)
+        assert s.position.distance_to(Vec2(1, 2)) < 1e-12
+        v = s.velocity()
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(3.0)
+
+    def test_spec_half_extents(self):
+        spec = VehicleSpec(length=4.0, width=2.0)
+        assert spec.half_extents() == (2.0, 1.0)

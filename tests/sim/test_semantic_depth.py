@@ -1,0 +1,80 @@
+"""Tests for the semantic-segmentation / depth camera outputs."""
+
+import numpy as np
+import pytest
+
+from repro.sim.actors import Pedestrian, Vehicle
+from repro.sim.geometry import Transform, Vec2
+from repro.sim.render import CameraModel, Renderer, SemanticClass
+from repro.sim.town import GridTownConfig, build_grid_town
+
+
+@pytest.fixture(scope="module")
+def town():
+    return build_grid_town(GridTownConfig(rows=2, cols=3))
+
+
+@pytest.fixture(scope="module")
+def renderer(town):
+    return Renderer(town, CameraModel(width=64, height=48))
+
+
+@pytest.fixture
+def ego_pose(town):
+    wp = town.spawn_points()[0]
+    return Transform(wp.position, wp.yaw)
+
+
+class TestSemanticLayer:
+    def test_shapes_and_dtypes(self, renderer, ego_pose):
+        sem, depth = renderer.render_semantic_depth(ego_pose, [])
+        assert sem.shape == (48, 64)
+        assert sem.dtype == np.uint8
+        assert depth.shape == (48, 64)
+        assert depth.dtype == np.float32
+
+    def test_sky_at_top(self, renderer, ego_pose):
+        sem, depth = renderer.render_semantic_depth(ego_pose, [])
+        # With buildings present some top pixels are BUILDING; the rest sky.
+        top = sem[0]
+        assert set(np.unique(top)) <= {SemanticClass.SKY, SemanticClass.BUILDING}
+        assert np.isinf(depth[0][top == SemanticClass.SKY]).all()
+
+    def test_road_ahead(self, renderer, ego_pose):
+        sem, _ = renderer.render_semantic_depth(ego_pose, [])
+        bottom_center = sem[-4:, 28:36]
+        assert (bottom_center == SemanticClass.ROAD).mean() > 0.8
+
+    def test_vehicle_labelled(self, renderer, ego_pose):
+        blocker = Vehicle(Transform(ego_pose.to_world(Vec2(10.0, 0.0)), ego_pose.yaw))
+        sem, depth = renderer.render_semantic_depth(ego_pose, [blocker])
+        vehicle_pixels = sem == SemanticClass.VEHICLE
+        assert vehicle_pixels.any()
+        assert depth[vehicle_pixels].min() == pytest.approx(10.0, abs=1.0)
+
+    def test_pedestrian_labelled(self, renderer, ego_pose, town):
+        ped = Pedestrian(Transform(ego_pose.to_world(Vec2(8.0, 1.0)), 0.0), town)
+        sem, _ = renderer.render_semantic_depth(ego_pose, [ped])
+        assert (sem == SemanticClass.PEDESTRIAN).any()
+
+    def test_depth_monotone_up_center_column(self, renderer, ego_pose):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3, with_buildings=False))
+        clean = Renderer(town, CameraModel(width=64, height=48))
+        _, depth = clean.render_semantic_depth(ego_pose, [])
+        col = depth[:, 32]
+        finite = col[np.isfinite(col)]
+        # Ground depth decreases from horizon (top) to the bumper (bottom).
+        assert np.all(np.diff(finite) < 0)
+
+    def test_semantic_consistent_with_rgb_geometry(self, renderer, ego_pose):
+        """The RGB road region and semantic ROAD region overlap heavily."""
+        from repro.sim.render import SURFACE_COLORS
+        from repro.sim.town import SurfaceType
+
+        rgb = renderer.render(ego_pose, [])
+        sem, _ = renderer.render_semantic_depth(ego_pose, [])
+        road_color = np.array(SURFACE_COLORS[int(SurfaceType.ROAD)])
+        rgbish = np.abs(rgb.astype(int) - road_color).sum(axis=2) < 60
+        semantic_road = sem == SemanticClass.ROAD
+        overlap = (rgbish & semantic_road).sum() / max(1, rgbish.sum())
+        assert overlap > 0.7

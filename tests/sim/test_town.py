@@ -1,0 +1,261 @@
+"""Unit tests for :mod:`repro.sim.town`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.geometry import Vec2
+from repro.sim.town import (
+    GridTownConfig,
+    LaneRef,
+    SurfaceType,
+    build_grid_town,
+)
+
+
+@pytest.fixture(scope="module")
+def town():
+    return build_grid_town(GridTownConfig(rows=3, cols=3, block_size=80.0))
+
+
+class TestGridTownConfig:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            GridTownConfig(rows=1, cols=3)
+
+    def test_rejects_single_block_town(self):
+        # One block has a disconnected U-turn-free lane graph.
+        with pytest.raises(ValueError, match="2x3"):
+            GridTownConfig(rows=2, cols=2)
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ValueError):
+            GridTownConfig(block_size=10.0, lane_width=3.5)
+
+    def test_config_hashable_for_caching(self):
+        assert hash(GridTownConfig()) == hash(GridTownConfig())
+
+
+class TestTopology:
+    def test_counts(self, town):
+        # 3x3 grid: 9 intersections, 2*3*2 = 12 roads, 24 lanes.
+        assert len(town.intersections) == 9
+        assert len(town.roads) == 12
+        assert len(town.lanes) == 24
+
+    def test_every_road_registered_at_both_ends(self, town):
+        for road in town.roads.values():
+            assert road.id in town.intersections[road.a].road_ids
+            assert road.id in town.intersections[road.b].road_ids
+
+    def test_corner_intersections_have_two_roads(self, town):
+        corners = [0, 2, 6, 8]
+        for c in corners:
+            assert len(town.intersections[c].road_ids) == 2
+
+    def test_center_intersection_has_four_roads(self, town):
+        assert len(town.intersections[4].road_ids) == 4
+
+    def test_other_end(self, town):
+        road = town.roads[0]
+        assert road.other_end(road.a) == road.b
+        assert road.other_end(road.b) == road.a
+        with pytest.raises(ValueError):
+            road.other_end(9999)
+
+    def test_route_edges_cover_all_lanes(self, town):
+        edges = town.route_edges()
+        assert len(edges) == len(town.lanes)
+        refs = {e.lane_ref for e in edges}
+        assert refs == set(town.lanes)
+
+    def test_lane_endpoints_consistent(self, town):
+        for lane in town.lanes.values():
+            assert lane.start_intersection != lane.end_intersection
+            road = lane.road
+            assert lane.start_intersection in (road.a, road.b)
+
+
+class TestLaneGeometry:
+    def test_lanes_offset_right_of_travel(self, town):
+        # For an eastbound lane the centreline must sit south of the road
+        # centreline (right-hand traffic).
+        road = next(r for r in town.roads.values() if abs(r.heading) < 1e-6)
+        east = road.lane(+1)
+        mid = east.centerline.point_at(east.length / 2)
+        road_mid = road.centerline.point_at(road.length / 2)
+        assert mid.y < road_mid.y
+
+    def test_opposite_lanes_run_opposite_directions(self, town):
+        road = town.roads[0]
+        h1 = road.lane(+1).centerline.heading_at(1.0)
+        h2 = road.lane(-1).centerline.heading_at(1.0)
+        assert abs(abs(h1 - h2) - math.pi) < 1e-6
+
+    def test_waypoint_next_advances(self, town):
+        lane = town.roads[0].lane(+1)
+        wp = lane.waypoint_at(0.0)
+        wp2 = wp.next(5.0)
+        assert wp2.station == pytest.approx(5.0)
+        assert wp2.position.distance_to(wp.position) == pytest.approx(5.0, rel=1e-3)
+
+    def test_waypoint_clamps_at_end(self, town):
+        lane = town.roads[0].lane(+1)
+        wp = lane.waypoint_at(1e9)
+        assert wp.station == pytest.approx(lane.length)
+
+    def test_lane_locate_on_centerline(self, town):
+        lane = town.roads[0].lane(+1)
+        p = lane.centerline.point_at(10.0)
+        s, lat = lane.locate(p)
+        assert s == pytest.approx(10.0, abs=0.2)
+        assert lat == pytest.approx(0.0, abs=1e-6)
+
+
+class TestQueries:
+    def test_nearest_lane_matches_direction_hint(self, town):
+        road = next(r for r in town.roads.values() if abs(r.heading) < 1e-6)
+        center = road.centerline.point_at(road.length / 2)
+        east, _, _ = town.nearest_lane(center, yaw_hint=0.0)
+        west, _, _ = town.nearest_lane(center, yaw_hint=math.pi)
+        assert east.ref.direction != west.ref.direction
+
+    def test_classify_road_point(self, town):
+        lane = town.roads[0].lane(+1)
+        p = lane.centerline.point_at(5.0)
+        cls = town.classify_points(np.array([[p.x, p.y]]))[0]
+        assert cls == SurfaceType.ROAD
+
+    def test_classify_offroad_point(self, town):
+        xmin, ymin, _, _ = town.bounds
+        cls = town.classify_points(np.array([[xmin - 50.0, ymin - 50.0]]))[0]
+        assert cls == SurfaceType.OFFROAD
+
+    def test_classify_curb_band(self, town):
+        road = next(r for r in town.roads.values() if abs(r.heading) < 1e-6)
+        mid = road.centerline.point_at(road.length / 2)
+        curb_point = Vec2(mid.x, mid.y + road.half_width + town.sidewalk_width / 2)
+        cls = town.classify_points(np.array([[curb_point.x, curb_point.y]]))[0]
+        assert cls == SurfaceType.CURB
+
+    def test_classify_intersection_core_is_road(self, town):
+        inter = town.intersections[4]
+        cls = town.classify_points(np.array([[inter.center.x, inter.center.y]]))[0]
+        assert cls == SurfaceType.ROAD
+
+    def test_is_on_road(self, town):
+        inter = town.intersections[4]
+        assert town.is_on_road(inter.center)
+        assert not town.is_on_road(Vec2(-100.0, -100.0))
+
+    def test_locate_reports_lateral_sign(self, town):
+        road = next(r for r in town.roads.values() if abs(r.heading) < 1e-6)
+        lane = road.lane(+1)
+        base = lane.centerline.point_at(10.0)
+        left = Vec2(base.x, base.y + 0.5)
+        loc = town.locate(left, yaw_hint=0.0)
+        assert loc.lateral == pytest.approx(0.5, abs=0.05)
+        assert not loc.off_lane
+
+    def test_off_lane_flag(self, town):
+        road = next(r for r in town.roads.values() if abs(r.heading) < 1e-6)
+        lane = road.lane(+1)
+        base = lane.centerline.point_at(10.0)
+        far = Vec2(base.x, base.y + lane.width)
+        loc = town.locate(far, yaw_hint=0.0)
+        assert loc.off_lane
+
+    def test_classify_batch_shapes(self, town):
+        pts = np.random.default_rng(0).uniform(-20, 180, size=(500, 2))
+        out = town.classify_points(pts)
+        assert out.shape == (500,)
+        assert set(np.unique(out)) <= {0, 1, 2}
+
+
+class TestConnectors:
+    def test_connection_curve_endpoints(self, town):
+        inter = town.intersections[4]
+        roads = [town.roads[r] for r in inter.road_ids]
+        incoming = roads[0].lane(+1 if roads[0].b == 4 else -1)
+        outgoing = roads[1].lane(+1 if roads[1].a == 4 else -1)
+        curve = town.connection_curve(incoming, outgoing)
+        assert curve.points[0].distance_to(
+            incoming.centerline.point_at(incoming.length)
+        ) < 1e-6
+        assert curve.points[-1].distance_to(outgoing.centerline.point_at(0.0)) < 1e-6
+
+    def test_connector_stays_inside_junction(self, town):
+        inter = town.intersections[4]
+        margin = inter.half_size + 0.5
+        roads = [town.roads[r] for r in inter.road_ids]
+        for rin in roads:
+            lane_in = rin.lane(+1 if rin.b == 4 else -1)
+            for rout in roads:
+                if rout.id == rin.id:
+                    continue
+                lane_out = rout.lane(+1 if rout.a == 4 else -1)
+                curve = town.connection_curve(lane_in, lane_out)
+                for p in curve.points:
+                    assert abs(p.x - inter.center.x) <= margin
+                    assert abs(p.y - inter.center.y) <= margin
+
+    def test_turn_direction_classification(self, town):
+        inter = town.intersections[4]
+        # Find eastbound incoming and northbound outgoing: a left turn.
+        incoming = outgoing_s = outgoing_l = outgoing_r = None
+        for rid in inter.road_ids:
+            road = town.roads[rid]
+            for direction in (+1, -1):
+                lane = road.lane(direction)
+                if lane.end_intersection == 4:
+                    h = lane.centerline.heading_at(lane.length)
+                    if abs(h) < 0.01:
+                        incoming = lane
+                if lane.start_intersection == 4:
+                    h = lane.centerline.heading_at(0.0)
+                    if abs(h) < 0.01:
+                        outgoing_s = lane
+                    elif abs(h - math.pi / 2) < 0.01:
+                        outgoing_l = lane
+                    elif abs(h + math.pi / 2) < 0.01:
+                        outgoing_r = lane
+        assert incoming is not None
+        assert town.turn_direction(incoming, outgoing_s) == "STRAIGHT"
+        assert town.turn_direction(incoming, outgoing_l) == "LEFT"
+        assert town.turn_direction(incoming, outgoing_r) == "RIGHT"
+
+
+class TestSpawnsAndMarkings:
+    def test_spawn_points_on_road(self, town):
+        spawns = town.spawn_points()
+        assert len(spawns) > 50
+        pts = np.array([[wp.position.x, wp.position.y] for wp in spawns])
+        classes = town.classify_points(pts)
+        assert np.all(classes == SurfaceType.ROAD)
+
+    def test_spawn_points_respect_margin(self, town):
+        for wp in town.spawn_points(margin=8.0):
+            assert 8.0 - 1e-6 <= wp.station <= wp.lane.length - 8.0 + 1e-6
+
+    def test_markings_cover_all_roads(self, town):
+        stripes = town.markings()
+        # one centre line + two edge lines per road
+        assert len(stripes) == 3 * len(town.roads)
+
+    def test_buildings_present_and_off_road(self, town):
+        assert town.buildings, "grid town should place block buildings"
+        for b in town.buildings:
+            cls = town.classify_points(
+                np.array([[b.box.center.x, b.box.center.y]])
+            )[0]
+            assert cls == SurfaceType.OFFROAD
+
+    def test_building_free_town(self):
+        t = build_grid_town(GridTownConfig(rows=2, cols=3, with_buildings=False))
+        assert t.buildings == []
+
+    def test_iter_lanes_stable_order(self, town):
+        refs = [lane.ref for lane in town.iter_lanes()]
+        assert refs == sorted(refs)
+        assert len(refs) == len(town.lanes)

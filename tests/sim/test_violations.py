@@ -1,0 +1,207 @@
+"""Unit tests for :mod:`repro.sim.violations`."""
+
+import math
+
+import pytest
+
+from repro.sim.actors import Pedestrian, Vehicle
+from repro.sim.geometry import Transform, Vec2
+from repro.sim.town import GridTownConfig, build_grid_town
+from repro.sim.violations import (
+    ACCIDENT_TYPES,
+    ViolationEvent,
+    ViolationMonitor,
+    ViolationType,
+)
+from repro.sim.world import World
+
+
+@pytest.fixture(scope="module")
+def town():
+    return build_grid_town(GridTownConfig(rows=2, cols=3))
+
+
+@pytest.fixture
+def world(town):
+    return World(town, seed=0)
+
+
+def _lane_pose(town, station=20.0, lateral=0.0):
+    lane = town.roads[0].lane(+1)
+    base = lane.centerline.point_at(station)
+    heading = lane.centerline.heading_at(station)
+    normal = Vec2.from_heading(heading + math.pi / 2.0)
+    return Transform(base + normal * lateral, heading)
+
+
+class TestEventModel:
+    def test_accident_classification(self):
+        e = ViolationEvent(ViolationType.COLLISION_PEDESTRIAN, 0, (0, 0))
+        assert e.is_accident
+        e2 = ViolationEvent(ViolationType.LANE, 0, (0, 0))
+        assert not e2.is_accident
+
+    def test_accident_types_cover_all_collisions(self):
+        collisions = {t for t in ViolationType if t.value.startswith("collision")}
+        assert collisions == set(ACCIDENT_TYPES)
+
+
+class TestLaneViolations:
+    def test_centered_vehicle_clean(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, lateral=0.0))
+        mon = ViolationMonitor()
+        for _ in range(20):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        assert mon.events == []
+
+    def test_off_lane_starts_one_event(self, town, world):
+        # 2.5 m left of the lane centre: over the centre line, still on road.
+        ego = world.spawn_ego(_lane_pose(town, lateral=2.5))
+        mon = ViolationMonitor()
+        for _ in range(30):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        lane_events = [e for e in mon.events if e.type == ViolationType.LANE]
+        assert len(lane_events) == 1, "continuous condition must be one event"
+
+    def test_event_closes_when_back_in_lane(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, lateral=2.5))
+        mon = ViolationMonitor(clear_frames=3)
+        for _ in range(5):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        ego.teleport(_lane_pose(town, lateral=0.0))
+        for _ in range(10):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        event = next(e for e in mon.events if e.type == ViolationType.LANE)
+        assert event.end_frame is not None
+
+    def test_debounce_requires_clear_frames(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, lateral=2.5))
+        mon = ViolationMonitor(clear_frames=8)
+        world.tick()
+        mon.step(world, ego, world.frame)
+        # Briefly back in lane for fewer than clear_frames...
+        ego.teleport(_lane_pose(town, station=21.0, lateral=0.0))
+        for _ in range(3):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        # ...then out again: still the same event.
+        ego.teleport(_lane_pose(town, station=22.0, lateral=2.5))
+        for _ in range(3):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        assert mon.count(ViolationType.LANE) == 1
+
+
+class TestCurbViolations:
+    def test_on_sidewalk(self, town, world):
+        road = town.roads[0]
+        off = road.half_width + town.sidewalk_width / 2.0
+        ego = world.spawn_ego(_lane_pose(town, lateral=off + road.lane_width / 2.0))
+        mon = ViolationMonitor()
+        world.tick()
+        events = mon.step(world, ego, world.frame)
+        assert any(e.type == ViolationType.CURB for e in events)
+
+    def test_inside_intersection_not_lane_violation(self, town, world):
+        inter = town.intersections[0]
+        ego = world.spawn_ego(Transform(inter.center, 0.0))
+        mon = ViolationMonitor()
+        for _ in range(10):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        assert mon.count(ViolationType.LANE) == 0
+        assert mon.count(ViolationType.CURB) == 0
+
+
+class TestCollisions:
+    def test_vehicle_collision_once_per_contact(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0))
+        other_pose = _lane_pose(town, station=23.0)
+        world.add_actor(Vehicle(other_pose))
+        mon = ViolationMonitor()
+        for _ in range(10):
+            world.tick()
+            mon.step(world, ego, world.frame)
+        assert mon.count(ViolationType.COLLISION_VEHICLE) == 1
+
+    def test_pedestrian_collision_classified(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0))
+        ped_pose = _lane_pose(town, station=21.5)
+        world.add_actor(Pedestrian(ped_pose, town))
+        mon = ViolationMonitor()
+        world.tick()
+        events = mon.step(world, ego, world.frame)
+        assert any(e.type == ViolationType.COLLISION_PEDESTRIAN for e in events)
+
+    def test_two_distinct_contacts_two_events(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0))
+        world.add_actor(Vehicle(_lane_pose(town, station=23.0)))
+        world.add_actor(Vehicle(_lane_pose(town, station=17.0)))
+        mon = ViolationMonitor()
+        world.tick()
+        mon.step(world, ego, world.frame)
+        assert mon.count(ViolationType.COLLISION_VEHICLE) == 2
+
+    def test_building_collision_static(self, town, world):
+        building = town.buildings[0]
+        ego = world.spawn_ego(Transform(building.box.center, 0.0))
+        mon = ViolationMonitor()
+        world.tick()
+        events = mon.step(world, ego, world.frame)
+        assert any(e.type == ViolationType.COLLISION_STATIC for e in events)
+
+    def test_contact_separation_closes_event(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0))
+        other = Vehicle(_lane_pose(town, station=23.0))
+        world.add_actor(other)
+        mon = ViolationMonitor()
+        world.tick()
+        mon.step(world, ego, world.frame)
+        other.teleport(_lane_pose(town, station=60.0))
+        world.tick()
+        mon.step(world, ego, world.frame)
+        event = mon.events[0]
+        assert event.end_frame is not None
+
+    def test_recontact_counts_again(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0))
+        other = Vehicle(_lane_pose(town, station=23.0))
+        world.add_actor(other)
+        mon = ViolationMonitor()
+        world.tick()
+        mon.step(world, ego, world.frame)
+        other.teleport(_lane_pose(town, station=60.0))
+        world.tick()
+        mon.step(world, ego, world.frame)
+        other.teleport(_lane_pose(town, station=23.0))
+        world.tick()
+        mon.step(world, ego, world.frame)
+        assert mon.count(ViolationType.COLLISION_VEHICLE) == 2
+
+
+class TestMonitorLifecycle:
+    def test_reset_clears_state(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, lateral=2.5))
+        mon = ViolationMonitor()
+        world.tick()
+        mon.step(world, ego, world.frame)
+        assert mon.events
+        mon.reset()
+        assert mon.events == []
+        world.tick()
+        assert len(mon.step(world, ego, world.frame)) == 1  # detects afresh
+
+    def test_accidents_listing(self, town, world):
+        ego = world.spawn_ego(_lane_pose(town, station=20.0, lateral=2.5))
+        world.add_actor(Vehicle(_lane_pose(town, station=23.0, lateral=2.5)))
+        mon = ViolationMonitor()
+        world.tick()
+        mon.step(world, ego, world.frame)
+        accidents = mon.accidents()
+        assert len(accidents) == 1
+        assert accidents[0].type == ViolationType.COLLISION_VEHICLE
+        assert mon.count() >= 2  # lane violation + collision

@@ -1,0 +1,261 @@
+"""Cross-module integration tests: the full AVFI pipeline end to end.
+
+These tests exercise the same wiring the benchmarks use, at miniature
+scale: real town, real renderer, real channels, real agents, real fault
+models — just short missions and a tiny (untrained or quickly trained)
+network where a learned policy is not the point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agent import (
+    AutopilotAgent,
+    autopilot_agent_factory,
+    nn_agent_factory,
+)
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core import (
+    Campaign,
+    TraceReader,
+    TraceWriter,
+    compare_traces,
+    metrics_by_injector,
+    run_episode,
+    standard_scenarios,
+)
+from repro.core.faults import (
+    GaussianNoise,
+    GPSNoiseFault,
+    OutputDelay,
+    PacketLoss,
+    SaltAndPepper,
+    SensorDelay,
+    SolidOcclusion,
+    Trigger,
+    WeatherShiftFault,
+    WeightNoise,
+)
+from repro.sim.builders import SimulationBuilder
+from repro.sim.render import CameraModel
+from repro.sim.town import GridTownConfig
+
+TOWN = GridTownConfig(rows=2, cols=3)
+TINY = ILCNNConfig(input_hw=(16, 24), conv_channels=(4, 6, 6), trunk_dim=16,
+                   speed_dim=4, branch_hidden=8, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return SimulationBuilder(camera=CameraModel(width=24, height=16), with_lidar=True)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return standard_scenarios(
+        2, seed=12, town_config=TOWN, min_distance=60, max_distance=160,
+        n_npc_vehicles=1, n_pedestrians=1,
+    )
+
+
+class TestFullCampaignAllFaultKinds:
+    def test_every_fault_class_in_one_campaign(self, builder, scenarios):
+        """One campaign spanning all five fault classes must complete."""
+        model = ILCNN(TINY)
+        model.set_training(False)
+        injectors = {
+            "none": [],
+            "data": [GaussianNoise(0.05), GPSNoiseFault(2.0)],
+            "hw+timing": [OutputDelay(5), PacketLoss(Trigger(probability=0.1))],
+            "ml": [WeightNoise(0.1)],
+            "world": [WeatherShiftFault("FoggyNoon")],
+        }
+        campaign = Campaign(
+            scenarios, nn_agent_factory(model), injectors, builder=builder
+        )
+        result = campaign.run()
+        assert len(result.records) == campaign.total_runs()
+        metrics = metrics_by_injector(result.records)
+        assert set(metrics) == set(injectors)
+        for record in result.records:
+            assert record.frames > 0
+            assert record.distance_km >= 0.0
+
+    def test_sensor_delay_starves_agent(self, builder, scenarios):
+        record = run_episode(
+            builder,
+            scenarios[0],
+            autopilot_agent_factory(),
+            faults=[SensorDelay(4)],
+            injector_name="sensor-delay",
+        )
+        assert record.agent_frames_missed > 0
+
+    def test_weather_fault_affects_outcome_determinism(self, builder, scenarios):
+        """World faults participate in deterministic replay too."""
+        kwargs = dict(
+            faults=[WeatherShiftFault("HardRainNoon")],
+            injector_name="weather",
+            harness_seed=3,
+        )
+        a = run_episode(builder, scenarios[0], autopilot_agent_factory(), **kwargs)
+        b = run_episode(builder, scenarios[0], autopilot_agent_factory(), **kwargs)
+        assert a.frames == b.frames
+        assert a.distance_km == b.distance_km
+
+
+class TestGoldenRunTraces:
+    def _trace_episode(self, builder, scenario, path, faults=(), seed=5):
+        """Run one instrumented episode writing a trace."""
+        from repro.core.injector import InjectionHarness
+        from repro.sim.channel import Channel
+        from repro.sim.client import AgentClient
+        from repro.sim.server import SimulationServer
+
+        handles = builder.build_episode(scenario)
+        world = handles.world
+        agent = AutopilotAgent(world, handles.town)
+        agent.reset(scenario.mission)
+        sensor_ch, control_ch = Channel("sensor"), Channel("control")
+        server = SimulationServer(world, handles.sensors, sensor_ch, control_ch)
+        client = AgentClient(agent, sensor_ch, control_ch)
+        harness = InjectionHarness(list(faults), seed=seed)
+        harness.attach(server, client)
+        with TraceWriter(path, header={"scenario": scenario.name}) as tw:
+            server.send_initial_frame()
+            for _ in range(150):
+                client.tick(world.frame)
+                result = server.tick()
+                harness.on_frame(world, world.frame)
+                ego = world.ego
+                tw.state(world.frame, ego.position.x, ego.position.y, ego.yaw, ego.speed())
+                for event in result.new_violations:
+                    tw.violation(event.start_frame, event.type.value)
+        harness.detach()
+        return TraceReader(path)
+
+    def test_identical_seeds_identical_traces(self, builder, scenarios, tmp_path):
+        a = self._trace_episode(builder, scenarios[0], tmp_path / "a.jsonl")
+        b = self._trace_episode(builder, scenarios[0], tmp_path / "b.jsonl")
+        assert compare_traces(a, b) is None
+
+    def test_fault_is_the_only_divergence_source(self, builder, scenarios, tmp_path):
+        """Golden vs. faulted runs diverge only after the fault window opens."""
+        golden = self._trace_episode(builder, scenarios[0], tmp_path / "g.jsonl")
+        faulted = self._trace_episode(
+            builder,
+            scenarios[0],
+            tmp_path / "f.jsonl",
+            faults=[SolidOcclusion(size_frac=0.6, trigger=Trigger(start_frame=40))],
+        )
+        divergence = compare_traces(golden, faulted)
+        if divergence is not None:
+            # The autopilot ignores the camera, so there may be no
+            # divergence at all; if there is (sensor rng consumption), it
+            # must not predate the injection.
+            assert divergence.frame >= 40
+
+
+class TestTrainedPolicySmoke:
+    """A minimally trained policy must beat a random one on its own data."""
+
+    def test_training_improves_action_prediction(self, builder):
+        from repro.agent import CollectionConfig, TrainConfig, collect_imitation_data, train_ilcnn
+        from repro.agent.ilcnn import preprocess_image
+        from repro.agent.nn.losses import mse_loss
+
+        scenario = standard_scenarios(
+            1, seed=2, town_config=TOWN, min_distance=60, max_distance=140
+        )[0]
+        dataset = collect_imitation_data(
+            [scenario], builder=builder,
+            config=CollectionConfig(seed=0, max_frames_per_episode=200),
+        )
+        model, _ = train_ilcnn(
+            dataset, TINY, TrainConfig(epochs=4, batch_size=32, seed=0)
+        )
+        random_model = ILCNN(TINY)
+        random_model.set_training(False)
+
+        idx = np.arange(0, len(dataset), 4)
+        images = np.stack(
+            [preprocess_image(dataset.images[i], TINY.input_hw) for i in idx]
+        )
+        speeds = dataset.speeds[idx]
+        commands = dataset.commands[idx].astype(np.int64)
+        actions = dataset.actions[idx]
+        trained_loss, _ = mse_loss(model.forward(images, speeds, commands), actions)
+        random_loss, _ = mse_loss(random_model.forward(images, speeds, commands), actions)
+        assert trained_loss < random_loss * 0.7
+
+
+class TestTaskTierEpisodes:
+    """The expert completes each traffic-free task tier cleanly."""
+
+    @pytest.mark.parametrize("task", ["straight", "one_turn"])
+    def test_expert_completes_tier(self, builder, task):
+        from repro.sim import make_task_scenarios
+
+        scenario = make_task_scenarios(task, 1, seed=6, town_config=TOWN)[0]
+        record = run_episode(builder, scenario, autopilot_agent_factory())
+        assert record.success, f"expert failed {task}: {record.violations}"
+        assert record.n_violations == 0
+
+
+class TestCLI:
+    def test_list_faults(self, capsys):
+        from repro.cli import main
+
+        assert main(["list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out and "water-drop" in out
+
+    def test_demo_runs_end_to_end(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "none" in out and "faulted" in out
+        assert "MSR_%" in out
+
+    def test_parser_rejects_unknown_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp-drive"])
+
+    def test_parser_covers_all_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for cmd in ("demo", "campaign", "sweep-delay", "train", "list-faults"):
+            args = parser.parse_args([cmd] if cmd != "train" else ["train"])
+            assert callable(args.func)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_public_exports_importable(self):
+        from repro.core import __all__ as core_all
+        import repro.core as core
+
+        for name in core_all:
+            assert hasattr(core, name), name
+
+    def test_sim_exports_importable(self):
+        from repro.sim import __all__ as sim_all
+        import repro.sim as sim
+
+        for name in sim_all:
+            assert hasattr(sim, name), name
+
+    def test_agent_exports_importable(self):
+        from repro.agent import __all__ as agent_all
+        import repro.agent as agent
+
+        for name in agent_all:
+            assert hasattr(agent, name), name
