@@ -1,0 +1,6 @@
+"""Figure-reproduction and throughput benchmarks.
+
+A real package so pytest imports benchmark modules as
+``benchmarks.test_*`` and their ``from .conftest import …`` relative
+imports resolve (the bare-directory layout broke tier-1 collection).
+"""

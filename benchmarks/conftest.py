@@ -28,6 +28,18 @@ from repro.sim.builders import SimulationBuilder
 ARTIFACTS = Path(__file__).parent / "_artifacts"
 RESULTS = Path(__file__).parent / "results"
 
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    Figure reproductions run minutes of simulation (the ``nn`` agent
+    trains on first use), so the default ``-q`` tier-1 run deselects them;
+    run with ``-m slow`` (or ``-m ""``) to execute.
+    """
+    for item in items:
+        if Path(item.fspath).parent == Path(__file__).parent:
+            item.add_marker(pytest.mark.slow)
+
 #: Scenario suite seed for evaluation campaigns.  Distinct from the
 #: training-data seed (100) so benchmark missions are unseen by the agent.
 EVAL_SEED = 777

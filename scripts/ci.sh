@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Single verification entry point: tier-1 tests plus a parallel smoke run.
+#
+#   scripts/ci.sh            # quick suite (benchmarks deselected) + smoke
+#   scripts/ci.sh --slow     # additionally run the slow benchmark tier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest -x -q =="
+python -m pytest -x -q
+
+echo "== smoke: 2-worker parallel campaign =="
+python examples/parallel_campaign.py --workers 2 --runs 2 --agent autopilot
+
+if [[ "${1:-}" == "--slow" ]]; then
+    echo "== slow tier: benchmarks =="
+    python -m pytest -x -q -m slow
+fi
+
+echo "CI OK"

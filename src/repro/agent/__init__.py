@@ -3,7 +3,9 @@
 from .agents import (
     AgentFactory,
     AutopilotAgent,
+    AutopilotAgentFactory,
     NNAgent,
+    NNAgentFactory,
     autopilot_agent_factory,
     nn_agent_factory,
 )
@@ -21,7 +23,9 @@ from .training import (
 __all__ = [
     "AgentFactory",
     "AutopilotAgent",
+    "AutopilotAgentFactory",
     "NNAgent",
+    "NNAgentFactory",
     "autopilot_agent_factory",
     "nn_agent_factory",
     "Expert",

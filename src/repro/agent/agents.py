@@ -35,6 +35,8 @@ __all__ = [
     "NNAgent",
     "AutopilotAgent",
     "AgentFactory",
+    "NNAgentFactory",
+    "AutopilotAgentFactory",
     "nn_agent_factory",
     "autopilot_agent_factory",
 ]
@@ -132,23 +134,44 @@ class AutopilotAgent:
 AgentFactory = Callable[[EpisodeHandles, Mission], "object"]
 
 
-def nn_agent_factory(model: ILCNN, replan_tolerance: float = 10.0) -> AgentFactory:
-    """Factory adapting :class:`NNAgent` to the campaign protocol."""
+class NNAgentFactory:
+    """Factory adapting :class:`NNAgent` to the campaign protocol.
 
-    def build(handles: EpisodeHandles, mission: Mission) -> NNAgent:
-        agent = NNAgent(model, handles.town, replan_tolerance)
+    A plain callable class (not a closure) so campaigns can be pickled to
+    parallel worker processes; each worker then builds agents from its own
+    copy of the model.
+    """
+
+    def __init__(self, model: ILCNN, replan_tolerance: float = 10.0):
+        self.model = model
+        self.replan_tolerance = replan_tolerance
+
+    def __call__(self, handles: EpisodeHandles, mission: Mission) -> NNAgent:
+        agent = NNAgent(self.model, handles.town, self.replan_tolerance)
         agent.reset(mission)
         return agent
 
-    return build
+
+class AutopilotAgentFactory:
+    """Factory adapting :class:`AutopilotAgent` to the campaign protocol.
+
+    Picklable for the same reason as :class:`NNAgentFactory`.
+    """
+
+    def __init__(self, expert_config: ExpertConfig | None = None):
+        self.expert_config = expert_config
+
+    def __call__(self, handles: EpisodeHandles, mission: Mission) -> AutopilotAgent:
+        agent = AutopilotAgent(handles.world, handles.town, self.expert_config)
+        agent.reset(mission)
+        return agent
+
+
+def nn_agent_factory(model: ILCNN, replan_tolerance: float = 10.0) -> AgentFactory:
+    """Factory adapting :class:`NNAgent` to the campaign protocol."""
+    return NNAgentFactory(model, replan_tolerance)
 
 
 def autopilot_agent_factory(expert_config: ExpertConfig | None = None) -> AgentFactory:
     """Factory adapting :class:`AutopilotAgent` to the campaign protocol."""
-
-    def build(handles: EpisodeHandles, mission: Mission) -> AutopilotAgent:
-        agent = AutopilotAgent(handles.world, handles.town, expert_config)
-        agent.reset(mission)
-        return agent
-
-    return build
+    return AutopilotAgentFactory(expert_config)

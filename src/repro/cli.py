@@ -23,6 +23,12 @@ def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--npc-vehicles", type=int, default=2)
     parser.add_argument("--pedestrians", type=int, default=2)
     parser.add_argument("--save", default=None, help="write records JSON here")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for episode execution (1 = serial)",
+    )
 
 
 def _agent_factory(kind: str):
@@ -45,7 +51,7 @@ def _run_campaign(args, injectors) -> None:
     )
     campaign = Campaign(
         scenarios, _agent_factory(args.agent), injectors,
-        builder=SimulationBuilder(), verbose=True,
+        builder=SimulationBuilder(), verbose=True, workers=args.workers,
     )
     result = campaign.run()
     if args.save:

@@ -13,6 +13,7 @@ from .campaign import (
     Campaign,
     CampaignResult,
     RunRecord,
+    episode_fingerprint,
     run_episode,
     standard_scenarios,
 )
@@ -36,6 +37,17 @@ from .metrics import (
     violations_per_km,
 )
 from .reporting import bar_chart, boxplot, figure_header, format_table
+from .runner import (
+    CampaignContext,
+    EpisodeTask,
+    ParallelCampaignRunner,
+    ProcessExecutor,
+    SerialExecutor,
+    available_cpus,
+    episode_seed,
+    execute_task,
+    make_executor,
+)
 from .trace import TraceDivergence, TraceReader, TraceWriter, compare_traces
 
 __all__ = [
@@ -49,6 +61,7 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "RunRecord",
+    "episode_fingerprint",
     "run_episode",
     "standard_scenarios",
     "InjectionHarness",
@@ -72,6 +85,15 @@ __all__ = [
     "boxplot",
     "figure_header",
     "format_table",
+    "CampaignContext",
+    "EpisodeTask",
+    "ParallelCampaignRunner",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "available_cpus",
+    "episode_seed",
+    "execute_task",
+    "make_executor",
     "TraceDivergence",
     "TraceReader",
     "TraceWriter",

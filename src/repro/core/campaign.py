@@ -14,6 +14,8 @@ to the injector, not to workload luck.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field
@@ -31,7 +33,53 @@ from ..sim.violations import ViolationEvent
 from .faults.base import FaultModel
 from .injector import InjectionHarness
 
-__all__ = ["RunRecord", "CampaignResult", "Campaign", "run_episode", "standard_scenarios"]
+__all__ = [
+    "RunRecord",
+    "CampaignResult",
+    "Campaign",
+    "episode_fingerprint",
+    "run_episode",
+    "standard_scenarios",
+]
+
+
+def episode_fingerprint(scenario: Scenario, faults: Sequence[FaultModel] = ()) -> str:
+    """A short stable hash of what defines an episode's configuration.
+
+    Scenario *names* are just ``scn-0..n`` and episode seeds derive from
+    grid indices, so two different suites (other seed, town, distances…)
+    — or the same injector name with retuned fault parameters — produce
+    colliding ``(injector, name, seed)`` identities.  Checkpoint rows
+    carry this fingerprint over the scenario **and** the fault
+    configuration (each fault's parameter ``describe()`` plus trigger),
+    so resuming against a checkpoint from a different configuration
+    re-runs episodes instead of silently returning stale records.  The
+    agent and builder are not fingerprinted (arbitrary callables); keep
+    separate checkpoints per agent.
+
+    Each fault is described through a *reset clone*, so per-episode state
+    (a :class:`~repro.core.faults.ml_faults.WeightBitFlip`'s drawn
+    ``sites``, say) never leaks into the hash — the fingerprint is the
+    same whether computed before, during or after a campaign.
+    """
+
+    def fault_config(fault: FaultModel):
+        probe = copy.deepcopy(fault)
+        probe.reset()
+        return (sorted(probe.describe().items()), repr(getattr(probe, "trigger", None)))
+
+    key = repr(
+        (
+            scenario.mission,
+            scenario.town_config,
+            scenario.weather,
+            scenario.n_npc_vehicles,
+            scenario.n_pedestrians,
+            scenario.seed,
+            [fault_config(fault) for fault in faults],
+        )
+    )
+    return hashlib.sha1(key.encode()).hexdigest()[:12]
 
 
 @dataclass
@@ -50,6 +98,10 @@ class RunRecord:
     injection_frames: list[int] = field(default_factory=list)
     faults: list[dict] = field(default_factory=list)
     agent_frames_missed: int = 0
+    #: Configuration fingerprint (:func:`episode_fingerprint`); "" in
+    #: records written before the field existed — those never match a
+    #: live grid, so resume safely re-runs (and excludes) them.
+    config_fingerprint: str = ""
 
     @property
     def n_violations(self) -> int:
@@ -113,6 +165,7 @@ def run_episode(
     injector_name: str = "none",
     harness_seed: int = 0,
     trace_path: str | Path | None = None,
+    config_fingerprint: str | None = None,
 ) -> RunRecord:
     """Run one episode under the given fault set and record the outcome.
 
@@ -125,6 +178,8 @@ def run_episode(
     """
     from .trace import TraceWriter  # local import: tracing is optional
 
+    if config_fingerprint is None:
+        config_fingerprint = episode_fingerprint(scenario, faults)
     handles = builder.build_episode(scenario)
     world = handles.world
     ego = world.ego
@@ -192,6 +247,7 @@ def run_episode(
         injection_frames=injection_frames,
         faults=fault_descriptions,
         agent_frames_missed=client.frames_missed,
+        config_fingerprint=config_fingerprint,
     )
 
 
@@ -230,7 +286,14 @@ class CampaignResult:
 
 
 class Campaign:
-    """A full (injector × scenario) fault-injection sweep."""
+    """A full (injector × scenario) fault-injection sweep.
+
+    ``workers`` selects parallel execution: the default (``None``/``1``)
+    runs episodes serially in-process, anything larger fans episodes out
+    to a process pool via
+    :class:`~repro.core.runner.ParallelCampaignRunner`.  Both paths share
+    the per-episode seed formula and return identical results.
+    """
 
     def __init__(
         self,
@@ -240,6 +303,8 @@ class Campaign:
         builder: SimulationBuilder | None = None,
         base_seed: int = 0,
         verbose: bool = False,
+        workers: int | None = None,
+        executor=None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
@@ -251,34 +316,32 @@ class Campaign:
         self.builder = builder or SimulationBuilder()
         self.base_seed = base_seed
         self.verbose = verbose
+        self.workers = workers
+        self.executor = executor
 
     def total_runs(self) -> int:
         """Number of episodes the campaign will execute."""
         return len(self.scenarios) * len(self.injectors)
 
-    def run(self) -> CampaignResult:
-        """Execute every (injector, scenario) episode sequentially."""
-        result = CampaignResult()
-        for inj_idx, (name, faults) in enumerate(self.injectors.items()):
-            for scn_idx, scenario in enumerate(self.scenarios):
-                harness_seed = self.base_seed * 1_000_003 + inj_idx * 10_007 + scn_idx
-                record = run_episode(
-                    self.builder,
-                    scenario,
-                    self.agent_factory,
-                    faults=faults,
-                    injector_name=name,
-                    harness_seed=harness_seed,
-                )
-                result.records.append(record)
-                if self.verbose:
-                    status = "ok " if record.success else "FAIL"
-                    print(
-                        f"[campaign] {name:>12} {scenario.name:>8} {status} "
-                        f"{record.distance_km * 1000:6.0f} m  "
-                        f"{record.n_violations} violations"
-                    )
-        return result
+    def run(self, workers: int | None = None) -> CampaignResult:
+        """Execute every (injector, scenario) episode.
+
+        ``workers`` overrides the constructor setting for this run.
+        """
+        from .runner import ParallelCampaignRunner  # deferred: runner imports us
+
+        runner = ParallelCampaignRunner(
+            self.scenarios,
+            self.agent_factory,
+            self.injectors,
+            builder=self.builder,
+            base_seed=self.base_seed,
+            workers=workers if workers is not None else self.workers,
+            executor=self.executor,
+            verbose=self.verbose,
+            label="campaign",
+        )
+        return runner.run()
 
 
 def standard_scenarios(

@@ -16,16 +16,16 @@ layer:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
 from ..sim.builders import SimulationBuilder
 from ..sim.scenario import Scenario
-from .campaign import RunRecord, run_episode
+from .campaign import RunRecord
 from .faults.base import FaultModel
 from .metrics import ResilienceMetrics, metrics_by_injector
+from .runner import ParallelCampaignRunner, load_checkpoint_records
 
 __all__ = ["sweep", "Study", "summary_frame"]
 
@@ -55,10 +55,13 @@ def sweep(
 class Study:
     """A resumable fault-injection study.
 
-    Episodes are identified by ``(injector, scenario, seed)``; records are
+    Episodes are identified by ``(injector, scenario, seed)`` plus a
+    configuration fingerprint (see
+    :func:`~repro.core.campaign.episode_fingerprint`); records are
     appended to ``checkpoint_path`` (JSON lines) as they complete, and
     :meth:`run` skips identities already present — re-running a partially
-    completed study only executes the remainder.
+    completed study only executes the remainder, while a checkpoint from
+    a *different* suite never matches and re-runs.
     """
 
     scenarios: Sequence[Scenario]
@@ -74,53 +77,55 @@ class Study:
             raise ValueError("study needs at least one scenario")
         if not self.injectors:
             raise ValueError("study needs at least one injector")
-        self.records: list[RunRecord] = []
         if self.checkpoint_path is not None:
             self.checkpoint_path = Path(self.checkpoint_path)
-            if self.checkpoint_path.exists():
-                for line in self.checkpoint_path.read_text().splitlines():
-                    self.records.append(RunRecord(**json.loads(line)))
+        self.records: list[RunRecord] = load_checkpoint_records(self.checkpoint_path)
+        if self.records:
+            # Keep only rows that belong to this study's episode grid;
+            # rows from another suite (or pre-fingerprint rows) would
+            # otherwise pollute metrics() and duplicate after re-runs.
+            self.records = self._runner().grid_records()
 
-    def _identity(self, injector: str, scenario: Scenario, seed: int) -> tuple:
-        return (injector, scenario.name, seed)
-
-    def _completed(self) -> set[tuple]:
-        return {(r.injector, r.scenario, r.seed) for r in self.records}
+    def _runner(self, workers: int | None = None, executor=None) -> ParallelCampaignRunner:
+        return ParallelCampaignRunner(
+            self.scenarios,
+            self.agent_factory,
+            self.injectors,
+            builder=self.builder,
+            base_seed=self.base_seed,
+            workers=workers,
+            executor=executor,
+            checkpoint_path=self.checkpoint_path,
+            # self.records already holds the checkpoint contents (loaded
+            # once in __post_init__) plus anything run since; handing it
+            # over avoids re-parsing the JSONL on every pending()/run().
+            resume_records=self.records,
+            verbose=self.verbose,
+            label="study",
+        )
 
     def pending(self) -> list[tuple[str, Scenario, int]]:
         """The (injector, scenario, seed) triples still to execute."""
-        done = self._completed()
-        out = []
-        for inj_idx, name in enumerate(self.injectors):
-            for scn_idx, scenario in enumerate(self.scenarios):
-                seed = self.base_seed * 1_000_003 + inj_idx * 10_007 + scn_idx
-                if self._identity(name, scenario, seed) not in done:
-                    out.append((name, scenario, seed))
-        return out
+        return [(t.injector, t.scenario, t.seed) for t in self._runner().pending()]
 
-    def _append_checkpoint(self, record: RunRecord) -> None:
-        if self.checkpoint_path is None:
-            return
-        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.checkpoint_path.open("a") as fh:
-            fh.write(json.dumps(record.to_dict()) + "\n")
+    def run(self, workers: int | None = None, executor=None) -> list[RunRecord]:
+        """Execute every pending episode; returns the study's records.
 
-    def run(self) -> list[RunRecord]:
-        """Execute every pending episode; returns all records (old + new)."""
-        for name, scenario, seed in self.pending():
-            record = run_episode(
-                self.builder,
-                scenario,
-                self.agent_factory,
-                faults=self.injectors[name],
-                injector_name=name,
-                harness_seed=seed,
-            )
-            self.records.append(record)
-            self._append_checkpoint(record)
-            if self.verbose:
-                status = "ok " if record.success else "FAIL"
-                print(f"[study] {name:>14} {scenario.name:>10} {status}")
+        One record per completed grid episode (resumed + fresh), in grid
+        order; checkpoint rows from a different suite are ignored rather
+        than double-counted.  ``workers`` > 1 distributes pending episodes
+        over a process pool (see
+        :class:`~repro.core.runner.ParallelCampaignRunner`); records still
+        stream to the checkpoint as each episode completes, so an
+        interrupted parallel study resumes exactly like a serial one.
+        """
+        runner = self._runner(workers, executor)
+        try:
+            runner.run()
+        finally:
+            # Keep whatever completed even when an episode (or the pool)
+            # raised, so a retry only executes the remainder.
+            self.records = runner.grid_records()
         return list(self.records)
 
     def metrics(self) -> dict[str, ResilienceMetrics]:

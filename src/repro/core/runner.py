@@ -1,0 +1,457 @@
+"""Parallel campaign execution: scheduling episodes across worker processes.
+
+The paper's headline experiments are (scenario × injector × seed) sweeps of
+*independent* episodes, which makes them embarrassingly parallel — as long
+as three invariants survive the distribution:
+
+* **determinism** — every episode's outcome is a pure function of
+  ``(scenario, injector faults, harness seed)``; the paired-design seed
+  formula (:func:`episode_seed`) is computed up front so results never
+  depend on which worker ran what, or in which order;
+* **ordering** — records are collected back into the canonical grid order
+  (injector-major, scenario-minor), so aggregate metrics and summary rows
+  are byte-identical to a serial run;
+* **resumability** — each finished episode is appended to a JSONL
+  checkpoint (the same format :class:`~repro.core.experiment.Study` uses),
+  so an interrupted overnight sweep restarts where it stopped and never
+  executes an episode twice.
+
+The execution strategy is pluggable: :class:`SerialExecutor` runs tasks
+in-process (tests, debugging, ``workers<=1``) and :class:`ProcessExecutor`
+fans chunks of tasks out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Both feed the same top-level, picklable :func:`execute_task` →
+:func:`~repro.core.campaign.run_episode` path, so the serial run is the
+ground truth the parallel run must reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..sim.builders import SimulationBuilder
+from ..sim.scenario import Scenario
+from .campaign import CampaignResult, RunRecord, episode_fingerprint, run_episode
+from .faults.base import FaultModel
+
+__all__ = [
+    "EpisodeTask",
+    "CampaignContext",
+    "available_cpus",
+    "execute_task",
+    "episode_seed",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "load_checkpoint_records",
+    "ParallelCampaignRunner",
+]
+
+
+def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
+    """Parse a JSONL checkpoint into records (empty for missing/None paths).
+
+    A hard kill (or full disk) can truncate the final append mid-line;
+    that trailing fragment is dropped silently — the episode simply
+    re-runs on resume.  A malformed line anywhere *else* means real
+    corruption and raises.
+    """
+    if path is None:
+        return []
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
+    records = []
+    for lineno, line in enumerate(lines):
+        try:
+            records.append(RunRecord(**json.loads(line)))
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # truncated final write; resume re-runs this episode
+            raise ValueError(
+                f"corrupt checkpoint {path}: unparseable JSON on line {lineno + 1}"
+            )
+    return records
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def episode_seed(base_seed: int, injector_index: int, scenario_index: int) -> int:
+    """The paired-design seed for one (injector, scenario) cell.
+
+    Shared by the serial :class:`~repro.core.campaign.Campaign`, the
+    resumable :class:`~repro.core.experiment.Study` and the parallel
+    runner, so all three execute the *same* episode set for the same
+    configuration.
+    """
+    return base_seed * 1_000_003 + injector_index * 10_007 + scenario_index
+
+
+@dataclass(frozen=True)
+class EpisodeTask:
+    """One schedulable unit of campaign work.
+
+    ``index`` is the episode's position in the canonical grid
+    (injector-major, scenario-minor); results are re-ordered by it after
+    parallel execution.
+    """
+
+    index: int
+    injector: str
+    scenario: Scenario
+    seed: int
+    #: :func:`~repro.core.campaign.episode_fingerprint` of the scenario
+    #: and this injector's fault configuration.
+    fingerprint: str = ""
+
+    def identity(self) -> tuple[str, str, int, str]:
+        """The checkpoint identity.
+
+        ``(injector, scenario name, seed, config fingerprint)`` — the
+        fingerprint keeps a checkpoint written for a *different*
+        configuration (other scenario suite, retuned fault parameters)
+        from matching.
+        """
+        return (self.injector, self.scenario.name, self.seed, self.fingerprint)
+
+
+@dataclass
+class CampaignContext:
+    """Everything a worker needs to execute any task of one campaign.
+
+    Shipped to each worker process once (pool initializer), so per-task
+    payloads stay small.  Must be picklable: the builder, the agent
+    factory and every fault model travel to the workers by value — each
+    worker therefore mutates only its own copies (model-weight faults
+    included), which is what keeps parallel episodes independent.
+    """
+
+    builder: SimulationBuilder
+    agent_factory: Callable
+    injectors: dict[str, tuple[FaultModel, ...]]
+
+
+def execute_task(context: CampaignContext, task: EpisodeTask) -> RunRecord:
+    """Run one episode task.  Top-level and pure: both executors call this."""
+    return run_episode(
+        context.builder,
+        task.scenario,
+        context.agent_factory,
+        faults=context.injectors[task.injector],
+        injector_name=task.injector,
+        harness_seed=task.seed,
+        # The task's fingerprint IS the record's identity: passing it
+        # through keeps them equal by construction.
+        config_fingerprint=task.fingerprint or None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+#: Per-process campaign context, set once by the pool initializer.
+_WORKER_CONTEXT: CampaignContext | None = None
+
+
+def _init_worker(context: CampaignContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_task_chunk(tasks: Sequence[EpisodeTask]) -> list[tuple[int, RunRecord]]:
+    """Worker-side entry point: execute a chunk against the process context."""
+    assert _WORKER_CONTEXT is not None, "worker pool not initialised"
+    return [(task.index, execute_task(_WORKER_CONTEXT, task)) for task in tasks]
+
+
+class SerialExecutor:
+    """In-process execution — deterministic, no pickling, no subprocesses.
+
+    The reference implementation parallel executors are checked against,
+    and the right choice for ``workers<=1``, debugging and unit tests.
+    """
+
+    name = "serial"
+
+    def run(
+        self, context: CampaignContext, tasks: Sequence[EpisodeTask]
+    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
+        """Yield ``(task, record)`` as episodes complete (here: grid order)."""
+        for task in tasks:
+            yield task, execute_task(context, task)
+
+
+class ProcessExecutor:
+    """Process-pool execution with chunked scheduling.
+
+    The default chunk is a single episode: episodes run for seconds, so
+    per-task IPC is negligible, the pool load-balances perfectly, and
+    every completed episode reaches the checkpoint before the next
+    starts.  For sweeps of very short episodes a larger ``chunksize``
+    amortises scheduling overhead — at the cost of checkpoint
+    granularity, since a chunk's records only travel back (and get
+    checkpointed) when the whole chunk finishes.
+
+    Results stream back in completion order; the runner re-orders them.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, chunksize: int | None = None):
+        self.workers = max(1, workers if workers is not None else available_cpus())
+        self.chunksize = chunksize
+
+    def _chunks(self, tasks: Sequence[EpisodeTask]) -> list[list[EpisodeTask]]:
+        size = max(1, self.chunksize or 1)
+        return [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
+
+    def run(
+        self, context: CampaignContext, tasks: Sequence[EpisodeTask]
+    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
+        """Yield ``(task, record)`` as episodes complete (arbitrary order).
+
+        If a worker chunk raises, the queued (not yet started) chunks are
+        cancelled but every already-finished chunk is still yielded — so
+        the runner checkpoints all completed work — and the first worker
+        exception re-raises after the drain.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        by_index = {task.index: task for task in tasks}
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_worker, initargs=(context,)
+        )
+        try:
+            futures = [pool.submit(_run_task_chunk, chunk) for chunk in self._chunks(tasks)]
+            error: Exception | None = None
+            for future in as_completed(futures):
+                try:
+                    chunk_records = future.result()
+                except CancelledError:
+                    continue
+                except Exception as exc:
+                    if error is None:
+                        error = exc
+                        for other in futures:
+                            other.cancel()
+                    continue
+                for index, record in chunk_records:
+                    yield by_index[index], record
+            if error is not None:
+                raise error
+        finally:
+            # On abnormal exit (worker exception, consumer error, closed
+            # generator) queued chunks must not keep burning compute whose
+            # results nobody will collect; a no-op on normal completion.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def make_executor(
+    executor: str | SerialExecutor | ProcessExecutor | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
+):
+    """Resolve an executor spec (``"serial"``/``"process"``/instance/None).
+
+    With no explicit spec the worker count decides: ``workers`` of
+    ``None``/``0``/``1`` stays serial, anything larger gets a process
+    pool.  Asking for serial execution *and* multiple workers is a
+    contradiction and raises rather than silently dropping the workers.
+    An executor instance is authoritative (its own worker count wins).
+    """
+    parallel_requested = workers is not None and workers > 1
+    if executor is None:
+        executor = "process" if parallel_requested else "serial"
+    if isinstance(executor, SerialExecutor) or executor == "serial":
+        if parallel_requested:
+            raise ValueError(
+                f"executor='serial' conflicts with workers={workers}; "
+                "drop one of the two"
+            )
+        return executor if isinstance(executor, SerialExecutor) else SerialExecutor()
+    if not isinstance(executor, str):
+        return executor
+    if executor == "process":
+        return ProcessExecutor(workers=workers, chunksize=chunksize)
+    raise ValueError(f"unknown executor {executor!r} (expected 'serial' or 'process')")
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+class ParallelCampaignRunner:
+    """Executes a full (injector × scenario) grid on a pluggable executor.
+
+    Construction mirrors :class:`~repro.core.campaign.Campaign`; execution
+    adds worker parallelism, incremental JSONL checkpointing and resume.
+    The hard invariant: for the same configuration, :meth:`run` returns a
+    :class:`~repro.core.campaign.CampaignResult` identical to the serial
+    path's, whatever the executor or worker count.
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        agent_factory: Callable,
+        injectors: dict[str, Sequence[FaultModel]],
+        builder: SimulationBuilder | None = None,
+        base_seed: int = 0,
+        workers: int | None = None,
+        executor: str | SerialExecutor | ProcessExecutor | None = None,
+        chunksize: int | None = None,
+        checkpoint_path: str | Path | None = None,
+        resume_records: Sequence[RunRecord] | None = None,
+        verbose: bool = False,
+        label: str = "runner",
+        on_record: Callable[[EpisodeTask, RunRecord], None] | None = None,
+    ):
+        if not scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        if not injectors:
+            raise ValueError("campaign needs at least one injector (use {'none': []})")
+        self.scenarios = list(scenarios)
+        self.agent_factory = agent_factory
+        self.injectors = dict(injectors)
+        self.builder = builder or SimulationBuilder()
+        self.base_seed = base_seed
+        self.executor = make_executor(executor, workers=workers, chunksize=chunksize)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.verbose = verbose
+        self.label = label
+        self.on_record = on_record
+        # Explicit resume_records are authoritative (the caller already
+        # loaded or owns them); otherwise read the checkpoint file.
+        self._checkpoint_records: list[RunRecord] = (
+            list(resume_records)
+            if resume_records is not None
+            else load_checkpoint_records(self.checkpoint_path)
+        )
+        self._new_records: dict[int, RunRecord] = {}
+        self._tasks: list[EpisodeTask] | None = None
+
+    # -- planning ------------------------------------------------------
+
+    def tasks(self) -> list[EpisodeTask]:
+        """The full episode grid in canonical (injector, scenario) order.
+
+        Computed once per runner (fingerprinting deep-copies fault models,
+        and pending()/grid_records() call this several times per run).
+        """
+        if self._tasks is None:
+            out: list[EpisodeTask] = []
+            for inj_idx, (injector, faults) in enumerate(self.injectors.items()):
+                for scn_idx, scenario in enumerate(self.scenarios):
+                    out.append(
+                        EpisodeTask(
+                            index=len(out),
+                            injector=injector,
+                            scenario=scenario,
+                            seed=episode_seed(self.base_seed, inj_idx, scn_idx),
+                            fingerprint=episode_fingerprint(scenario, faults),
+                        )
+                    )
+            self._tasks = out
+        return list(self._tasks)
+
+    def total_runs(self) -> int:
+        """Number of episodes in the full grid."""
+        return len(self.scenarios) * len(self.injectors)
+
+    @staticmethod
+    def _record_identity(record: RunRecord) -> tuple[str, str, int, str]:
+        return (
+            record.injector,
+            record.scenario,
+            record.seed,
+            record.config_fingerprint,
+        )
+
+    def completed(self) -> set[tuple[str, str, int, str]]:
+        """Identities already present in the checkpoint (or finished)."""
+        done = {self._record_identity(r) for r in self._checkpoint_records}
+        done.update(self._record_identity(r) for r in self._new_records.values())
+        return done
+
+    def pending(self) -> list[EpisodeTask]:
+        """Grid tasks not yet completed, in canonical order."""
+        done = self.completed()
+        return [task for task in self.tasks() if task.identity() not in done]
+
+    # -- checkpointing -------------------------------------------------
+
+    def _append_checkpoint(self, record: RunRecord) -> None:
+        if self.checkpoint_path is None:
+            return
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.checkpoint_path.open("a") as fh:
+            fh.write(json.dumps(record.to_dict()) + "\n")
+
+    # -- execution -----------------------------------------------------
+
+    def context(self) -> CampaignContext:
+        """The picklable per-campaign worker context."""
+        return CampaignContext(
+            builder=self.builder,
+            agent_factory=self.agent_factory,
+            injectors={name: tuple(faults) for name, faults in self.injectors.items()},
+        )
+
+    def run(self) -> CampaignResult:
+        """Execute every pending episode; return the full grid, in order.
+
+        Episodes stream into the checkpoint as they complete (completion
+        order), but the returned result is always canonical grid order —
+        resumed and fresh runs, serial and parallel executors, all yield
+        the same record sequence.
+        """
+        pending = self.pending()
+        context = self.context()
+        for task, record in self.executor.run(context, pending):
+            self._new_records[task.index] = record
+            self._append_checkpoint(record)
+            if self.verbose:
+                status = "ok " if record.success else "FAIL"
+                print(
+                    f"[{self.label}] {record.injector:>12} {record.scenario:>8} "
+                    f"{status} {record.distance_km * 1000:6.0f} m  "
+                    f"{record.n_violations} violations"
+                )
+            if self.on_record is not None:
+                self.on_record(task, record)
+        return CampaignResult(self.grid_records())
+
+    def grid_records(self) -> list[RunRecord]:
+        """One record per completed grid task, resumed or fresh, in grid order.
+
+        Checkpoint rows that match no grid identity (a different suite,
+        or rows written before fingerprinting) are excluded — they are
+        journal history, not results of *this* campaign.
+        """
+        by_identity: dict[tuple, RunRecord] = {}
+        for record in self._checkpoint_records:
+            by_identity.setdefault(self._record_identity(record), record)
+        out = []
+        for task in self.tasks():
+            record = self._new_records.get(task.index) or by_identity.get(task.identity())
+            if record is not None:
+                out.append(record)
+        return out
+
+    def new_records(self) -> list[RunRecord]:
+        """Records executed by this runner (not resumed), in grid order."""
+        return [self._new_records[i] for i in sorted(self._new_records)]
