@@ -3,6 +3,15 @@
 #
 #   scripts/ci.sh            # quick suite (benchmarks deselected) + smoke
 #   scripts/ci.sh --slow     # additionally run the slow benchmark tier
+#
+# The slow tier re-measures the sensor hot paths and writes
+# benchmarks/results/BENCH_sensor_pipeline.json; it FAILS if the full
+# server/client pipeline step (or camera/LIDAR) regresses below the
+# committed baseline (benchmarks/BENCH_sensor_pipeline_baseline.json):
+# 3x/4x multiples against the pre-vectorisation scalar capture, plain
+# parity against a baseline recaptured on another machine with
+#   PYTHONPATH=src python benchmarks/sensor_bench.py --capture-baseline
+# (see benchmarks/test_bench_throughput.py::test_sensor_pipeline_gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +24,10 @@ echo "== smoke: 2-worker parallel campaign =="
 python examples/parallel_campaign.py --workers 2 --runs 2 --agent autopilot
 
 if [[ "${1:-}" == "--slow" ]]; then
-    echo "== slow tier: benchmarks =="
+    echo "== slow tier: benchmarks (incl. sensor pipeline gate) =="
     python -m pytest -x -q -m slow
+    echo "== bench results =="
+    ls -l benchmarks/results/
 fi
 
 echo "CI OK"

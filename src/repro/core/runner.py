@@ -135,11 +135,21 @@ class CampaignContext:
     factory and every fault model travel to the workers by value — each
     worker therefore mutates only its own copies (model-weight faults
     included), which is what keeps parallel episodes independent.
+
+    Heavy scene state (towns, rasterised textures) deliberately does
+    *not* travel: builders pickle without their
+    :class:`~repro.sim.builders.SceneCache`, and each worker re-derives
+    scenes into its process-local cache.  ``warm_configs`` lists the town
+    configurations the campaign will touch so the pool initializer can
+    pre-build them once per worker, before the first timed episode —
+    and the cache keeps them warm across campaigns in the same pool.
     """
 
     builder: SimulationBuilder
     agent_factory: Callable
     injectors: dict[str, tuple[FaultModel, ...]]
+    #: Town configs to pre-build in each worker (deduplicated, grid order).
+    warm_configs: tuple = ()
 
 
 def execute_task(context: CampaignContext, task: EpisodeTask) -> RunRecord:
@@ -168,6 +178,14 @@ _WORKER_CONTEXT: CampaignContext | None = None
 def _init_worker(context: CampaignContext) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+    # Warm this worker's scene cache up front: town building and texture
+    # rasterisation happen once per process here instead of lazily inside
+    # the first scheduled episode.  Warming more configs than the cache
+    # holds would evict the early ones again, so cap at the cache size
+    # (the first configs run first in grid order).
+    limit = context.builder.scene_cache.max_entries
+    for config in context.warm_configs[:limit]:
+        context.builder.renderer_for(config)
 
 
 def _run_task_chunk(tasks: Sequence[EpisodeTask]) -> list[tuple[int, RunRecord]]:
@@ -405,10 +423,14 @@ class ParallelCampaignRunner:
 
     def context(self) -> CampaignContext:
         """The picklable per-campaign worker context."""
+        # Deduplicate town configs in scenario order (deterministic) so
+        # every worker pre-warms exactly the scenes this grid will touch.
+        warm = dict.fromkeys(scenario.town_config for scenario in self.scenarios)
         return CampaignContext(
             builder=self.builder,
             agent_factory=self.agent_factory,
             injectors={name: tuple(faults) for name, faults in self.injectors.items()},
+            warm_configs=tuple(warm),
         )
 
     def run(self) -> CampaignResult:

@@ -102,10 +102,10 @@ class Vehicle(Actor):
         self.transform = transform
 
     def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
-        prev = self.state.position
+        prev_x, prev_y = self.state.x, self.state.y
         self.state = self.model.step(self.state, self.control, dt)
         self.transform = self.state.transform
-        self.odometer_m += self.state.position.distance_to(prev)
+        self.odometer_m += math.hypot(self.state.x - prev_x, self.state.y - prev_y)
 
 
 PEDESTRIAN_SPEC = {"half_length": 0.25, "half_width": 0.25, "height": 1.8}
@@ -215,13 +215,36 @@ class NPCVehicle(Vehicle):
         self._station = station
         self._path: list[Vec2] = []
         self._lookahead = 6.0
+        # Conservative lower bound on the buffered path length, used to
+        # skip the per-tick scan; see _extend_path.
+        self._length_bound = 0.0
+        self._bound_x = 0.0
+        self._bound_y = 0.0
 
     # ------------------------------------------------------------------
     # Path maintenance
     # ------------------------------------------------------------------
     def _extend_path(self, rng: np.random.Generator) -> None:
-        """Append waypoints until the buffer reaches ~40 m ahead."""
-        while self._path_length_ahead() < 40.0:
+        """Append waypoints until the buffer reaches ~40 m ahead.
+
+        The full path scan runs only when needed: after a scan measuring
+        ``L``, the length ahead can shrink by at most the distance driven
+        since (path edits only append; prunes invalidate the bound), so
+        while ``L - driven`` stays >= 45 m the 40 m test cannot possibly
+        flip — the 5 m margin dwarfs any floating-point accumulation
+        error, keeping decisions (and therefore RNG draws) identical to
+        scanning every tick.
+        """
+        pos = self.transform.position
+        bound = self._length_bound
+        if bound >= 45.0 and (
+            bound - math.hypot(pos.x - self._bound_x, pos.y - self._bound_y) >= 45.0
+        ):
+            return
+        while True:
+            total = self._path_length_ahead(50.0)
+            if total >= 40.0:
+                break
             remaining = self._lane.length - self._station
             if remaining > 1.0:
                 step_end = min(self._lane.length, self._station + 20.0)
@@ -238,18 +261,42 @@ class NPCVehicle(Vehicle):
             self._path.extend(connector.points[1:])
             self._lane = next_lane
             self._station = 0.0
+        self._length_bound = total
+        self._bound_x = pos.x
+        self._bound_y = pos.y
 
-    def _path_length_ahead(self) -> float:
-        if not self._path:
+    def _path_length_ahead(self, enough: float = math.inf) -> float:
+        """Buffered path length; returns early once ``enough`` is reached.
+
+        Distances accumulate left to right exactly as before; stopping at
+        ``enough`` cannot change any ``< enough`` comparison (the
+        remaining summands are non-negative).
+        """
+        path = self._path
+        if not path:
             return 0.0
-        total = self.position.distance_to(self._path[0])
-        for a, b in zip(self._path, self._path[1:]):
-            total += a.distance_to(b)
+        pos = self.transform.position
+        hypot = math.hypot
+        first = path[0]
+        ax, ay = first.x, first.y
+        total = hypot(pos.x - ax, pos.y - ay)
+        for i in range(1, len(path)):
+            if total >= enough:
+                return total
+            p = path[i]
+            bx, by = p.x, p.y
+            total += hypot(ax - bx, ay - by)
+            ax, ay = bx, by
         return total
 
     def _prune_path(self) -> None:
-        while len(self._path) > 1 and self.position.distance_to(self._path[0]) < 3.0:
-            self._path.pop(0)
+        path = self._path
+        pos = self.transform.position
+        while len(path) > 1 and math.hypot(pos.x - path[0].x, pos.y - path[0].y) < 3.0:
+            path.pop(0)
+            # Popping can shorten the measured length ahead: force the
+            # next _extend_path to rescan.
+            self._length_bound = 0.0
 
     # ------------------------------------------------------------------
     # Control
@@ -261,16 +308,23 @@ class NPCVehicle(Vehicle):
         otherwise a queued vehicle creeps forward until the boxes overlap.
         """
         stop_dist = self.model.stopping_distance(self.state.speed) + 3.0
-        forward = self.transform.forward()
+        yaw = self.transform.yaw
+        fx, fy = math.cos(yaw), math.sin(yaw)
+        pos = self.transform.position
+        px, py = pos.x, pos.y
+        my_id = self.id
+        hl = self.half_length
         for other in world.actors:
-            if other.id == self.id or not other.alive:
+            if other.id == my_id or not other.alive:
                 continue
-            rel = other.position - self.position
-            ahead = rel.dot(forward)
+            opos = other.transform.position
+            relx = opos.x - px
+            rely = opos.y - py
+            ahead = relx * fx + rely * fy
             if ahead <= 0.0:
                 continue
-            clearance = self.half_length + max(other.half_length, other.half_width)
-            if ahead - clearance < stop_dist and abs(rel.cross(forward)) < 2.2:
+            clearance = hl + max(other.half_length, other.half_width)
+            if ahead - clearance < stop_dist and abs(relx * fy - rely * fx) < 2.2:
                 return True
         return False
 
@@ -279,14 +333,21 @@ class NPCVehicle(Vehicle):
         if not self._path:
             return VehicleControl(brake=1.0)
         # Find the pursuit target: first path point beyond the lookahead.
+        pos = self.transform.position
+        lookahead = self._lookahead
         target = self._path[-1]
         for p in self._path:
-            if self.position.distance_to(p) >= self._lookahead:
+            if math.hypot(pos.x - p.x, pos.y - p.y) >= lookahead:
                 target = p
                 break
-        local = self.transform.to_local(target)
-        dist = max(local.norm(), 1e-3)
-        curvature = 2.0 * local.y / (dist * dist)
+        # Inline Transform.to_local + norm (same expressions, no Vec2s).
+        yaw = self.transform.yaw
+        c, s = math.cos(-yaw), math.sin(-yaw)
+        tx = target.x - pos.x
+        ty = target.y - pos.y
+        local_y = s * tx + c * ty
+        dist = max(math.hypot(c * tx - s * ty, local_y), 1e-3)
+        curvature = 2.0 * local_y / (dist * dist)
         steer_angle = math.atan(curvature * self.spec.wheelbase)
         steer = steer_angle / self.spec.max_steer_angle
 

@@ -1,15 +1,23 @@
 """Scenario realisation: turning a :class:`Scenario` into a live world.
 
 Towns and renderers are expensive to build (texture rasterisation) but
-immutable, so :class:`SimulationBuilder` caches them per town
-configuration and stamps out fresh :class:`~repro.sim.world.World`
-instances per episode.  Campaign code, dataset collection and the examples
-all go through this one path, which keeps episode construction identical
-everywhere.
+immutable, so they are cached *per process* in a :class:`SceneCache` keyed
+by configuration fingerprints — the same hash-the-config idiom
+:func:`~repro.core.campaign.episode_fingerprint` uses for checkpoint
+identities.  :class:`SimulationBuilder` stamps out fresh
+:class:`~repro.sim.world.World` instances per episode on top of the cached
+scene state, which is what makes warm-started campaign workers cheap: the
+first episode in a process rasterises the town texture, every later
+episode (same campaign or the next one) reuses it.  Campaign code, dataset
+collection and the examples all go through this one path, which keeps
+episode construction identical everywhere.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from .render import CameraModel, Renderer
@@ -18,7 +26,103 @@ from .sensors import GPS, Camera, Lidar2D, SensorSuite, Speedometer
 from .town import GridTownConfig, Town, build_grid_town
 from .world import World
 
-__all__ = ["SimulationBuilder", "EpisodeHandles"]
+__all__ = [
+    "SimulationBuilder",
+    "EpisodeHandles",
+    "SceneCache",
+    "scene_fingerprint",
+    "process_scene_cache",
+]
+
+
+def scene_fingerprint(*parts) -> str:
+    """A short stable hash of the immutable scene configuration.
+
+    Town and camera configs are frozen dataclasses with value-complete
+    ``repr``s, so hashing the joint repr gives a process-portable cache
+    key — the same machinery checkpoint identities use for fault configs.
+    """
+    return hashlib.sha1(repr(parts).encode()).hexdigest()[:12]
+
+
+class SceneCache:
+    """Process-local cache of towns and renderers, keyed by fingerprint.
+
+    Bounded LRU: an entry pins a rasterised town texture (megabytes), so
+    sweeps over many distinct town configs recycle the oldest scenes
+    instead of accumulating them.  Scene state is deterministic given its
+    configuration, therefore safe to share between every builder (and
+    campaign) in the process; it never travels across process boundaries —
+    workers rebuild lazily on first use and keep the result warm.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one slot")
+        self.max_entries = max_entries
+        self._towns: OrderedDict[str, Town] = OrderedDict()
+        self._renderers: OrderedDict[str, Renderer] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, store: OrderedDict, key: str, build):
+        with self._lock:
+            if key in store:
+                store.move_to_end(key)
+                self.hits += 1
+                return store[key]
+        # Build outside the lock (texture rasterisation is slow); a rare
+        # duplicate build in a racing thread is benign — last one wins.
+        value = build()
+        with self._lock:
+            store[key] = value
+            store.move_to_end(key)
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+            self.misses += 1
+        return value
+
+    def town(self, config: GridTownConfig) -> Town:
+        """The (cached) town for a configuration."""
+        return self._get(
+            self._towns, scene_fingerprint(config), lambda: build_grid_town(config)
+        )
+
+    def renderer(
+        self, config: GridTownConfig, camera: CameraModel, texture_resolution: float
+    ) -> Renderer:
+        """The (cached) renderer for a town + camera configuration."""
+        return self._get(
+            self._renderers,
+            scene_fingerprint(config, camera, texture_resolution),
+            lambda: Renderer(self.town(config), camera, texture_resolution),
+        )
+
+    def clear(self) -> None:
+        """Drop every cached scene (tests / memory pressure)."""
+        with self._lock:
+            self._towns.clear()
+            self._renderers.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Cache effectiveness counters."""
+        with self._lock:
+            return {
+                "towns": len(self._towns),
+                "renderers": len(self._renderers),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: The per-process scene cache every builder shares by default.
+_PROCESS_CACHE = SceneCache()
+
+
+def process_scene_cache() -> SceneCache:
+    """This process's shared :class:`SceneCache`."""
+    return _PROCESS_CACHE
 
 
 @dataclass
@@ -31,7 +135,14 @@ class EpisodeHandles:
 
 
 class SimulationBuilder:
-    """Builds worlds for scenarios, caching towns and renderers."""
+    """Builds worlds for scenarios on top of the process scene cache.
+
+    ``scene_cache`` defaults to the process-wide cache; pass a private
+    :class:`SceneCache` to isolate (tests that mutate towns, say).
+    Builders are picklable and cheap to ship to worker processes: the
+    cache never pickles with them (each process re-derives scene state
+    from the configs and keeps it warm across episodes and campaigns).
+    """
 
     def __init__(
         self,
@@ -39,27 +150,34 @@ class SimulationBuilder:
         texture_resolution: float = 0.25,
         with_lidar: bool = True,
         gps_noise_std: float = 0.4,
+        scene_cache: SceneCache | None = None,
     ):
         self.camera = camera or CameraModel()
         self.texture_resolution = texture_resolution
         self.with_lidar = with_lidar
         self.gps_noise_std = gps_noise_std
-        self._towns: dict[GridTownConfig, Town] = {}
-        self._renderers: dict[GridTownConfig, Renderer] = {}
+        self._scene_cache = scene_cache
+
+    @property
+    def scene_cache(self) -> SceneCache:
+        """The cache in use (private if one was injected, else process-wide)."""
+        return self._scene_cache if self._scene_cache is not None else _PROCESS_CACHE
+
+    def __getstate__(self) -> dict:
+        # Scene state never crosses process boundaries: it is deterministic
+        # from the configs, and shipping rasterised textures through pickle
+        # is exactly the per-run cost the cache exists to avoid.
+        state = dict(self.__dict__)
+        state["_scene_cache"] = None
+        return state
 
     def town_for(self, config: GridTownConfig) -> Town:
         """The (cached) town for a configuration."""
-        if config not in self._towns:
-            self._towns[config] = build_grid_town(config)
-        return self._towns[config]
+        return self.scene_cache.town(config)
 
     def renderer_for(self, config: GridTownConfig) -> Renderer:
         """The (cached) renderer for a configuration."""
-        if config not in self._renderers:
-            self._renderers[config] = Renderer(
-                self.town_for(config), self.camera, self.texture_resolution
-            )
-        return self._renderers[config]
+        return self.scene_cache.renderer(config, self.camera, self.texture_resolution)
 
     def build_episode(self, scenario: Scenario) -> EpisodeHandles:
         """A fresh world + sensor suite realising ``scenario``.

@@ -24,6 +24,13 @@ def _clamp(value: float, lo: float, hi: float) -> float:
     return min(hi, max(lo, value))
 
 
+def _safe(v: float, lo: float, hi: float, default: float) -> float:
+    """``v`` clamped to ``[lo, hi]``; ``default`` for non-finite input."""
+    if not math.isfinite(v):
+        return default
+    return _clamp(float(v), lo, hi)
+
+
 @dataclass(frozen=True)
 class VehicleControl:
     """A single actuation command, mirroring CARLA's control message.
@@ -47,12 +54,18 @@ class VehicleControl:
         Non-finite entries degrade to neutral values (a real drive-by-wire
         stack would reject NaNs at the bus level).
         """
-
-        def safe(v: float, lo: float, hi: float, default: float) -> float:
-            if not math.isfinite(v):
-                return default
-            return _clamp(float(v), lo, hi)
-
+        s, t, b = self.steer, self.throttle, self.brake
+        if (
+            -1.0 <= s <= 1.0
+            and 0.0 <= t <= 1.0
+            and 0.0 <= b <= 1.0
+            and isinstance(self.reverse, bool)
+            and isinstance(self.hand_brake, bool)
+        ):
+            # Already sane (the overwhelmingly common case): this control
+            # is immutable, so it can stand in for its own clamped copy.
+            return self
+        safe = _safe
         return VehicleControl(
             steer=safe(self.steer, -1.0, 1.0, 0.0),
             throttle=safe(self.throttle, 0.0, 1.0, 0.0),

@@ -114,11 +114,22 @@ class TownTexture:
         self.texture = tex
         # Surface-class raster for the semantic camera (markings stay ROAD).
         self.classes = classes
-
-    def _world_to_texel(self, xy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        col = ((xy[..., 0] - self.x0) / self.resolution).astype(np.int64)
-        row = ((xy[..., 1] - self.y0) / self.resolution).astype(np.int64)
-        return row, col
+        # Gather-friendly variants: flat row-major tables so a pixel
+        # lookup is a single ``np.take`` over precomputed flat indices
+        # instead of advanced indexing with two index arrays.  The f32
+        # copy feeds the renderer's ground pass directly (uint8 -> f32
+        # casts are exact, so pre-casting changes no values).
+        self._tex_flat = tex.reshape(-1, 3)
+        self._tex_f32 = self._tex_flat.astype(np.float32)
+        self._classes_flat = classes.reshape(-1)
+        self._offroad_u8 = np.array(
+            SURFACE_COLORS[int(SurfaceType.OFFROAD)], dtype=np.uint8
+        )
+        self._offroad_f32 = self._offroad_u8.astype(np.float32)
+        # 1/resolution, used only for power-of-two resolutions: both the
+        # inverse and the multiply are then pure exponent shifts, so
+        # ``x * inv`` is bit-identical to ``x / resolution`` for every x.
+        self._inv_res = 1.0 / resolution if math.frexp(resolution)[0] == 0.5 else None
 
     def _stamp_markings(self, tex: np.ndarray, town: Town) -> None:
         for stripe in town.markings():
@@ -154,21 +165,68 @@ class TownTexture:
                 footprint = tuple(int(ch * 0.55) for ch in b.color)
                 tex[r0:r1, c0:c1] = footprint
 
+    def _texel_rc(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._inv_res is not None:
+            col = ((x - self.x0) * self._inv_res).astype(np.int64)
+            row = ((y - self.y0) * self._inv_res).astype(np.int64)
+        else:
+            col = ((x - self.x0) / self.resolution).astype(np.int64)
+            row = ((y - self.y0) / self.resolution).astype(np.int64)
+        return row, col
+
     def sample(self, xy: np.ndarray) -> np.ndarray:
         """Nearest-neighbour colour lookup for world points ``(N, 2)``."""
-        row, col = self._world_to_texel(xy)
-        inside = (row >= 0) & (row < self.ny) & (col >= 0) & (col < self.nx)
-        out = np.empty((len(xy), 3), dtype=np.uint8)
-        out[:] = SURFACE_COLORS[int(SurfaceType.OFFROAD)]
-        out[inside] = self.texture[row[inside], col[inside]]
+        return self.sample_xy(xy[:, 0], xy[:, 1])
+
+    def _flat_gather_idx(self, row: np.ndarray, col: np.ndarray):
+        """Flat texel indices plus the out-of-map mask (``None`` if all in).
+
+        Out-of-range rows/cols are clipped in place — callers overwrite
+        the masked entries with the off-map colour/class, so the clipped
+        gather value never survives.
+        """
+        # Unsigned views fold each axis's two range checks into one
+        # comparison (negative int64 indices reinterpret as huge uint64).
+        inside = (row.view(np.uint64) < self.ny) & (col.view(np.uint64) < self.nx)
+        if inside.all():
+            return row * self.nx + col, None
+        np.clip(row, 0, self.ny - 1, out=row)
+        np.clip(col, 0, self.nx - 1, out=col)
+        return row * self.nx + col, ~inside
+
+    def sample_xy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """:meth:`sample` on separate coordinate arrays (no stacking)."""
+        row, col = self._texel_rc(x, y)
+        flat, outside = self._flat_gather_idx(row, col)
+        out = np.take(self._tex_flat, flat, axis=0)
+        if outside is not None:
+            out[outside] = self._offroad_u8
+        return out
+
+    def sample_f32_xy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """:meth:`sample_xy` as float32 (the renderer's working dtype).
+
+        Gathers from a pre-cast f32 table; identical values to
+        ``sample_xy(x, y).astype(np.float32)``.
+        """
+        row, col = self._texel_rc(x, y)
+        flat, outside = self._flat_gather_idx(row, col)
+        out = np.take(self._tex_f32, flat, axis=0)
+        if outside is not None:
+            out[outside] = self._offroad_f32
         return out
 
     def sample_classes(self, xy: np.ndarray) -> np.ndarray:
         """Surface-class lookup for world points ``(N, 2)`` (uint8)."""
-        row, col = self._world_to_texel(xy)
-        inside = (row >= 0) & (row < self.ny) & (col >= 0) & (col < self.nx)
-        out = np.full(len(xy), int(SurfaceType.OFFROAD), dtype=np.uint8)
-        out[inside] = self.classes[row[inside], col[inside]]
+        return self.sample_classes_xy(xy[:, 0], xy[:, 1])
+
+    def sample_classes_xy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """:meth:`sample_classes` on separate coordinate arrays."""
+        row, col = self._texel_rc(x, y)
+        flat, outside = self._flat_gather_idx(row, col)
+        out = np.take(self._classes_flat, flat)
+        if outside is not None:
+            out[outside] = int(SurfaceType.OFFROAD)
         return out
 
 
@@ -181,6 +239,7 @@ class Renderer:
         self.texture = TownTexture(town, texture_resolution)
         self._precompute_rays()
         self._sky = self._make_sky()
+        self._precompute_static()
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -218,6 +277,100 @@ class Renderer:
         sky = SKY_TOP[None, None, :] * (1.0 - rows) + SKY_BOTTOM[None, None, :] * rows
         return np.broadcast_to(sky, (cam.height, cam.width, 3)).copy()
 
+    def _precompute_static(self) -> None:
+        """Per-renderer state reused by every frame.
+
+        The ground pass only touches pixels under the horizon, so the
+        precomputed local ground points/depths are stored masked (flat
+        index + compact arrays).  Below-horizon pixels past max depth
+        always render as haze regardless of pose, so the haze is baked
+        into the per-frame base image.  Buildings are static: their
+        centres, extents, heights and colours stack once into arrays the
+        billboard pass reuses.
+        """
+        mask = self._ground_mask
+        self._ground_flat = np.flatnonzero(mask.ravel())
+        self._ground_x = self._ground_local[..., 0][mask]
+        self._ground_y = self._ground_local[..., 1][mask]
+        self._ground_depth_m = self._ground_depth[mask]
+        self._ground_depth_m32 = self._ground_depth_m.astype(np.float32)
+        # Ground pixels are stored in row-major order, and the bottom of
+        # the image is typically a solid all-ground block: write that part
+        # with one contiguous block assignment and scatter only the ragged
+        # rows near the horizon.
+        # First row index v such that every row v..h-1 is fully masked.
+        h = self.camera.height
+        v = h
+        while v > 0 and mask[v - 1].all():
+            v -= 1
+        self._ground_block_row = v
+        n_block = (h - v) * self.camera.width
+        self._ground_scatter_idx = self._ground_flat[: len(self._ground_flat) - n_block]
+        self._ground_split = len(self._ground_flat) - n_block
+        haze_mask = (
+            (~mask) & self._descending & (self._ground_depth >= self.camera.max_depth)
+        )
+        base = self._sky.copy()
+        base[haze_mask] = FOG_COLOR
+        self._frame_base = base
+        #: Per-weather cache of ground-pass fog alphas (f32, masked shape).
+        self._ground_alpha_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+
+        buildings = self.town.buildings
+        self._bb_cx = np.array([b.box.center.x for b in buildings], dtype=np.float64)
+        self._bb_cy = np.array([b.box.center.y for b in buildings], dtype=np.float64)
+        self._bb_hl = np.array([b.box.half_length for b in buildings], dtype=np.float64)
+        self._bb_hw = np.array([b.box.half_width for b in buildings], dtype=np.float64)
+        self._bb_height = np.array([b.height for b in buildings], dtype=np.float64)
+        self._bb_colors = np.array(
+            [b.color for b in buildings], dtype=np.float32
+        ).reshape(len(buildings), 3)
+        # Stacked (7, n_b) building block for _stack_drawables: rows are
+        # [cx, cy, crel, srel, hl, hw, height]; the crel/srel rows are
+        # frame-dependent placeholders overwritten per frame.
+        self._bb_block = np.stack(
+            [
+                self._bb_cx,
+                self._bb_cy,
+                np.zeros(len(buildings)),
+                np.zeros(len(buildings)),
+                self._bb_hl,
+                self._bb_hw,
+                self._bb_height,
+            ]
+        )
+
+        # SurfaceType id -> SemanticClass id lookup for the ground pass.
+        lut = np.zeros(max(SemanticClass.FROM_SURFACE) + 1, dtype=np.uint8)
+        for surf, sem_id in SemanticClass.FROM_SURFACE.items():
+            lut[surf] = sem_id
+        self._sem_lut = lut
+
+    def _ground_alpha(self, fog_density: float) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(FOG_COLOR * alpha, 1 - alpha)`` f32 ground fog terms.
+
+        Identical to the per-frame computation it replaces (clip to the
+        weather's visibility, optional fog exponent, f32 cast); the result
+        depends only on ``fog_density``, so one entry per weather serves
+        the whole episode.
+        """
+        cached = self._ground_alpha_cache.get(fog_density)
+        if cached is None:
+            visibility = self.camera.max_depth * (1.0 - 0.85 * fog_density)
+            alpha = np.clip(self._ground_depth_m / visibility, 0.0, 1.0)[
+                :, None
+            ].astype(np.float32)
+            if fog_density > 0.0:
+                alpha = alpha ** max(0.5, (1.0 - fog_density))
+            cached = (FOG_COLOR[None, :] * alpha, 1.0 - alpha)
+            # Renderers live for the whole worker process (SceneCache), so
+            # a fog-density sweep must not accumulate arrays without
+            # bound; evicting the oldest entry only costs a recompute.
+            if len(self._ground_alpha_cache) >= 16:
+                self._ground_alpha_cache.pop(next(iter(self._ground_alpha_cache)))
+            self._ground_alpha_cache[fog_density] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Projection helpers (billboard pass)
     # ------------------------------------------------------------------
@@ -245,51 +398,149 @@ class Renderer:
             v = cy - f * zc / xc
         return u, v, xc
 
-    def _draw_billboard(
-        self,
-        img: np.ndarray,
-        ego: Transform,
-        center: Vec2,
-        yaw: float,
-        half_length: float,
-        half_width: float,
-        height: float,
-        color: tuple[int, int, int],
-        fog_alpha_fn,
-    ) -> None:
+    def _stack_drawables(self, ego_yaw: float, actors: list | None):
+        """Stack static buildings + dynamic actors into flat arrays.
+
+        Returns ``(cx, cy, crel, srel, hl, hw, height, actor_list)`` with
+        one entry per drawable, buildings first (matching the build order
+        of the former per-drawable loop).  ``crel``/``srel`` hold
+        ``cos/sin(yaw - ego_yaw)``, computed with ``math`` trig so the
+        values are bit-identical to the scalar path they replace —
+        buildings always billboard at yaw 0, so they share one pair.
+        """
+        actors = list(actors or [])
+        n_b = len(self._bb_cx)
+        rel0 = 0.0 - ego_yaw
+        c0, s0 = math.cos(rel0), math.sin(rel0)
+        if not actors:
+            return (
+                self._bb_cx,
+                self._bb_cy,
+                np.full(n_b, c0),
+                np.full(n_b, s0),
+                self._bb_hl,
+                self._bb_hw,
+                self._bb_height,
+                actors,
+            )
+        # One (7, n) buffer: the static building block copies in as a 2-D
+        # slab (crel/srel columns refreshed per frame), actors append as
+        # columns; the returned per-field rows are contiguous views.
+        n = n_b + len(actors)
+        buf = np.empty((7, n))
+        buf[:, :n_b] = self._bb_block
+        buf[2, :n_b] = c0
+        buf[3, :n_b] = s0
+        for i, a in enumerate(actors, start=n_b):
+            pos = a.transform.position
+            rel = a.yaw - ego_yaw
+            buf[:, i] = (
+                pos.x,
+                pos.y,
+                math.cos(rel),
+                math.sin(rel),
+                a.half_length,
+                a.half_width,
+                a.height,
+            )
+        return (*buf, actors)
+
+    _CORNER_SX = np.array([1.0, 1.0, -1.0, -1.0])
+    _CORNER_SY = np.array([1.0, -1.0, 1.0, -1.0])
+
+    def _billboard_geometry(self, ego: Transform, cx, cy, crel, srel, hl, hw, height):
+        """Cull, project and depth-sort all drawables in one batch.
+
+        Returns ``(order, valid, u0, u1, v0, v1, dist)``: the far-to-near
+        paint order over *all* drawables, a visibility mask, the unclipped
+        float pixel bounds of each billboard and the ego-frame distance
+        used for shading/fog/depth.  Every comparison and arithmetic step
+        mirrors the retired per-drawable loop exactly (stable descending
+        sort on the world-frame centre distance included), so painted
+        frames stay bit-identical.
+        """
         cam = self.camera
-        local_center = ego.to_local(center)
-        dist = local_center.norm()
-        if local_center.x < 0.5 or dist > cam.max_depth:
-            return
-        rel_yaw = yaw - ego.yaw
-        c, s = math.cos(rel_yaw), math.sin(rel_yaw)
-        corners = []
-        for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
-            ox = dx * half_length * c - dy * half_width * s
-            oy = dx * half_length * s + dy * half_width * c
-            corners.append((local_center.x + ox, local_center.y + oy))
-        pts = np.array(
-            [(x, y, 0.0) for x, y in corners] + [(x, y, height) for x, y in corners]
+        ex, ey = ego.position.x, ego.position.y
+        dx = cx - ex
+        dy = cy - ey
+        c2, s2 = math.cos(-ego.yaw), math.sin(-ego.yaw)
+        lx = c2 * dx - s2 * dy
+        ly = s2 * dx + c2 * dy
+        # One pass of math.hypot for both the world-frame sort key and the
+        # ego-frame distance (np.hypot is not bit-identical to math.hypot,
+        # so these stay scalar).
+        hyp = math.hypot
+        sort_key = []
+        dist_l = []
+        for a, b, lxi, lyi in zip(dx.tolist(), dy.tolist(), lx.tolist(), ly.tolist()):
+            sort_key.append(hyp(a, b))
+            dist_l.append(hyp(lxi, lyi))
+        order = sorted(range(len(sort_key)), key=sort_key.__getitem__, reverse=True)
+        dist = np.array(dist_l)
+        keep = (lx >= 0.5) & (dist <= cam.max_depth)
+
+        # Corner offsets in the ego frame; sign * (extent * trig) matches
+        # the scalar ``dx * half_length * c`` exactly (dx, dy are +-1).
+        a = (hl * crel)[:, None]
+        b = (hw * srel)[:, None]
+        e = (hl * srel)[:, None]
+        f = (hw * crel)[:, None]
+        px = lx[:, None] + (self._CORNER_SX[None, :] * a - self._CORNER_SY[None, :] * b)
+        py = ly[:, None] + (self._CORNER_SX[None, :] * e + self._CORNER_SY[None, :] * f)
+        # Project the 8 box corners (bottom ring z=0, top ring z=height).
+        # This is _project() unrolled over one (n, 8) batch: x/y corners
+        # are shared between the rings, so only the pitched z term differs.
+        # Same expressions as the scalar path, same bits.
+        n = len(lx)
+        theta = math.radians(cam.pitch_deg)
+        cth, sth = math.cos(theta), math.sin(theta)
+        foc = cam.focal_px
+        ccx = (cam.width - 1) / 2.0
+        ccy = (cam.height - 1) / 2.0
+        qx = np.empty((n, 8))
+        qx[:, :4] = px
+        qx[:, 4:] = px
+        np.subtract(qx, cam.forward_offset, out=qx)
+        py8 = np.empty((n, 8))
+        py8[:, :4] = py
+        py8[:, 4:] = py
+        qz = np.empty((n, 8))
+        qz[:, :4] = 0.0 - cam.mount_height  # bottom ring sits on the ground
+        qz[:, 4:] = (height - cam.mount_height)[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xc = qx * cth + qz * sth
+            zc = qx * (-sth) + qz * cth
+            u = ccx - foc * py8 / xc
+            v = ccy - foc * zc / xc
+        valid = keep & ~(xc < 0.2).any(1)
+        # Culled drawables may hold inf/nan bounds; the paint loop never
+        # reads them (``valid`` gates first).  floor/ceil/int clipping
+        # happen per painted drawable in the paint loop.
+        return (
+            order,
+            valid.tolist(),
+            u.min(1).tolist(),
+            u.max(1).tolist(),
+            v.min(1).tolist(),
+            v.max(1).tolist(),
+            dist,
         )
-        u, v, depth = self._project(pts)
-        if np.any(depth < 0.2):
-            return
-        u0 = int(math.floor(np.min(u)))
-        u1 = int(math.ceil(np.max(u)))
-        v_top = int(math.floor(np.min(v)))
-        v_base = int(math.ceil(np.max(v)))
-        u0 = max(0, u0)
-        u1 = min(cam.width - 1, u1)
-        v_top = max(0, v_top)
-        v_base = min(cam.height - 1, v_base)
-        if u0 > u1 or v_top > v_base:
-            return
-        shade = 1.0 - 0.35 * min(dist / cam.max_depth, 1.0)
-        col = np.array(color, dtype=np.float32) * shade
-        alpha = fog_alpha_fn(dist)
-        col = col * (1.0 - alpha) + FOG_COLOR * alpha
-        img[v_top : v_base + 1, u0 : u1 + 1] = col.astype(np.uint8)
+
+    def _paint_billboards(self, target, order, valid, u0, u1, v0, v1, values) -> None:
+        """Paint far-to-near; ``values[i]`` fills drawable ``i``'s rect."""
+        wmax = self.camera.width - 1
+        hmax = self.camera.height - 1
+        floor, ceil = math.floor, math.ceil
+        for i in order:
+            if not valid[i]:
+                continue
+            a0 = max(0, floor(u0[i]))
+            a1 = min(wmax, ceil(u1[i]))
+            b0 = max(0, floor(v0[i]))
+            b1 = min(hmax, ceil(v1[i]))
+            if a0 > a1 or b0 > b1:
+                continue
+            target[b0 : b1 + 1, a0 : a1 + 1] = values[i]
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -310,63 +561,91 @@ class Renderer:
         """
         weather = weather or Weather("ClearNoon")
         cam = self.camera
-        img = self._sky.copy()
+        # Sky gradient with the constant beyond-max-depth haze pre-baked.
+        img = self._frame_base.copy()
 
-        # Ground pass: transform precomputed local ground points to world.
+        # Ground pass: transform precomputed local ground points to world
+        # (masked up front — pixels at/above the horizon never sample).
         cos_y, sin_y = math.cos(ego.yaw), math.sin(ego.yaw)
-        gl = self._ground_local
-        wx = ego.position.x + gl[..., 0] * cos_y - gl[..., 1] * sin_y
-        wy = ego.position.y + gl[..., 0] * sin_y + gl[..., 1] * cos_y
-        mask = self._ground_mask
-        pts = np.column_stack([wx[mask], wy[mask]])
-        colors = self.texture.sample(pts).astype(np.float32)
+        wx = ego.position.x + self._ground_x * cos_y - self._ground_y * sin_y
+        wy = ego.position.y + self._ground_x * sin_y + self._ground_y * cos_y
+        colors = self.texture.sample_f32_xy(wx, wy)
 
-        # Distance fog over the ground pass.
-        visibility = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
-        depth = self._ground_depth[mask]
-        alpha = np.clip(depth / visibility, 0.0, 1.0)[:, None].astype(np.float32)
-        if weather.fog_density > 0.0:
-            alpha = alpha ** max(0.5, (1.0 - weather.fog_density))
-        colors = colors * (1.0 - alpha) + FOG_COLOR[None, :] * alpha
-        img[mask] = colors
+        # Distance fog over the ground pass (per-weather cached terms,
+        # applied in place: colors * (1 - alpha) + FOG_COLOR * alpha).
+        fog_term, one_minus_alpha = self._ground_alpha(weather.fog_density)
+        np.multiply(colors, one_minus_alpha, out=colors)
+        np.add(colors, fog_term, out=colors)
+        split = self._ground_split
+        if split:
+            img.reshape(-1, 3)[self._ground_scatter_idx] = colors[:split]
+        if self._ground_block_row < cam.height:
+            img[self._ground_block_row :] = colors[split:].reshape(
+                -1, cam.width, 3
+            )
 
-        # Below-horizon pixels past max depth fade into haze.
-        haze_mask = (~mask) & self._descending & (self._ground_depth >= cam.max_depth)
-        img[haze_mask] = FOG_COLOR
-
-        def fog_alpha(d: float) -> float:
-            a = min(max(d / visibility, 0.0), 1.0)
+        # Billboard pass: one batched cull/project/sort, then far-to-near
+        # slab paints.
+        cx, cy, crel, srel, hl, hw, height, actor_list = self._stack_drawables(
+            ego.yaw, actors
+        )
+        if len(cx):
+            order, valid, u0, u1, v0, v1, dist = self._billboard_geometry(
+                ego, cx, cy, crel, srel, hl, hw, height
+            )
+            if actor_list:
+                cols = np.concatenate(
+                    [
+                        self._bb_colors,
+                        np.array([a.color for a in actor_list], dtype=np.float32),
+                    ]
+                )
+            else:
+                cols = self._bb_colors
+            shade = 1.0 - 0.35 * np.minimum(dist / cam.max_depth, 1.0)
+            cols = cols * shade.astype(np.float32)[:, None]
+            visibility = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
+            fog_a = np.clip(dist / visibility, 0.0, 1.0)
             if weather.fog_density > 0.0:
-                a = a ** max(0.5, 1.0 - weather.fog_density)
-            return float(a)
-
-        # Billboard pass: buildings then actors, far to near.
-        drawables = []
-        for b in self.town.buildings:
-            drawables.append(
-                (b.box.center, 0.0, b.box.half_length, b.box.half_width, b.height, b.color)
+                fog_a = fog_a ** max(0.5, 1.0 - weather.fog_density)
+            cols = (
+                cols * (1.0 - fog_a).astype(np.float32)[:, None]
+                + FOG_COLOR[None, :] * fog_a.astype(np.float32)[:, None]
             )
-        for a in actors or []:
-            drawables.append(
-                (a.position, a.yaw, a.half_length, a.half_width, a.height, a.color)
+            self._paint_billboards(
+                img, order, valid, u0, u1, v0, v1, cols.astype(np.uint8)
             )
-        drawables.sort(key=lambda d: ego.position.distance_to(d[0]), reverse=True)
-        for center, yaw, hl, hw, height, color in drawables:
-            self._draw_billboard(img, ego, center, yaw, hl, hw, height, color, fog_alpha)
 
-        # Atmosphere: rain streaks and brightness.
+        # Atmosphere: rain streaks and brightness.  The streak update is a
+        # single fancy-indexed pass; pixels covered by k overlapping
+        # streaks get the darken/brighten transform applied k times, which
+        # is exactly what the retired per-streak loop produced.
         if weather.rain_intensity > 0.0 and rng is not None:
             n = int(weather.rain_intensity * cam.width * cam.height * 0.01)
             if n > 0:
                 us = rng.integers(0, cam.width, n)
                 vs = rng.integers(0, max(1, cam.height - 4), n)
                 lengths = rng.integers(2, 5, n)
-                for ui, vi, li in zip(us, vs, lengths):
-                    img[vi : vi + li, ui] = np.minimum(
-                        img[vi : vi + li, ui] * 0.7 + 90.0, 255.0
-                    )
+                offsets = np.arange(int(lengths.sum())) - np.repeat(
+                    np.cumsum(lengths) - lengths, lengths
+                )
+                rows = np.repeat(vs, lengths) + offsets
+                flat = rows * cam.width + np.repeat(us, lengths)
+                cells, counts = np.unique(flat, return_counts=True)
+                pixels = img.reshape(-1, 3)
+                vals = pixels[cells]
+                vals = np.minimum(vals * 0.7 + 90.0, 255.0)
+                for k in range(2, int(counts.max()) + 1):
+                    again = counts >= k
+                    vals[again] = np.minimum(vals[again] * 0.7 + 90.0, 255.0)
+                pixels[cells] = vals
         if weather.brightness != 1.0:
             img = img * weather.brightness
+        if weather.brightness <= 1.0:
+            # Every source (sky gradient, convex fog blends, uint8-cast
+            # billboards, 255-clamped rain) is already in [0, 255] and a
+            # brightness <= 1 keeps it there: the clip is an identity.
+            return img.astype(np.uint8)
         return np.clip(img, 0.0, 255.0).astype(np.uint8)
 
     # ------------------------------------------------------------------
@@ -387,56 +666,29 @@ class Renderer:
         semantic = np.full((cam.height, cam.width), SemanticClass.SKY, dtype=np.uint8)
         depth = np.full((cam.height, cam.width), np.inf, dtype=np.float32)
 
+        # Ground pass over the precomputed below-horizon pixels.
         cos_y, sin_y = math.cos(ego.yaw), math.sin(ego.yaw)
-        gl = self._ground_local
-        wx = ego.position.x + gl[..., 0] * cos_y - gl[..., 1] * sin_y
-        wy = ego.position.y + gl[..., 0] * sin_y + gl[..., 1] * cos_y
-        mask = self._ground_mask
-        pts = np.column_stack([wx[mask], wy[mask]])
-        surface = self.texture.sample_classes(pts)
-        sem_ground = np.empty_like(surface)
-        for surf, sem_id in SemanticClass.FROM_SURFACE.items():
-            sem_ground[surface == surf] = sem_id
-        semantic[mask] = sem_ground
-        depth[mask] = self._ground_depth[mask]
+        wx = ego.position.x + self._ground_x * cos_y - self._ground_y * sin_y
+        wy = ego.position.y + self._ground_x * sin_y + self._ground_y * cos_y
+        surface = self.texture.sample_classes_xy(wx, wy)
+        semantic.reshape(-1)[self._ground_flat] = self._sem_lut[surface]
+        depth.reshape(-1)[self._ground_flat] = self._ground_depth_m32
 
-        drawables = [
-            (b.box.center, 0.0, b.box.half_length, b.box.half_width, b.height,
-             SemanticClass.BUILDING)
-            for b in self.town.buildings
-        ]
-        for a in actors or []:
-            cls = (
+        # Billboard pass shares the batched geometry with render(); only
+        # the painted payload differs (class ids + centre distances).
+        cx, cy, crel, srel, hl, hw, height, actor_list = self._stack_drawables(
+            ego.yaw, actors
+        )
+        if len(cx):
+            order, valid, u0, u1, v0, v1, dist = self._billboard_geometry(
+                ego, cx, cy, crel, srel, hl, hw, height
+            )
+            classes = [SemanticClass.BUILDING] * len(self._bb_cx) + [
                 SemanticClass.PEDESTRIAN
                 if getattr(a, "role", "") == "pedestrian"
                 else SemanticClass.VEHICLE
-            )
-            drawables.append((a.position, a.yaw, a.half_length, a.half_width, a.height, cls))
-        drawables.sort(key=lambda d: ego.position.distance_to(d[0]), reverse=True)
-
-        for center, yaw, hl, hw, height, cls in drawables:
-            local_center = ego.to_local(center)
-            dist = local_center.norm()
-            if local_center.x < 0.5 or dist > cam.max_depth:
-                continue
-            c, s = math.cos(yaw - ego.yaw), math.sin(yaw - ego.yaw)
-            corners = []
-            for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
-                ox = dx * hl * c - dy * hw * s
-                oy = dx * hl * s + dy * hw * c
-                corners.append((local_center.x + ox, local_center.y + oy))
-            pts3 = np.array(
-                [(x, y, 0.0) for x, y in corners] + [(x, y, height) for x, y in corners]
-            )
-            u, v, d = self._project(pts3)
-            if np.any(d < 0.2):
-                continue
-            u0 = max(0, int(math.floor(np.min(u))))
-            u1 = min(cam.width - 1, int(math.ceil(np.max(u))))
-            v_top = max(0, int(math.floor(np.min(v))))
-            v_base = min(cam.height - 1, int(math.ceil(np.max(v))))
-            if u0 > u1 or v_top > v_base:
-                continue
-            semantic[v_top : v_base + 1, u0 : u1 + 1] = cls
-            depth[v_top : v_base + 1, u0 : u1 + 1] = dist
+                for a in actor_list
+            ]
+            self._paint_billboards(semantic, order, valid, u0, u1, v0, v1, classes)
+            self._paint_billboards(depth, order, valid, u0, u1, v0, v1, dist.tolist())
         return semantic, depth

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from .geometry import Vec2
+from .geometry import Vec2, batch_ray_hits
 from .render import CameraModel, Renderer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -93,7 +93,7 @@ class Camera(Sensor):
         return self.renderer.camera
 
     def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
-        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        others = world.other_actors(vehicle.id)
         return self.renderer.render(vehicle.transform, others, world.weather, rng)
 
 
@@ -112,7 +112,7 @@ class SemanticCamera(Sensor):
         self.renderer = renderer
 
     def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
-        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        others = world.other_actors(vehicle.id)
         semantic, _ = self.renderer.render_semantic_depth(vehicle.transform, others)
         return semantic
 
@@ -126,7 +126,7 @@ class DepthCamera(Sensor):
         self.renderer = renderer
 
     def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
-        others = [a for a in world.actors if a.id != vehicle.id and a.alive]
+        others = world.other_actors(vehicle.id)
         _, depth = self.renderer.render_semantic_depth(vehicle.transform, others)
         return depth
 
@@ -188,26 +188,72 @@ class Lidar2D(Sensor):
             return np.array([0.0])
         return np.linspace(self.fov / 2.0, -self.fov / 2.0, self.n_rays)
 
+    def _angles(self) -> list[float]:
+        """:meth:`ray_angles` as cached plain floats (hot-path helper)."""
+        key = (self.n_rays, self.fov)
+        cached = getattr(self, "_angles_cache", None)
+        if cached is None or cached[0] != key:
+            self._angles_cache = (key, self.ray_angles().tolist())
+        return self._angles_cache[1]
+
     def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
         origin = vehicle.position
-        ranges = np.full(self.n_rays, self.max_range, dtype=np.float64)
-        boxes = [a.bounding_box() for a in world.actors if a.id != vehicle.id and a.alive]
-        boxes += [b.box for b in world.town.buildings]
-        # Prune boxes clearly out of range before per-ray tests.
-        near = [
-            b
-            for b in boxes
-            if origin.distance_to(b.center) <= self.max_range + max(b.half_length, b.half_width)
+        ox, oy = origin.x, origin.y
+        max_range = self.max_range
+        # Actor boxes are dynamic: pack (and prune) them per frame —
+        # plain-float math, identical to OrientedBox.ray_hit_distance's
+        # per-call derivation.  Building boxes are static: packed once per
+        # town and pruned here with the same range test the scalar path
+        # used.
+        rows = []
+        ego_id = vehicle.id
+        for a in world.actors:
+            if a.id == ego_id or not a.alive:
+                continue
+            pos = a.position
+            reach = max_range + max(a.half_length, a.half_width)
+            if math.hypot(ox - pos.x, oy - pos.y) <= reach:
+                yaw = a.yaw
+                rows.append(
+                    (
+                        pos.x,
+                        pos.y,
+                        math.cos(-yaw),
+                        math.sin(-yaw),
+                        a.half_length,
+                        a.half_width,
+                    )
+                )
+        packed_buildings, prune = world.town.building_box_pack()
+        keep = [
+            i
+            for i, (bx, by, max_half) in enumerate(prune)
+            if math.hypot(ox - bx, oy - by) <= max_range + max_half
         ]
-        for i, rel in enumerate(self.ray_angles()):
-            direction = Vec2.from_heading(vehicle.yaw + float(rel))
-            best = self.max_range
-            for box in near:
-                hit = box.ray_hit_distance(origin, direction, best)
-                if hit is not None and hit < best:
-                    best = hit
-            ranges[i] = best
-        return ranges
+        kept_buildings = (
+            packed_buildings if len(keep) == len(prune) else packed_buildings[keep]
+        )
+        if rows:
+            actor_pack = np.array(rows, dtype=np.float64)
+            packed = np.concatenate([actor_pack, kept_buildings])
+        else:
+            packed = kept_buildings
+        # Per-ray unit directions, derived exactly as the scalar path did
+        # (from_heading then normalized; the hypot of an exact unit pair
+        # may still differ from 1.0 in the last bit).
+        ego_yaw = vehicle.yaw
+        directions = np.empty((self.n_rays, 2), dtype=np.float64)
+        for i, rel in enumerate(self._angles()):
+            heading = ego_yaw + rel
+            dx, dy = math.cos(heading), math.sin(heading)
+            norm = math.hypot(dx, dy)
+            if norm < 1e-12:
+                directions[i, 0] = 1.0
+                directions[i, 1] = 0.0
+            else:
+                directions[i, 0] = dx / norm
+                directions[i, 1] = dy / norm
+        return batch_ray_hits(origin, directions, packed, max_range)
 
 
 class SensorSuite:

@@ -310,9 +310,19 @@ class Town:
             lens.append(seg_len)
             lane_idx.append(np.full(len(seg_len), i, dtype=np.int32))
             stations.append(np.concatenate([[0.0], np.cumsum(seg_len)])[:-1])
+        seg_a = np.concatenate(starts)
+        seg_d = np.concatenate(dirs)
+        # Contiguous per-component copies: the nearest-lane query runs per
+        # frame, and 1-D contiguous arithmetic beats (N, 2) row math.  The
+        # direction components double as cos/sin of the segment heading
+        # for the yaw-hint penalty.
+        self._seg_ax = seg_a[:, 0].copy()
+        self._seg_ay = seg_a[:, 1].copy()
+        self._seg_cos = seg_d[:, 0].copy()
+        self._seg_sin = seg_d[:, 1].copy()
         return (
-            np.concatenate(starts),
-            np.concatenate(dirs),
+            seg_a,
+            seg_d,
             np.concatenate(lens),
             np.concatenate(lane_idx),
             np.concatenate(stations),
@@ -326,6 +336,78 @@ class Town:
         """``(xmin, ymin, xmax, ymax)`` of the mapped area, metres."""
         return self._bounds
 
+    #: Cell size of the nearest-lane query grid, metres.
+    _QUERY_CELL = 16.0
+
+    def _build_query_grid(self):
+        """Spatial index for :meth:`nearest_lane`: per-cell segment subsets.
+
+        For a query point ``p`` in a cell with centre ``c``, distance to any
+        segment moves by at most ``|p - c| <= halfdiag`` (distance to a set
+        is 1-Lipschitz), and the yaw-hint penalty shifts the effective
+        distance of a candidate by at most ``lane_width``.  A segment can
+        therefore only win the (penalised) argmin if its centre distance is
+        within ``dmin(c) + diag + lane_width``; keeping everything inside
+        that bound (plus 1 m of slack) guarantees the pruned argmin equals
+        the full argmin — same winner, same arithmetic, same bits.  Subset
+        arrays are order-preserving contiguous copies, so ties resolve to
+        the same first index as the full scan.
+        """
+        cell = self._QUERY_CELL
+        halfdiag = cell * math.sqrt(2.0) / 2.0
+        slack = 2.0 * halfdiag + self.lane_width + 1.0
+        xmin, ymin, xmax, ymax = self._bounds
+        nx = max(1, int(math.ceil((xmax - xmin) / cell)))
+        ny = max(1, int(math.ceil((ymax - ymin) / cell)))
+        ax, ay = self._seg_ax, self._seg_ay
+        cosv, sinv = self._seg_cos, self._seg_sin
+        lenv = self._seg_len
+        cells = {}
+        for j in range(ny):
+            cy = ymin + (j + 0.5) * cell
+            rely = cy - ay
+            for i in range(nx):
+                cx = xmin + (i + 0.5) * cell
+                relx = cx - ax
+                t = np.clip((relx * cosv + rely * sinv) / lenv, 0.0, 1.0)
+                ts = t * lenv
+                offx = cx - (ax + cosv * ts)
+                offy = cy - (ay + sinv * ts)
+                d = np.sqrt(offx * offx + offy * offy)
+                keep = np.flatnonzero(d <= d.min() + slack)
+                cells[(i, j)] = (
+                    ax[keep].copy(),
+                    ay[keep].copy(),
+                    cosv[keep].copy(),
+                    sinv[keep].copy(),
+                    lenv[keep].copy(),
+                    self._seg_station[keep].copy(),
+                    self._seg_lane[keep].copy(),
+                )
+        self._query_grid = (xmin, ymin, nx, ny, cells)
+        return self._query_grid
+
+    def _segment_arrays(self, px: float, py: float):
+        """The segment subset covering ``(px, py)`` (full set off-grid)."""
+        try:
+            grid = self._query_grid
+        except AttributeError:
+            grid = self._build_query_grid()
+        xmin, ymin, nx, ny, cells = grid
+        i = int((px - xmin) / self._QUERY_CELL)
+        j = int((py - ymin) / self._QUERY_CELL)
+        if 0 <= i < nx and 0 <= j < ny and px >= xmin and py >= ymin:
+            return cells[(i, j)]
+        return (
+            self._seg_ax,
+            self._seg_ay,
+            self._seg_cos,
+            self._seg_sin,
+            self._seg_len,
+            self._seg_station,
+            self._seg_lane,
+        )
+
     def nearest_lane(self, point: Vec2, yaw_hint: float | None = None) -> tuple[Lane, float, float]:
         """The lane nearest to ``point``.
 
@@ -333,30 +415,38 @@ class Town:
         penalised so a vehicle is matched to its own side of the road.
         Returns ``(lane, station, signed lateral offset)``.
         """
-        p = np.array([point.x, point.y])
-        rel = p - self._seg_a
-        t = np.clip(np.einsum("ij,ij->i", rel, self._seg_d) / self._seg_len, 0.0, 1.0)
-        proj = self._seg_a + self._seg_d * (t * self._seg_len)[:, None]
-        d2 = np.einsum("ij,ij->i", p - proj, p - proj)
+        # Per-component contiguous arithmetic over the grid-pruned segment
+        # subset; identical expressions to the former full-scan einsum
+        # formulation, evaluated column-wise.
+        px, py = point.x, point.y
+        ax, ay, cosv, sinv, lenv, stav, lanev = self._segment_arrays(px, py)
+        relx = px - ax
+        rely = py - ay
+        t = np.clip((relx * cosv + rely * sinv) / lenv, 0.0, 1.0)
+        ts = t * lenv
+        offx = px - (ax + cosv * ts)
+        offy = py - (ay + sinv * ts)
+        d2 = offx * offx + offy * offy
         if yaw_hint is not None and not math.isfinite(yaw_hint):
             # Corrupted heading measurements degrade to the no-hint query.
             yaw_hint = None
         if yaw_hint is not None:
-            seg_yaw = np.arctan2(self._seg_d[:, 1], self._seg_d[:, 0])
-            misalign = np.abs(np.arctan2(np.sin(seg_yaw - yaw_hint), np.cos(seg_yaw - yaw_hint)))
             # Half a lane width of penalty for driving against the segment.
-            d2 = d2 + np.where(misalign > math.pi / 2.0, self.lane_width**2, 0.0)
+            # Misalignment beyond 90 degrees is exactly a negative cosine
+            # of (segment heading - hint), and the segment direction *is*
+            # (cos, sin) of its heading — no per-query array trigonometry.
+            ch, sh = math.cos(yaw_hint), math.sin(yaw_hint)
+            against = cosv * ch + sinv * sh < 0.0
+            d2 = d2 + np.where(against, self.lane_width**2, 0.0)
         k = int(np.argmin(d2))
-        lane = self._lane_list[self._seg_lane[k]]
-        station = float(self._seg_station[k] + t[k] * self._seg_len[k])
-        rel_k = p - proj[k]
-        lateral = float(self._seg_d[k, 0] * rel_k[1] - self._seg_d[k, 1] * rel_k[0])
-        return lane, station, lateral
+        station = float(stav[k] + t[k] * lenv[k])
+        lateral = float(cosv[k] * offy[k] - sinv[k] * offx[k])
+        return self._lane_list[lanev[k]], station, lateral
 
     def locate(self, point: Vec2, yaw_hint: float | None = None) -> LaneLocation:
         """Full localisation of a world point (lane, station, offset, surface)."""
         lane, station, lateral = self.nearest_lane(point, yaw_hint)
-        surface = SurfaceType(int(self.classify_points(np.array([[point.x, point.y]]))[0]))
+        surface = self.classify_point(point.x, point.y)
         in_inter = any(i.contains(point) for i in self.intersections.values())
         return LaneLocation(lane, station, lateral, surface, in_inter)
 
@@ -392,11 +482,91 @@ class Town:
         out[road] = int(SurfaceType.ROAD)
         return out
 
+    def _surface_params(self):
+        """Flattened per-road / per-intersection scalars for point queries.
+
+        Cached lazily; iteration order matches :meth:`classify_points` so
+        the scalar and vectorised paths agree bit for bit.
+        """
+        roads = tuple(
+            (
+                r.centerline.points[0].x,
+                r.centerline.points[0].y,
+                math.cos(r.heading),
+                math.sin(r.heading),
+                r.length,
+                r.half_width,
+            )
+            for r in self.roads.values()
+        )
+        inters = tuple(
+            (i.center.x, i.center.y, i.half_size) for i in self.intersections.values()
+        )
+        self._surface_param_cache = (roads, inters)
+        return self._surface_param_cache
+
+    def classify_point(self, x: float, y: float) -> SurfaceType:
+        """Scalar fast path of :meth:`classify_points` for one point.
+
+        Same classification with the same arithmetic, minus the numpy
+        array round-trip — single-point queries (violation monitor,
+        autopilot probes) run every frame, where the per-call array
+        allocations dominate.  ``ROAD`` short-circuits: it wins over
+        ``CURB`` regardless of any later surface match.
+        """
+        try:
+            roads, inters = self._surface_param_cache
+        except AttributeError:
+            roads, inters = self._surface_params()
+        sw = self.sidewalk_width
+        curb = False
+        for sx, sy, c, s, length, half_width in roads:
+            dx = x - sx
+            dy = y - sy
+            lx = dx * c + dy * s
+            if lx < 0.0 or lx > length:
+                continue
+            ly = -dx * s + dy * c
+            aly = abs(ly)
+            if aly <= half_width:
+                return SurfaceType.ROAD
+            if aly <= half_width + sw:
+                curb = True
+        for ix, iy, half in inters:
+            dx = abs(x - ix)
+            dy = abs(y - iy)
+            if dx <= half and dy <= half:
+                return SurfaceType.ROAD
+            if dx <= half + sw and dy <= half + sw:
+                curb = True
+        return SurfaceType.CURB if curb else SurfaceType.OFFROAD
+
     def is_on_road(self, point: Vec2) -> bool:
         """Whether ``point`` is on drivable pavement."""
-        return (
-            int(self.classify_points(np.array([[point.x, point.y]]))[0]) == SurfaceType.ROAD
-        )
+        return self.classify_point(point.x, point.y) == SurfaceType.ROAD
+
+    def building_box_pack(self) -> tuple[np.ndarray, tuple]:
+        """Packed building collision boxes for batched ray tests.
+
+        Returns ``(packed, prune)`` where ``packed`` is the
+        :func:`~repro.sim.geometry.pack_boxes` array over all building
+        boxes and ``prune`` holds per-building
+        ``(center_x, center_y, max(half_length, half_width))`` tuples for
+        the LIDAR's range prune.  Buildings are immutable, so both are
+        computed once per town and reused by every sensor frame.
+        """
+        try:
+            return self._building_pack_cache
+        except AttributeError:
+            from .geometry import pack_boxes
+
+            packed = pack_boxes([b.box for b in self.buildings])
+            prune = tuple(
+                (b.box.center.x, b.box.center.y, max(b.box.half_length, b.box.half_width))
+                for b in self.buildings
+            )
+            self._building_pack_cache = (packed, prune)
+            return self._building_pack_cache
 
     # ------------------------------------------------------------------
     # Routing support

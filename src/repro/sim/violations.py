@@ -25,6 +25,7 @@ pedestrians is two accidents.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Optional
@@ -182,9 +183,17 @@ class ViolationMonitor:
     ) -> list[ViolationEvent]:
         new_events: list[ViolationEvent] = []
         ego_box = ego.bounding_box()
+        ego_x, ego_y = ego_box.center.x, ego_box.center.y
+        ego_radius = math.hypot(ego_box.half_length, ego_box.half_width)
         current: set[object] = set()
 
         def check(key: object, box: OrientedBox, vtype: ViolationType, detail: dict) -> None:
+            # Circumradius prescreen: boxes whose centres are farther
+            # apart than their circumradii sum cannot overlap, and the
+            # SAT test below would prove exactly that — skip it.
+            reach = ego_radius + math.hypot(box.half_length, box.half_width)
+            if math.hypot(box.center.x - ego_x, box.center.y - ego_y) > reach:
+                return
             if not ego_box.overlaps(box):
                 return
             current.add(key)

@@ -131,6 +131,10 @@ class World:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def other_actors(self, exclude_id: int) -> list[Actor]:
+        """Alive actors other than ``exclude_id`` (the per-sensor actor set)."""
+        return [a for a in self.actors if a.id != exclude_id and a.alive]
+
     def actors_near(self, position: Vec2, radius: float, exclude_id: int | None = None) -> list[Actor]:
         """Alive actors within ``radius`` metres of ``position``."""
         return [

@@ -176,3 +176,28 @@ class TestCliWiring:
 
         args = build_parser().parse_args(["sweep-delay"])
         assert args.workers == 1
+
+
+class TestWarmStart:
+    def test_context_carries_deduplicated_town_configs(self, builder, scenarios):
+        runner = _runner(builder, scenarios)
+        context = runner.context()
+        assert context.warm_configs == (TOWN,)
+
+    def test_init_worker_prewarms_scene_cache(self, builder, scenarios):
+        from repro.core.runner import _init_worker
+        from repro.sim.builders import SceneCache, SimulationBuilder
+        from repro.sim.render import CameraModel
+
+        cache = SceneCache()
+        warm_builder = SimulationBuilder(
+            camera=CameraModel(width=24, height=16),
+            with_lidar=False,
+            scene_cache=cache,
+        )
+        runner = ParallelCampaignRunner(
+            scenarios, autopilot_agent_factory(), INJECTORS, builder=warm_builder
+        )
+        _init_worker(runner.context())
+        stats = cache.stats()
+        assert stats["towns"] == 1 and stats["renderers"] == 1

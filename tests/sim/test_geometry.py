@@ -13,6 +13,8 @@ from repro.sim.geometry import (
     Transform,
     Vec2,
     angle_diff,
+    batch_ray_hits,
+    pack_boxes,
     point_segment_distance,
     project_on_segment,
     segments_intersect,
@@ -316,3 +318,99 @@ class TestPolyline:
             return  # duplicate-adjacent points: rejected by construction
         s, _ = pl.locate(Vec2(0, 0))
         assert 0.0 <= s <= pl.length + 1e-9
+
+
+class TestBatchRayHits:
+    """The batched LIDAR slab test against the scalar reference.
+
+    ``batch_ray_hits`` must agree *exactly* (not approximately) with
+    folding :meth:`OrientedBox.ray_hit_distance` over the boxes — the
+    vectorised LIDAR promises bit-identical readings.
+    """
+
+    @staticmethod
+    def _scalar_reference(origin, directions, boxes, max_range):
+        out = np.full(len(directions), max_range, dtype=np.float64)
+        for i, (dx, dy) in enumerate(directions):
+            direction = Vec2(dx, dy)
+            best = max_range
+            for box in boxes:
+                hit = box.ray_hit_distance(origin, direction, best)
+                if hit is not None and hit < best:
+                    best = hit
+            out[i] = best
+        return out
+
+    @staticmethod
+    def _unit_directions(angles):
+        dirs = np.empty((len(angles), 2))
+        for i, a in enumerate(angles):
+            d = Vec2.from_heading(a).normalized()
+            dirs[i, 0] = d.x
+            dirs[i, 1] = d.y
+        return dirs
+
+    def test_pack_boxes_layout(self):
+        box = OrientedBox(Vec2(3.0, -2.0), 0.7, 2.5, 1.25)
+        packed = pack_boxes([box])
+        assert packed.shape == (1, 6)
+        assert packed[0, 0] == 3.0 and packed[0, 1] == -2.0
+        assert packed[0, 2] == math.cos(-0.7) and packed[0, 3] == math.sin(-0.7)
+        assert packed[0, 4] == 2.5 and packed[0, 5] == 1.25
+
+    def test_no_boxes_returns_max_range(self):
+        dirs = self._unit_directions([0.0, 1.0])
+        ranges = batch_ray_hits(Vec2(0, 0), dirs, np.empty((0, 6)), 25.0)
+        assert np.array_equal(ranges, [25.0, 25.0])
+
+    def test_single_box_straight_ahead(self):
+        box = OrientedBox(Vec2(10.0, 0.0), 0.0, 2.0, 1.0)
+        dirs = self._unit_directions([0.0])
+        ranges = batch_ray_hits(Vec2(0, 0), dirs, pack_boxes([box]), 40.0)
+        assert ranges[0] == pytest.approx(8.0)
+
+    def test_axis_parallel_rays_match_scalar(self):
+        """Exactly axis-parallel rays exercise the parallel-slab branch."""
+        boxes = [
+            OrientedBox(Vec2(10.0, 0.0), 0.0, 2.0, 1.0),
+            OrientedBox(Vec2(0.0, 8.0), 0.0, 1.5, 1.5),
+            OrientedBox(Vec2(-6.0, 3.0), math.pi / 2.0, 2.0, 0.5),
+            OrientedBox(Vec2(10.0, 5.0), 0.0, 2.0, 1.0),  # origin outside slab
+        ]
+        angles = [0.0, math.pi / 2.0, math.pi, -math.pi / 2.0]
+        dirs = self._unit_directions(angles)
+        origin = Vec2(0.0, 0.0)
+        got = batch_ray_hits(origin, dirs, pack_boxes(boxes), 30.0)
+        want = self._scalar_reference(origin, dirs, boxes, 30.0)
+        assert np.array_equal(got, want)
+
+    def test_origin_inside_box_hits_at_zero(self):
+        box = OrientedBox(Vec2(0.0, 0.0), 0.3, 4.0, 4.0)
+        dirs = self._unit_directions([0.0, 2.0])
+        ranges = batch_ray_hits(Vec2(0.5, -0.5), dirs, pack_boxes([box]), 40.0)
+        assert np.array_equal(ranges, [0.0, 0.0])
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_equals_scalar_reference(self, seed, n_rays, n_boxes):
+        rng = np.random.default_rng(seed)
+        origin = Vec2(*rng.uniform(-15.0, 15.0, 2))
+        boxes = [
+            OrientedBox(
+                Vec2(*rng.uniform(-25.0, 25.0, 2)),
+                float(rng.uniform(-math.pi, math.pi)),
+                float(rng.uniform(0.2, 6.0)),
+                float(rng.uniform(0.2, 4.0)),
+            )
+            for _ in range(n_boxes)
+        ]
+        angles = rng.uniform(-math.pi, math.pi, n_rays)
+        dirs = self._unit_directions(angles)
+        max_range = float(rng.uniform(5.0, 60.0))
+        got = batch_ray_hits(origin, dirs, pack_boxes(boxes), max_range)
+        want = self._scalar_reference(origin, dirs, boxes, max_range)
+        assert np.array_equal(got, want), (got, want)

@@ -147,3 +147,78 @@ class TestSimulationBuilder:
         pos1 = [(a.position.x, a.position.y) for a in w1.actors]
         pos2 = [(a.position.x, a.position.y) for a in w2.actors]
         assert pos1 == pos2
+
+
+class TestSceneCache:
+    def test_process_cache_shared_across_builders(self):
+        from repro.sim.builders import SimulationBuilder, process_scene_cache
+
+        cfg = GridTownConfig(rows=2, cols=3)
+        a = SimulationBuilder()
+        b = SimulationBuilder()
+        assert a.scene_cache is b.scene_cache is process_scene_cache()
+        assert a.town_for(cfg) is b.town_for(cfg)
+        assert a.renderer_for(cfg) is b.renderer_for(cfg)
+
+    def test_private_cache_isolates(self):
+        from repro.sim.builders import SceneCache, SimulationBuilder
+
+        cfg = GridTownConfig(rows=2, cols=3)
+        private = SceneCache()
+        a = SimulationBuilder(scene_cache=private)
+        b = SimulationBuilder()
+        assert a.town_for(cfg) is not b.town_for(cfg)
+        assert a.town_for(cfg) is a.town_for(cfg)
+
+    def test_camera_config_keys_renderers_separately(self):
+        from repro.sim.builders import SceneCache, SimulationBuilder
+        from repro.sim.render import CameraModel
+
+        cfg = GridTownConfig(rows=2, cols=3)
+        cache = SceneCache()
+        small = SimulationBuilder(
+            camera=CameraModel(width=24, height=16), scene_cache=cache
+        )
+        big = SimulationBuilder(
+            camera=CameraModel(width=48, height=32), scene_cache=cache
+        )
+        assert small.renderer_for(cfg) is not big.renderer_for(cfg)
+        # One town serves both renderers.
+        assert small.town_for(cfg) is big.town_for(cfg)
+
+    def test_lru_eviction_bounded(self):
+        from repro.sim.builders import SceneCache
+
+        cache = SceneCache(max_entries=2)
+        configs = [GridTownConfig(rows=2, cols=c) for c in (3, 4, 5)]
+        towns = [cache.town(c) for c in configs]
+        stats = cache.stats()
+        assert stats["towns"] == 2
+        assert stats["misses"] == 3
+        # Oldest evicted: rebuilding it is a miss producing a new object.
+        assert cache.town(configs[0]) is not towns[0]
+
+    def test_pickled_builder_drops_cache_but_rebuilds_equal_scenes(self):
+        import pickle
+
+        from repro.sim.builders import SceneCache, SimulationBuilder
+
+        cfg = GridTownConfig(rows=2, cols=3)
+        builder = SimulationBuilder(scene_cache=SceneCache())
+        town = builder.town_for(cfg)
+        clone = pickle.loads(pickle.dumps(builder))
+        # The clone re-derives scene state (here: via the process cache).
+        rebuilt = clone.town_for(cfg)
+        assert rebuilt is not town
+        assert rebuilt.name == town.name
+        assert len(rebuilt.buildings) == len(town.buildings)
+
+    def test_builder_pickle_stays_small_when_warm(self):
+        import pickle
+
+        from repro.sim.builders import SimulationBuilder
+
+        builder = SimulationBuilder()
+        builder.renderer_for(GridTownConfig(rows=2, cols=3))  # warm the cache
+        # Rasterised textures are megabytes; the builder must not ship them.
+        assert len(pickle.dumps(builder)) < 10_000
