@@ -23,6 +23,13 @@ python -m pytest -x -q
 echo "== smoke: 2-worker parallel campaign =="
 python examples/parallel_campaign.py --workers 2 --runs 2 --agent autopilot
 
+echo "== smoke: distributed queue campaign (2 workers, forced lease expiry) =="
+# End-to-end over the filesystem broker: a coordinator, two real
+# `python -m repro worker` subprocesses, one ghost-claimed task whose
+# lease expires and requeues.  Exits non-zero on any divergence from
+# the serial reference.
+python examples/distributed_queue_campaign.py --workers 2 --runs 2
+
 if [[ "${1:-}" == "--slow" ]]; then
     echo "== slow tier: benchmarks (incl. sensor pipeline gate) =="
     python -m pytest -x -q -m slow

@@ -6,6 +6,8 @@ Subcommands:
   (fast; no training);
 * ``campaign`` — a named-injector campaign against the IL-CNN or autopilot;
 * ``sweep-delay`` — the fig. 4 output-delay sweep;
+* ``worker`` — attach this machine to a distributed queue campaign
+  (``--queue-dir``) and drain tasks until the queue is idle;
 * ``train`` — collect demonstrations and train the IL-CNN;
 * ``list-faults`` — the registered input fault models.
 """
@@ -16,8 +18,42 @@ import argparse
 import sys
 
 
+def _int_at_least(minimum: int):
+    """argparse type factory: a bounded integer rejected with a readable
+    message (``--workers 0`` used to reach the executor and die with an
+    opaque traceback)."""
+
+    def parse(value: str) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+        if number < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {value}")
+        return number
+
+    return parse
+
+
+_positive_int = _int_at_least(1)
+#: ``--workers 0`` = coordinate only; :func:`main` additionally requires
+#: ``--queue-dir`` for it.
+_non_negative_int = _int_at_least(0)
+
+
+def _positive_float(value: str) -> float:
+    """argparse type: a finite float > 0 (leases, poll intervals...)."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if not number > 0 or number != number or number == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
+
+
 def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--runs", type=int, default=4, help="missions per injector")
+    parser.add_argument("--runs", type=_positive_int, default=4, help="missions per injector")
     parser.add_argument("--agent", choices=("nn", "autopilot"), default="autopilot")
     parser.add_argument("--seed", type=int, default=777)
     parser.add_argument("--npc-vehicles", type=int, default=2)
@@ -25,9 +61,24 @@ def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--save", default=None, help="write records JSON here")
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_non_negative_int,
         default=1,
-        help="worker processes for episode execution (1 = serial)",
+        help="worker processes for episode execution (1 = serial; with "
+        "--queue-dir: local drain workers spawned next to the coordinator, "
+        "0 = coordinate only and wait for `avfi worker` machines to attach)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help="run through the distributed work queue rooted at this shared "
+        "directory; other machines join with `avfi worker --queue-dir DIR`",
+    )
+    parser.add_argument(
+        "--lease",
+        type=_positive_float,
+        default=60.0,
+        help="queue task lease in seconds — a worker silent for this long "
+        "loses its task back to the queue (only with --queue-dir)",
     )
 
 
@@ -49,9 +100,16 @@ def _run_campaign(args, injectors) -> None:
         n_npc_vehicles=args.npc_vehicles,
         n_pedestrians=args.pedestrians,
     )
+    if args.queue_dir and args.workers == 0:
+        print(
+            f"coordinating only: attach workers with\n"
+            f"  python -m repro worker --queue-dir {args.queue_dir}"
+        )
     campaign = Campaign(
         scenarios, _agent_factory(args.agent), injectors,
         builder=SimulationBuilder(), verbose=True, workers=args.workers,
+        backend="queue" if args.queue_dir else None,
+        queue_dir=args.queue_dir, lease_s=args.lease if args.queue_dir else None,
     )
     result = campaign.run()
     if args.save:
@@ -135,6 +193,24 @@ def cmd_train(args) -> None:
     )
 
 
+def cmd_worker(args) -> None:
+    from .core.queue import run_worker
+
+    drained = run_worker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        idle_timeout=args.idle_timeout,
+        max_tasks=args.max_tasks,
+        verbose=True,
+    )
+    if args.max_tasks is not None and drained >= args.max_tasks:
+        print(f"reached --max-tasks; this worker completed {drained} episode(s)")
+    else:
+        print(f"queue idle; this worker completed {drained} episode(s)")
+
+
 def cmd_list_faults(args) -> None:
     from .core.faults import INPUT_FAULT_REGISTRY
 
@@ -175,6 +251,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("replay", "drop"), default="replay")
     p.set_defaults(func=cmd_sweep_delay)
 
+    p = sub.add_parser(
+        "worker",
+        help="attach this machine to a queue campaign and drain tasks until idle",
+    )
+    p.add_argument(
+        "--queue-dir", required=True,
+        help="the campaign's shared broker directory (same path/NFS mount "
+        "the coordinator passed to --queue-dir)",
+    )
+    p.add_argument("--worker-id", default=None, help="default: <hostname>-<pid>")
+    p.add_argument(
+        "--lease", type=_positive_float, default=60.0,
+        help="task lease in seconds (heartbeats refresh it; keep it well "
+        "above clock skew between machines)",
+    )
+    p.add_argument("--poll", type=_positive_float, default=0.5, help="queue poll interval (s)")
+    p.add_argument(
+        "--idle-timeout", type=_positive_float, default=5.0,
+        help="exit after the queue has been idle this long (s)",
+    )
+    p.add_argument(
+        "--max-tasks", type=_positive_int, default=None,
+        help="detach after completing this many episodes",
+    )
+    p.set_defaults(func=cmd_worker)
+
     p = sub.add_parser("train", help="train the IL-CNN agent")
     p.add_argument("--out", default="ilcnn_trained.npz")
     p.add_argument("--scenarios", type=int, default=16)
@@ -189,7 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Cross-argument check argparse types can't express: 0 workers means
+    # "coordinate only", which only the queue backend can do.
+    if getattr(args, "workers", None) == 0 and not getattr(args, "queue_dir", None):
+        parser.error("--workers 0 (coordinate only) requires --queue-dir")
     args.func(args)
     return 0
 

@@ -291,8 +291,16 @@ class Campaign:
     ``workers`` selects parallel execution: the default (``None``/``1``)
     runs episodes serially in-process, anything larger fans episodes out
     to a process pool via
-    :class:`~repro.core.runner.ParallelCampaignRunner`.  Both paths share
+    :class:`~repro.core.runner.ParallelCampaignRunner`.  All paths share
     the per-episode seed formula and return identical results.
+
+    ``backend="queue"`` (with a shared ``queue_dir``) shards the grid
+    across machines instead: this process coordinates through a
+    :class:`~repro.core.queue.QueueExecutor` (spawning ``workers`` local
+    drain processes), any machine can attach more workers with
+    ``avfi worker --queue-dir``, and the broker's ``results.jsonl``
+    checkpoint makes the campaign resumable — re-running the same
+    campaign against the same ``queue_dir`` executes only what's missing.
     """
 
     def __init__(
@@ -305,11 +313,16 @@ class Campaign:
         verbose: bool = False,
         workers: int | None = None,
         executor=None,
+        backend: str | None = None,
+        queue_dir: str | Path | None = None,
+        lease_s: float | None = None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
         if not injectors:
             raise ValueError("campaign needs at least one injector (use {'none': []})")
+        if backend is not None and executor is not None:
+            raise ValueError("pass either backend= or executor=, not both")
         self.scenarios = list(scenarios)
         self.agent_factory = agent_factory
         self.injectors = dict(injectors)
@@ -317,7 +330,9 @@ class Campaign:
         self.base_seed = base_seed
         self.verbose = verbose
         self.workers = workers
-        self.executor = executor
+        self.executor = executor if executor is not None else backend
+        self.queue_dir = queue_dir
+        self.lease_s = lease_s
 
     def total_runs(self) -> int:
         """Number of episodes the campaign will execute."""
@@ -338,6 +353,8 @@ class Campaign:
             base_seed=self.base_seed,
             workers=workers if workers is not None else self.workers,
             executor=self.executor,
+            queue_dir=self.queue_dir,
+            lease_s=self.lease_s,
             verbose=self.verbose,
             label="campaign",
         )

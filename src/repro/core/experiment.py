@@ -86,7 +86,13 @@ class Study:
             # otherwise pollute metrics() and duplicate after re-runs.
             self.records = self._runner().grid_records()
 
-    def _runner(self, workers: int | None = None, executor=None) -> ParallelCampaignRunner:
+    def _runner(
+        self,
+        workers: int | None = None,
+        executor=None,
+        queue_dir=None,
+        lease_s=None,
+    ) -> ParallelCampaignRunner:
         return ParallelCampaignRunner(
             self.scenarios,
             self.agent_factory,
@@ -95,6 +101,8 @@ class Study:
             base_seed=self.base_seed,
             workers=workers,
             executor=executor,
+            queue_dir=queue_dir,
+            lease_s=lease_s,
             checkpoint_path=self.checkpoint_path,
             # self.records already holds the checkpoint contents (loaded
             # once in __post_init__) plus anything run since; handing it
@@ -108,7 +116,13 @@ class Study:
         """The (injector, scenario, seed) triples still to execute."""
         return [(t.injector, t.scenario, t.seed) for t in self._runner().pending()]
 
-    def run(self, workers: int | None = None, executor=None) -> list[RunRecord]:
+    def run(
+        self,
+        workers: int | None = None,
+        executor=None,
+        queue_dir=None,
+        lease_s=None,
+    ) -> list[RunRecord]:
         """Execute every pending episode; returns the study's records.
 
         One record per completed grid episode (resumed + fresh), in grid
@@ -118,8 +132,14 @@ class Study:
         :class:`~repro.core.runner.ParallelCampaignRunner`); records still
         stream to the checkpoint as each episode completes, so an
         interrupted parallel study resumes exactly like a serial one.
+
+        A ``queue_dir`` (optionally with ``executor="queue"``) shards the
+        pending episodes across machines through the distributed work
+        queue; when the study has its own ``checkpoint_path``, records
+        are mirrored into it as the coordinator folds them back, so study
+        resume semantics are unchanged.
         """
-        runner = self._runner(workers, executor)
+        runner = self._runner(workers, executor, queue_dir=queue_dir, lease_s=lease_s)
         try:
             runner.run()
         finally:

@@ -12,6 +12,18 @@
 The aggregate VPK/APK are computed over pooled distance (total events /
 total km), while the per-run lists feed the distribution plots of figs.
 3-4 (the paper shows boxplots, i.e. run-level spread).
+
+**Empty-slice convention** (defined once, applied by every aggregate):
+a slice with *no completed runs* — a fault class in a freshly resumed or
+partially drained queue campaign, an injector filtered down to nothing —
+has **NaN** for MSR/VPK/APK.  Absence of data is not "0 % success" or
+"0 violations"; NaN keeps empty slices visibly undefined in tables and
+propagates honestly through downstream arithmetic, while counts
+(``n_runs``, ``total_km``, ``total_violations``…) are legitimately 0.
+Distinct from this is the *zero-distance* case: completed runs in which
+the car never moved keep VPK/APK of 0.0 (the run happened and produced
+no per-km events), matching the per-run properties on
+:class:`~repro.core.campaign.RunRecord`.
 """
 
 from __future__ import annotations
@@ -35,14 +47,19 @@ __all__ = [
 
 
 def mission_success_rate(records: Sequence[RunRecord]) -> float:
-    """MSR in percent over a set of runs."""
+    """MSR in percent over a set of runs; NaN for an empty slice."""
     if not records:
-        raise ValueError("no runs to aggregate")
+        return float("nan")
     return 100.0 * sum(r.success for r in records) / len(records)
 
 
 def violations_per_km(records: Sequence[RunRecord]) -> float:
-    """Pooled VPK: total violations over total kilometres."""
+    """Pooled VPK: total violations over total kilometres.
+
+    NaN for an empty slice; 0.0 when runs exist but covered no distance.
+    """
+    if not records:
+        return float("nan")
     total_km = sum(r.distance_km for r in records)
     if total_km <= 0.0:
         return 0.0
@@ -50,7 +67,12 @@ def violations_per_km(records: Sequence[RunRecord]) -> float:
 
 
 def accidents_per_km(records: Sequence[RunRecord]) -> float:
-    """Pooled APK: total accidents over total kilometres."""
+    """Pooled APK: total accidents over total kilometres.
+
+    NaN for an empty slice; 0.0 when runs exist but covered no distance.
+    """
+    if not records:
+        return float("nan")
     total_km = sum(r.distance_km for r in records)
     if total_km <= 0.0:
         return 0.0
@@ -102,9 +124,12 @@ class ResilienceMetrics:
 
 
 def compute_metrics(records: Sequence[RunRecord]) -> ResilienceMetrics:
-    """Aggregate one group of runs into :class:`ResilienceMetrics`."""
-    if not records:
-        raise ValueError("no runs to aggregate")
+    """Aggregate one group of runs into :class:`ResilienceMetrics`.
+
+    An empty group is valid (see the module's empty-slice convention):
+    rates come back NaN, counts 0 — so summarising a partially drained
+    or freshly resumed campaign never raises.
+    """
     by_type: dict[str, int] = {}
     for r in records:
         for v in r.violations:

@@ -1,0 +1,789 @@
+"""Distributed campaign execution over a shared work queue.
+
+The campaign grid is embarrassingly parallel across machines, not just
+across processes: :class:`~repro.core.runner.EpisodeTask` pickles, the
+executor protocol is pluggable, and the JSONL checkpoint is already the
+source of truth for completed work.  This module adds the missing piece —
+a *broker* that hands tasks to whichever workers are attached:
+
+* a **coordinator** (the machine running
+  :class:`~repro.core.runner.ParallelCampaignRunner` with a
+  :class:`QueueExecutor`) publishes the campaign context and every
+  pending task into a broker, then folds finished records back into
+  canonical grid order exactly as the in-process executors do;
+* any number of **workers** (``avfi worker --queue-dir …`` /
+  :func:`run_worker`, one per machine or several per machine) attach to
+  the broker, claim tasks under per-task *leases*, heartbeat while an
+  episode runs, append each finished :class:`~repro.core.campaign.RunRecord`
+  to the shared JSONL checkpoint, and drain until the queue is idle;
+* a worker that dies mid-episode simply stops heartbeating — its lease
+  expires and the task is requeued automatically (by any other worker or
+  the coordinator), so the campaign completes as long as *one* worker
+  survives.
+
+The reference broker is :class:`FilesystemBroker`: a shared directory
+(local disk for same-machine workers, NFS or similar for a cluster).
+Claims are atomic ``rename(2)`` moves, appends are single ``O_APPEND``
+writes (see :func:`~repro.core.runner.append_jsonl_line`), and every
+mutation is a file operation — no server process to operate.  The layout
+is deliberately small and enumerable so a redis-style backend can
+implement the same :class:`Broker` protocol later:
+
+.. code-block:: text
+
+    queue_dir/
+      manifest.json     # campaign metadata (task count, lease, created_at)
+      context.pkl       # pickled CampaignContext (builder, agent, faults)
+      tasks/NNNNN_x.task     # pending EpisodeTask pickles (claim = rename away)
+      claimed/NNNNN_x.task   # tasks currently leased to a worker
+      leases/NNNNN_x.json    # the lease: worker id + heartbeat timestamp
+      failed/NNNNN_x.task(.error.json)  # tasks whose execution raised
+      workers/<worker>.json  # per-worker liveness heartbeats (observability)
+      results.jsonl     # THE checkpoint: completed records, append-only
+
+Exactly-once is enforced at the *results* layer, not the queue layer: a
+lease can expire after its worker actually finished (slow NFS, paused
+VM), in which case two workers run the same episode and append two
+records with the same identity.  Episodes are deterministic, so the
+duplicates are byte-identical, and the runner's grid fold keeps the
+first — the queue only has to guarantee at-least-once delivery.
+
+Clock caveat: lease expiry compares worker heartbeat timestamps against
+the local clock, so machines sharing a broker directory should be
+NTP-synchronised to well under the lease duration (the 60 s default
+leaves a comfortable margin).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, Sequence
+
+from .campaign import RunRecord
+from .runner import (
+    CampaignContext,
+    EpisodeTask,
+    _init_worker,
+    append_jsonl_line,
+    record_identity,
+    repair_jsonl_tail,
+)
+
+__all__ = [
+    "Broker",
+    "Claim",
+    "FilesystemBroker",
+    "QueueExecutor",
+    "run_worker",
+]
+
+
+@dataclass
+class Claim:
+    """A task leased to one worker (returned by :meth:`Broker.claim`)."""
+
+    name: str
+    task: EpisodeTask
+    worker_id: str
+    lease_s: float
+
+
+class Broker(Protocol):
+    """What a queue backend must provide (filesystem today, redis later).
+
+    The coordinator calls :meth:`publish`, :meth:`read_results`,
+    :meth:`requeue_expired` and :meth:`failures`; workers call
+    :meth:`load_context`, :meth:`claim`, :meth:`heartbeat`,
+    :meth:`append_result`, :meth:`release`/:meth:`fail` and
+    :meth:`requeue_expired`.  All methods must be safe under concurrent
+    callers on different machines.
+    """
+
+    def publish(self, context: CampaignContext, tasks: Sequence[EpisodeTask]) -> None:
+        """Make the campaign context and pending tasks claimable."""
+        ...
+
+    def load_context(self, timeout_s: float = 0.0) -> CampaignContext | None:
+        """The published context, or ``None`` if none appears in time."""
+        ...
+
+    def claim(self, worker_id: str, lease_s: float | None = None) -> Claim | None:
+        """Atomically take one pending task, or ``None`` if queue is empty."""
+        ...
+
+    def heartbeat(self, claim: Claim) -> None:
+        """Refresh a claim's lease so it does not expire mid-episode."""
+        ...
+
+    def release(self, claim: Claim) -> bool:
+        """Retire a finished claim; False if the lease had already expired."""
+        ...
+
+    def fail(self, claim: Claim, error: BaseException) -> None:
+        """Park a claim whose execution raised, with the error attached."""
+        ...
+
+    def requeue_expired(self) -> list[str]:
+        """Return expired claims to the pending queue; list what moved."""
+        ...
+
+    def append_result(self, record: RunRecord) -> None:
+        """Durably append one finished record to the shared checkpoint."""
+        ...
+
+    def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
+        """New complete records past ``offset``; returns the next offset."""
+        ...
+
+    def failures(self) -> list[dict]:
+        """Error reports of failed tasks (empty when all is well)."""
+        ...
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Write via a same-directory temp file + rename so readers never see
+    a partial file (rename is atomic on POSIX filesystems, NFS included)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class FilesystemBroker:
+    """The reference :class:`Broker`: a shared directory, no server.
+
+    Claiming is ``rename(tasks/X, claimed/X)`` — atomic, and it fails
+    with ``FileNotFoundError`` for every worker but the winner.  Leases
+    are small JSON files refreshed by the claimer's heartbeat thread;
+    anyone may requeue a claim whose heartbeat is older than its lease.
+    """
+
+    def __init__(self, root: str | Path, lease_s: float = 60.0):
+        self.root = Path(root)
+        self.lease_s = float(lease_s)
+        self.tasks_dir = self.root / "tasks"
+        self.claimed_dir = self.root / "claimed"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+        self.workers_dir = self.root / "workers"
+        self.results_path = self.root / "results.jsonl"
+        self.context_path = self.root / "context.pkl"
+        self.manifest_path = self.root / "manifest.json"
+
+    # -- layout --------------------------------------------------------
+
+    def ensure_layout(self) -> None:
+        for d in (self.tasks_dir, self.claimed_dir, self.leases_dir,
+                  self.failed_dir, self.workers_dir):
+            d.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _task_filename(task: EpisodeTask) -> str:
+        # Grid index first so workers drain in roughly canonical order;
+        # an identity digest after it so files are unique even if two
+        # campaigns (accidentally) share a directory across resumes.
+        digest = hashlib.sha1(repr(task.identity()).encode()).hexdigest()[:12]
+        return f"{task.index:05d}_{digest}.task"
+
+    def _list(self, directory: Path) -> list[str]:
+        try:
+            return sorted(n for n in os.listdir(directory) if n.endswith(".task"))
+        except FileNotFoundError:
+            return []
+
+    # -- coordinator side ----------------------------------------------
+
+    def publish(self, context: CampaignContext, tasks: Sequence[EpisodeTask]) -> None:
+        """Write the context and sync ``tasks/`` to the pending set.
+
+        Re-publishing (a resumed coordinator) is safe: failed tasks are
+        returned for retry, stale entries not in the new pending set are
+        dropped — from ``tasks/`` *and* ``claimed/`` (an orphaned claim
+        of an already-completed or foreign-config task would otherwise
+        expire, requeue, and burn a worker on work outside this grid) —
+        and currently-claimed tasks of this grid are left to their
+        workers.
+        """
+        self.ensure_layout()
+        # Context and manifest land BEFORE the task files.  The ordering
+        # is load-bearing: once a new task is claimable, the context it
+        # must run under (and the manifest hash long-lived workers use to
+        # notice a re-publish) is already visible — the reverse order
+        # lets a worker claim a re-published task and execute it against
+        # the previous campaign's fault objects, checkpointing wrong
+        # results under the new fingerprint.  The cost is benign: a
+        # worker attaching mid-publish may see the context with an empty
+        # queue, but it keeps polling for ``idle_timeout`` (and task
+        # files follow within milliseconds); a worker claiming a stale
+        # task with the new context produces a foreign-fingerprint row
+        # the grid fold ignores.
+        context_blob = pickle.dumps(context)
+        _write_atomic(self.context_path, context_blob)
+        _write_atomic(
+            self.manifest_path,
+            json.dumps(
+                {
+                    "n_tasks": len(tasks),
+                    "lease_s": self.lease_s,
+                    "created_at": time.time(),
+                    "coordinator": f"{socket.gethostname()}:{os.getpid()}",
+                    # Long-lived workers compare this to detect a
+                    # re-publish with changed configuration and reload.
+                    "context_sha": hashlib.sha1(context_blob).hexdigest(),
+                }
+            ).encode(),
+        )
+        self.recover_failed()
+        wanted = {self._task_filename(task): task for task in tasks}
+        existing = set(self._list(self.tasks_dir))
+        claimed = set(self._list(self.claimed_dir))
+        for name in existing - wanted.keys():
+            (self.tasks_dir / name).unlink(missing_ok=True)
+        for name in claimed - wanted.keys():
+            # If a live worker still holds this orphan, its release()
+            # simply reports the claim lost; a duplicate record dedupes.
+            self._lease_path(name).unlink(missing_ok=True)
+            (self.claimed_dir / name).unlink(missing_ok=True)
+        for name, task in wanted.items():
+            if name in existing or name in claimed:
+                continue
+            _write_atomic(self.tasks_dir / name, pickle.dumps(task))
+
+    def manifest(self) -> dict | None:
+        """The published campaign manifest, or ``None`` before publish."""
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def recover_failed(self) -> list[str]:
+        """Move failed tasks back to pending (retry after a fix)."""
+        recovered = []
+        for name in self._list(self.failed_dir):
+            try:
+                os.rename(self.failed_dir / name, self.tasks_dir / name)
+            except FileNotFoundError:
+                continue
+            (self.failed_dir / f"{name}.error.json").unlink(missing_ok=True)
+            recovered.append(name)
+        return recovered
+
+    def failures(self) -> list[dict]:
+        out = []
+        try:
+            names = sorted(os.listdir(self.failed_dir))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".error.json"):
+                continue
+            try:
+                out.append(json.loads((self.failed_dir / name).read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    def status(self) -> dict:
+        """Queue counts, for logging and doctors."""
+        return {
+            "pending": len(self._list(self.tasks_dir)),
+            "claimed": len(self._list(self.claimed_dir)),
+            "failed": len(self._list(self.failed_dir)),
+            "results": len(self.result_identities()),
+        }
+
+    # -- worker side ---------------------------------------------------
+
+    def load_context(self, timeout_s: float = 0.0) -> CampaignContext | None:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return pickle.loads(self.context_path.read_bytes())
+            except FileNotFoundError:
+                if time.monotonic() >= deadline:
+                    return None
+                time.sleep(0.1)
+
+    def claim(self, worker_id: str, lease_s: float | None = None) -> Claim | None:
+        lease_s = float(lease_s if lease_s is not None else self.lease_s)
+        for name in self._list(self.tasks_dir):
+            claimed = self.claimed_dir / name
+            try:
+                os.rename(self.tasks_dir / name, claimed)
+            except FileNotFoundError:
+                continue  # another worker won this rename
+            # Reset the claim's age NOW: the rename preserved the task
+            # file's publish-time mtime, and until our lease file lands
+            # the expiry check falls back to that mtime — a task that sat
+            # pending longer than the lease would look instantly expired
+            # and a concurrent requeue_expired() could steal it back.
+            now = time.time()
+            try:
+                os.utime(claimed, (now, now))
+            except FileNotFoundError:
+                continue  # stolen in the utime window; harmless, move on
+            except OSError:
+                # utimensat with explicit times needs file ownership; a
+                # worker running as a different user than the coordinator
+                # (shared NFS dir) gets EPERM.  The lease write below
+                # covers the age window within milliseconds anyway.
+                pass
+            try:
+                task = pickle.loads(claimed.read_bytes())
+            except FileNotFoundError:
+                continue  # stolen before our lease landed; move on
+            claim = Claim(name=name, task=task, worker_id=worker_id, lease_s=lease_s)
+            self.heartbeat(claim)
+            return claim
+        return None
+
+    def _lease_path(self, name: str) -> Path:
+        return self.leases_dir / f"{Path(name).stem}.json"
+
+    def heartbeat(self, claim: Claim) -> None:
+        now = time.time()
+        _write_atomic(
+            self._lease_path(claim.name),
+            json.dumps(
+                {
+                    "task": claim.name,
+                    "worker": claim.worker_id,
+                    "heartbeat_at": now,
+                    "lease_s": claim.lease_s,
+                }
+            ).encode(),
+        )
+
+    def release(self, claim: Claim) -> bool:
+        self._lease_path(claim.name).unlink(missing_ok=True)
+        try:
+            os.unlink(self.claimed_dir / claim.name)
+            return True
+        except FileNotFoundError:
+            # The lease expired and someone requeued the task while we
+            # were (slowly) finishing; the rerun will dedupe by identity.
+            return False
+
+    def fail(self, claim: Claim, error: BaseException) -> None:
+        self._lease_path(claim.name).unlink(missing_ok=True)
+        try:
+            os.rename(self.claimed_dir / claim.name, self.failed_dir / claim.name)
+        except FileNotFoundError:
+            return  # requeued from under us; let the retry speak for itself
+        _write_atomic(
+            self.failed_dir / f"{claim.name}.error.json",
+            json.dumps(
+                {
+                    "task": claim.name,
+                    "worker": claim.worker_id,
+                    "error": repr(error),
+                    "traceback": traceback.format_exc(),
+                    "failed_at": time.time(),
+                }
+            ).encode(),
+        )
+
+    def heartbeat_worker(self, worker_id: str, done: int) -> None:
+        """Per-worker liveness file (observability, not correctness).
+
+        Callers are expected to have run :meth:`ensure_layout` once at
+        attach — no per-beat mkdir chatter against a shared mount.
+        """
+        _write_atomic(
+            self.workers_dir / f"{worker_id}.json",
+            json.dumps(
+                {
+                    "worker": worker_id,
+                    "host": socket.gethostname(),
+                    "pid": os.getpid(),
+                    "heartbeat_at": time.time(),
+                    "episodes_done": done,
+                }
+            ).encode(),
+        )
+
+    # -- lease expiry --------------------------------------------------
+
+    def _lease_expired(self, name: str, now: float) -> bool:
+        try:
+            lease = json.loads(self._lease_path(name).read_text())
+            return lease["heartbeat_at"] + lease["lease_s"] < now
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError):
+            # Claim without a readable lease: the claimer crashed between
+            # rename and lease write (or tore the file); judge by the
+            # claimed file's age with the default lease as grace.
+            try:
+                return now - (self.claimed_dir / name).stat().st_mtime > self.lease_s
+            except FileNotFoundError:
+                return False
+
+    def requeue_expired(self) -> list[str]:
+        now = time.time()
+        requeued = []
+        for name in self._list(self.claimed_dir):
+            if not self._lease_expired(name, now):
+                continue
+            self._lease_path(name).unlink(missing_ok=True)
+            try:
+                os.rename(self.claimed_dir / name, self.tasks_dir / name)
+            except FileNotFoundError:
+                continue  # finished (or requeued) concurrently
+            requeued.append(name)
+        return requeued
+
+    def live_leases(self) -> int:
+        """Claims whose lease has not (yet) expired."""
+        now = time.time()
+        return sum(
+            1 for name in self._list(self.claimed_dir)
+            if not self._lease_expired(name, now)
+        )
+
+    def is_idle(self) -> bool:
+        """No pending and no claimed tasks — nothing left to drain."""
+        return not self._list(self.tasks_dir) and not self._list(self.claimed_dir)
+
+    # -- results (the JSONL checkpoint) --------------------------------
+
+    def repair_results(self) -> int:
+        """Drop a torn final checkpoint line (crashed non-atomic writer
+        or filesystem-level truncation) so appends can safely resume."""
+        return repair_jsonl_tail(self.results_path)
+
+    def append_result(self, record: RunRecord) -> None:
+        append_jsonl_line(self.results_path, record.to_dict())
+
+    def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
+        """Complete lines past ``offset``; a trailing partial line (an
+        append in flight on another machine) stays unread until next poll.
+        Lines that don't parse as records are skipped — foreign rows never
+        match a grid identity anyway."""
+        try:
+            with open(self.results_path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return offset, []
+        end = data.rfind(b"\n")
+        if end < 0:
+            return offset, []
+        records = []
+        for line in data[:end].split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                records.append(RunRecord(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError):
+                continue
+        return offset + end + 1, records
+
+    def result_identities(self) -> set[tuple[str, str, int, str]]:
+        _, records = self.read_results(0)
+        return {record_identity(r) for r in records}
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+
+class _LeaseKeeper:
+    """Background thread refreshing one claim's lease while it executes."""
+
+    def __init__(self, broker: FilesystemBroker, claim: Claim):
+        self._broker = broker
+        self._claim = claim
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(self._claim.lease_s / 4.0, 0.05)
+        while not self._stop.wait(interval):
+            self._broker.heartbeat(self._claim)
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    queue_dir: str | Path,
+    worker_id: str | None = None,
+    lease_s: float = 60.0,
+    poll_s: float = 0.5,
+    idle_timeout: float = 5.0,
+    max_tasks: int | None = None,
+    verbose: bool = False,
+) -> int:
+    """Attach to a broker directory and drain tasks until the queue is idle.
+
+    This is what ``avfi worker --queue-dir DIR`` runs.  The loop:
+    requeue any expired leases, claim a task, skip it if its identity is
+    already in the results (a lease that expired *after* its worker
+    finished), execute it under a heartbeating lease, append the record
+    to the shared checkpoint, release.  An episode that raises parks the
+    task in ``failed/`` (with the traceback) and the worker moves on.
+
+    Exits once ``tasks/`` and ``claimed/`` have stayed empty for
+    ``idle_timeout`` seconds — i.e. nothing is pending and no live lease
+    could still expire back into the queue.  Returns the number of
+    episodes this worker completed.
+    """
+    from .runner import execute_task  # deferred: keep import surface obvious
+
+    worker_id = worker_id or default_worker_id()
+    broker = FilesystemBroker(queue_dir, lease_s=lease_s)
+    context = broker.load_context(timeout_s=idle_timeout)
+    if context is None:
+        if verbose:
+            print(f"[worker {worker_id}] no campaign published at {queue_dir}; exiting")
+        return 0
+    broker.ensure_layout()
+    broker.repair_results()
+    # Warm this worker's scene cache exactly like a pool worker would.
+    _init_worker(context)
+    context_sha = (broker.manifest() or {}).get("context_sha")
+    done = 0
+    idle_since: float | None = None
+    # Incremental view of the results checkpoint for the finish-after-
+    # expiry dedupe below: re-parsing the whole (growing) JSONL before
+    # every claim would make the drain loop quadratic in campaign size.
+    seen_identities: set[tuple[str, str, int, str]] = set()
+    results_offset = 0
+    # Liveness beats are observability only — rate-limit them like the
+    # lease keeper instead of rewriting the file every poll iteration.
+    beat_interval = max(lease_s / 4.0, 1.0)
+    last_beat = float("-inf")
+    # Expiry can only happen on a lease_s timescale; scanning claimed/
+    # and leases/ every poll tick is pure shared-mount metadata chatter.
+    scan_interval = max(poll_s, min(lease_s / 4.0, 5.0))
+    last_scan = float("-inf")
+    while True:
+        now = time.monotonic()
+        if now - last_beat >= beat_interval:
+            broker.heartbeat_worker(worker_id, done)
+            last_beat = now
+        if now - last_scan >= scan_interval:
+            broker.requeue_expired()
+            last_scan = now
+        claim = broker.claim(worker_id, lease_s)
+        if claim is None:
+            if broker.is_idle():
+                if idle_since is None:
+                    idle_since = time.monotonic()
+                elif time.monotonic() - idle_since >= idle_timeout:
+                    break
+            else:
+                idle_since = None
+            time.sleep(poll_s)
+            continue
+        idle_since = None
+        # A long-lived worker can outlive the campaign it attached to: a
+        # re-publish against the same directory (retuned faults, new
+        # suite) swaps the context, and executing new tasks against the
+        # old injector objects would checkpoint wrong results under the
+        # new fingerprints.  The manifest's context hash detects that.
+        current_sha = (broker.manifest() or {}).get("context_sha")
+        if current_sha != context_sha:
+            fresh_context = broker.load_context()
+            if fresh_context is not None:
+                context = fresh_context
+                _init_worker(context)
+            context_sha = current_sha
+            if verbose:
+                print(f"[worker {worker_id}] campaign re-published; context reloaded")
+        results_offset, fresh = broker.read_results(results_offset)
+        seen_identities.update(record_identity(r) for r in fresh)
+        if claim.task.identity() in seen_identities:
+            # A previous holder finished after losing its lease; the
+            # record is already checkpointed — retire, don't re-run.
+            broker.release(claim)
+            continue
+        try:
+            with _LeaseKeeper(broker, claim):
+                record = execute_task(context, claim.task)
+        except Exception as exc:  # noqa: BLE001 — park the task, keep draining
+            broker.fail(claim, exc)
+            if verbose:
+                print(f"[worker {worker_id}] {claim.name} FAILED: {exc!r}")
+            continue
+        broker.append_result(record)
+        broker.release(claim)
+        done += 1
+        if verbose:
+            status = "ok " if record.success else "FAIL"
+            print(
+                f"[worker {worker_id}] {claim.name} {record.injector:>12} "
+                f"{record.scenario:>8} {status} {record.n_violations} violations"
+            )
+        if max_tasks is not None and done >= max_tasks:
+            break
+    broker.heartbeat_worker(worker_id, done)
+    return done
+
+
+# ----------------------------------------------------------------------
+# Coordinator executor
+# ----------------------------------------------------------------------
+
+
+class QueueExecutor:
+    """Queue-backed executor satisfying the runner's executor protocol.
+
+    :meth:`run` publishes the pending grid into the broker, optionally
+    spawns ``workers`` local drain processes (so ``backend="queue"``
+    works standalone on one machine), then polls the shared results
+    checkpoint and yields ``(task, record)`` pairs as remote workers land
+    them — the runner folds these back into grid order exactly as with
+    the in-process executors.  Expired leases are requeued from the
+    coordinator as well, so a campaign survives worker deaths even when
+    every other worker is busy.
+
+    The broker's ``results.jsonl`` *is* the campaign checkpoint: the
+    runner adopts it (``checkpoint_path``) and skips its own appends,
+    since workers already wrote each record durably.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: str | Path,
+        workers: int = 0,
+        lease_s: float = 60.0,
+        poll_s: float = 0.2,
+        stall_timeout: float | None = None,
+        worker_idle_timeout: float = 5.0,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0 (got {workers})")
+        self.broker = FilesystemBroker(queue_dir, lease_s=lease_s)
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.lease_s = float(lease_s)
+        self.poll_s = float(poll_s)
+        #: Raise if no progress and no live lease for this long (None =
+        #: wait forever for workers on other machines to attach).
+        self.stall_timeout = stall_timeout
+        self.worker_idle_timeout = float(worker_idle_timeout)
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """The shared JSONL checkpoint workers append to."""
+        return self.broker.results_path
+
+    def _spawn_local_workers(self) -> list:
+        import multiprocessing
+
+        procs = []
+        for i in range(self.workers):
+            proc = multiprocessing.Process(
+                target=run_worker,
+                kwargs=dict(
+                    queue_dir=str(self.queue_dir),
+                    worker_id=f"local-{os.getpid()}-{i}",
+                    lease_s=self.lease_s,
+                    poll_s=max(self.poll_s / 2.0, 0.05),
+                    idle_timeout=self.worker_idle_timeout,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+        return procs
+
+    def run(
+        self, context: CampaignContext, tasks: Sequence[EpisodeTask]
+    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
+        """Yield ``(task, record)`` as workers complete episodes.
+
+        Completed records are yielded even when another task fails or
+        the queue stalls — the runner checkpoints finished work first,
+        then the error propagates, mirroring :class:`ProcessExecutor`'s
+        drain semantics.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        by_identity = {task.identity(): task for task in tasks}
+        pending = set(by_identity)
+        self.broker.publish(context, tasks)
+        procs = self._spawn_local_workers()
+        offset = 0
+        last_progress = time.monotonic()
+        # Expiry/failure/lease scans read every lease file in claimed/;
+        # on a shared mount that is metadata traffic other participants
+        # pay for, and nothing there changes faster than lease_s anyway.
+        scan_interval = max(self.poll_s, min(self.lease_s / 4.0, 5.0))
+        last_scan = float("-inf")
+        try:
+            while pending:
+                offset, fresh = self.broker.read_results(offset)
+                progressed = False
+                for record in fresh:
+                    identity = record_identity(record)
+                    if identity in pending:
+                        pending.discard(identity)
+                        progressed = True
+                        yield by_identity[identity], record
+                if not pending:
+                    break
+                now = time.monotonic()
+                scan_due = now - last_scan >= scan_interval
+                if scan_due:
+                    last_scan = now
+                    self.broker.requeue_expired()
+                    failures = self.broker.failures()
+                    if failures:
+                        first = failures[0]
+                        raise RuntimeError(
+                            f"queue worker {first.get('worker')} failed on "
+                            f"{first.get('task')}: {first.get('error')}\n"
+                            f"{first.get('traceback', '')}"
+                        )
+                if progressed:
+                    last_progress = now
+                elif scan_due:
+                    if self.broker.live_leases():
+                        last_progress = now
+                    elif procs and not any(p.is_alive() for p in procs):
+                        # Inline mode: our own drain processes all exited
+                        # (idle or crashed) yet episodes remain and nobody
+                        # holds a lease — nothing will ever progress.
+                        raise RuntimeError(
+                            f"all {len(procs)} local queue workers exited with "
+                            f"{len(pending)} episode(s) still pending "
+                            f"(queue dir: {self.queue_dir})"
+                        )
+                if (
+                    self.stall_timeout is not None
+                    and time.monotonic() - last_progress > self.stall_timeout
+                ):
+                    raise RuntimeError(
+                        f"queue stalled: no completed episode and no live "
+                        f"worker lease for {self.stall_timeout:.0f}s "
+                        f"({len(pending)} pending; queue dir: {self.queue_dir})"
+                    )
+                time.sleep(self.poll_s)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=10.0)

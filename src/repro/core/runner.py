@@ -17,11 +17,14 @@ as three invariants survive the distribution:
   executes an episode twice.
 
 The execution strategy is pluggable: :class:`SerialExecutor` runs tasks
-in-process (tests, debugging, ``workers<=1``) and :class:`ProcessExecutor`
-fans chunks of tasks out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
-Both feed the same top-level, picklable :func:`execute_task` →
-:func:`~repro.core.campaign.run_episode` path, so the serial run is the
-ground truth the parallel run must reproduce exactly.
+in-process (tests, debugging, ``workers<=1``), :class:`ProcessExecutor`
+fans chunks of tasks out to a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and :class:`~repro.core.queue.QueueExecutor` shards the grid across
+*machines* through a shared broker directory (``executor="queue"`` /
+``queue_dir=``).  All feed the same top-level, picklable
+:func:`execute_task` → :func:`~repro.core.campaign.run_episode` path, so
+the serial run is the ground truth every distributed run must reproduce
+exactly.
 """
 
 from __future__ import annotations
@@ -47,9 +50,136 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "make_executor",
+    "append_jsonl_line",
+    "repair_jsonl_tail",
+    "record_identity",
     "load_checkpoint_records",
     "ParallelCampaignRunner",
 ]
+
+
+def repair_jsonl_tail(path: str | Path) -> int:
+    """Physically drop a torn final line (a hard kill / full disk left a
+    partial record); returns the number of bytes removed.
+
+    :func:`load_checkpoint_records` already *ignores* a trailing
+    fragment, but ignoring is not enough once anyone appends again: the
+    next record would be glued onto the fragment with no newline between
+    them, turning one recoverable tear into an unparseable interior line
+    that poisons every later resume.  Truncating back to the last
+    complete line before appending resumes makes the silent in-memory
+    drop physical.  Safe to run while atomic appenders
+    (:func:`append_jsonl_line`) are live: their single-write lines never
+    leave the file transiently newline-less, appenders hold a shared
+    ``flock`` for the write's duration (so the exclusive lock here waits
+    out any in-flight append rather than mistaking its partial
+    visibility for a tear), and concurrent *repairers* re-read the file
+    under the exclusive lock, so a stale pre-repair read can never
+    truncate away a record appended in between.
+    """
+    path = Path(path)
+    try:
+        fh = open(path, "rb+")
+    except FileNotFoundError:
+        return 0
+    with fh:
+        try:
+            import fcntl
+
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            pass  # no flock (non-POSIX / odd mount): best-effort repair
+        # Scan backwards in chunks for the last newline — a fragment is
+        # at most one record, so this is O(tail), not O(checkpoint),
+        # which matters because every worker attach runs it under the
+        # exclusive lock that stalls all appenders.
+        size = fh.seek(0, os.SEEK_END)
+        if size == 0:
+            return 0
+        chunk = 65536
+        pos = size
+        last_newline = -1
+        while pos > 0 and last_newline < 0:
+            start = max(0, pos - chunk)
+            fh.seek(start)
+            buf = fh.read(pos - start)
+            if pos == size and buf.endswith(b"\n"):
+                return 0  # clean tail, nothing to repair
+            index = buf.rfind(b"\n")
+            if index >= 0:
+                last_newline = start + index
+            pos = start
+        new_size = last_newline + 1 if last_newline >= 0 else 0
+        fh.truncate(new_size)
+        os.fsync(fh.fileno())
+    return size - new_size
+
+
+def append_jsonl_line(path: str | Path, obj: dict) -> None:
+    """Durably append ``obj`` as one JSONL line — atomic w.r.t. concurrent
+    appenders and hard kills.
+
+    The whole encoded line goes down in a *single* ``os.write`` on an
+    ``O_APPEND`` descriptor: POSIX appends each write at the current end
+    of file, so two processes (or machines, on a well-behaved shared
+    filesystem) appending to the same checkpoint can never interleave
+    partial lines — exactly the multi-writer case the queue backend
+    creates.  A buffered ``fh.write`` gives neither guarantee: the stdio
+    buffer may flush mid-line at any boundary, so a kill can tear a
+    record in half and a concurrent appender can land between the halves,
+    turning a resumable checkpoint into a permanently corrupt one.
+
+    ``fsync`` before close makes the record durable: once the runner has
+    reported an episode complete, a power cut must not un-complete it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(obj) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        try:
+            import fcntl
+
+            # Shared lock, paired with repair_jsonl_tail's exclusive one:
+            # a tail repair can never run while any append is in flight,
+            # so a partially visible write (NFS attribute caching) cannot
+            # be mistaken for a torn tail and truncated away.
+            fcntl.flock(fd, fcntl.LOCK_SH)
+        except (ImportError, OSError):
+            pass  # no flock on this platform/mount: appends stay atomic
+        written = os.write(fd, line)
+        if written != len(line):
+            # A short write (ENOSPC racing quota enforcement, RLIMIT_FSIZE)
+            # already tore the line on disk; finishing it is the only way
+            # to keep the file parseable for everyone else.  If the
+            # remainder cannot be written either, cut our own fragment
+            # back off before failing loudly — leaving it would hand the
+            # next appender a tail to glue onto, and no other participant
+            # runs a repair mid-campaign.
+            try:
+                while written < len(line):
+                    more = os.write(fd, line[written:])
+                    if more <= 0:
+                        raise OSError(
+                            f"short checkpoint append to {path}: "
+                            f"{written}/{len(line)} bytes written"
+                        )
+                    written += more
+            except OSError:
+                os.close(fd)
+                fd = -1
+                repair_jsonl_tail(path)  # waits out concurrent appends (flock)
+                raise
+        os.fsync(fd)
+    finally:
+        if fd >= 0:
+            os.close(fd)
+
+
+def record_identity(record) -> tuple[str, str, int, str]:
+    """A record's checkpoint identity — the counterpart of
+    :meth:`EpisodeTask.identity` on the result side."""
+    return (record.injector, record.scenario, record.seed, record.config_fingerprint)
 
 
 def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
@@ -58,7 +188,11 @@ def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
     A hard kill (or full disk) can truncate the final append mid-line;
     that trailing fragment is dropped silently — the episode simply
     re-runs on resume.  A malformed line anywhere *else* means real
-    corruption and raises.
+    corruption and raises.  A line that parses as JSON but doesn't build
+    a :class:`~repro.core.campaign.RunRecord` (a row appended by a
+    different repro version into a shared queue checkpoint) is skipped,
+    not fatal — it could never match a grid identity anyway, matching
+    :meth:`~repro.core.queue.FilesystemBroker.read_results`.
     """
     if path is None:
         return []
@@ -76,6 +210,8 @@ def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
             raise ValueError(
                 f"corrupt checkpoint {path}: unparseable JSON on line {lineno + 1}"
             )
+        except TypeError:
+            continue  # foreign schema: journal noise, never a grid match
     return records
 
 
@@ -281,18 +417,43 @@ def make_executor(
     executor: str | SerialExecutor | ProcessExecutor | None = None,
     workers: int | None = None,
     chunksize: int | None = None,
+    queue_dir: str | Path | None = None,
+    lease_s: float | None = None,
+    poll_s: float | None = None,
+    stall_timeout: float | None = None,
 ):
-    """Resolve an executor spec (``"serial"``/``"process"``/instance/None).
+    """Resolve an executor spec (``"serial"``/``"process"``/``"queue"``/
+    instance/None).
 
-    With no explicit spec the worker count decides: ``workers`` of
+    With no explicit spec the other arguments decide: a ``queue_dir``
+    selects the distributed queue backend, ``workers`` of
     ``None``/``0``/``1`` stays serial, anything larger gets a process
     pool.  Asking for serial execution *and* multiple workers is a
     contradiction and raises rather than silently dropping the workers.
     An executor instance is authoritative (its own worker count wins).
+
+    For ``"queue"``, ``workers`` is the number of *local* drain
+    processes to spawn alongside the coordinator — defaulting to 1 so a
+    bare ``queue_dir`` makes progress on its own; an explicit ``0``
+    coordinates only and blocks until workers attach from other machines
+    via ``avfi worker``.  ``lease_s``, ``poll_s`` and ``stall_timeout``
+    configure the :class:`~repro.core.queue.QueueExecutor`.
     """
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (got {workers})")
     parallel_requested = workers is not None and workers > 1
     if executor is None:
-        executor = "process" if parallel_requested else "serial"
+        if queue_dir is not None:
+            executor = "queue"
+        else:
+            executor = "process" if parallel_requested else "serial"
+    if queue_dir is not None:
+        spec = executor if isinstance(executor, str) else getattr(executor, "name", None)
+        if spec != "queue":
+            raise ValueError(
+                f"queue_dir={str(queue_dir)!r} conflicts with "
+                f"executor={executor!r}; use executor='queue' or drop queue_dir"
+            )
     if isinstance(executor, SerialExecutor) or executor == "serial":
         if parallel_requested:
             raise ValueError(
@@ -304,7 +465,27 @@ def make_executor(
         return executor
     if executor == "process":
         return ProcessExecutor(workers=workers, chunksize=chunksize)
-    raise ValueError(f"unknown executor {executor!r} (expected 'serial' or 'process')")
+    if executor == "queue":
+        from .queue import QueueExecutor  # deferred: queue imports us
+
+        if queue_dir is None:
+            raise ValueError(
+                "executor='queue' needs queue_dir (the shared broker directory)"
+            )
+        options = {}
+        if lease_s is not None:
+            options["lease_s"] = lease_s
+        if poll_s is not None:
+            options["poll_s"] = poll_s
+        if stall_timeout is not None:
+            options["stall_timeout"] = stall_timeout
+        # workers=None must not silently mean "coordinate only and block
+        # until someone attaches" — default to one local drain process;
+        # coordinate-only needs an explicit workers=0.
+        return QueueExecutor(queue_dir, workers=1 if workers is None else workers, **options)
+    raise ValueError(
+        f"unknown executor {executor!r} (expected 'serial', 'process' or 'queue')"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +513,8 @@ class ParallelCampaignRunner:
         workers: int | None = None,
         executor: str | SerialExecutor | ProcessExecutor | None = None,
         chunksize: int | None = None,
+        queue_dir: str | Path | None = None,
+        lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         resume_records: Sequence[RunRecord] | None = None,
         verbose: bool = False,
@@ -347,11 +530,37 @@ class ParallelCampaignRunner:
         self.injectors = dict(injectors)
         self.builder = builder or SimulationBuilder()
         self.base_seed = base_seed
-        self.executor = make_executor(executor, workers=workers, chunksize=chunksize)
+        self.executor = make_executor(
+            executor,
+            workers=workers,
+            chunksize=chunksize,
+            queue_dir=queue_dir,
+            lease_s=lease_s,
+        )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        # A queue executor's broker owns the shared results checkpoint:
+        # adopt it (so resume reads what workers wrote) and skip the
+        # runner's own appends for it (workers already append each record
+        # durably — a second append would just duplicate every line).
+        executor_checkpoint = getattr(self.executor, "checkpoint_path", None)
+        if executor_checkpoint is not None and self.checkpoint_path is None:
+            self.checkpoint_path = Path(executor_checkpoint)
+        # Resolve both sides: the same file spelled differently (relative
+        # vs absolute, symlinked mount) must still count as owned, or the
+        # runner would re-append every record the workers already wrote.
+        self._executor_owns_checkpoint = (
+            executor_checkpoint is not None
+            and self.checkpoint_path is not None
+            and self.checkpoint_path.resolve() == Path(executor_checkpoint).resolve()
+        )
         self.verbose = verbose
         self.label = label
         self.on_record = on_record
+        # A torn final line must come off *before* anything appends again
+        # (see repair_jsonl_tail) — this runner, or queue workers sharing
+        # the broker checkpoint.
+        if self.checkpoint_path is not None:
+            repair_jsonl_tail(self.checkpoint_path)
         # Explicit resume_records are authoritative (the caller already
         # loaded or owns them); otherwise read the checkpoint file.
         self._checkpoint_records: list[RunRecord] = (
@@ -392,12 +601,7 @@ class ParallelCampaignRunner:
 
     @staticmethod
     def _record_identity(record: RunRecord) -> tuple[str, str, int, str]:
-        return (
-            record.injector,
-            record.scenario,
-            record.seed,
-            record.config_fingerprint,
-        )
+        return record_identity(record)
 
     def completed(self) -> set[tuple[str, str, int, str]]:
         """Identities already present in the checkpoint (or finished)."""
@@ -413,11 +617,9 @@ class ParallelCampaignRunner:
     # -- checkpointing -------------------------------------------------
 
     def _append_checkpoint(self, record: RunRecord) -> None:
-        if self.checkpoint_path is None:
+        if self.checkpoint_path is None or self._executor_owns_checkpoint:
             return
-        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.checkpoint_path.open("a") as fh:
-            fh.write(json.dumps(record.to_dict()) + "\n")
+        append_jsonl_line(self.checkpoint_path, record.to_dict())
 
     # -- execution -----------------------------------------------------
 

@@ -49,9 +49,8 @@ class TestMetricFunctions:
         records = [record(success=True), record(success=True), record(success=False)]
         assert mission_success_rate(records) == pytest.approx(100.0 * 2 / 3)
 
-    def test_msr_empty_rejected(self):
-        with pytest.raises(ValueError):
-            mission_success_rate([])
+    def test_msr_empty_is_nan(self):
+        assert np.isnan(mission_success_rate([]))
 
     def test_vpk_pooled_over_distance(self):
         records = [
@@ -111,6 +110,42 @@ class TestComputeMetrics:
         assert groups["none"].n_runs == 1
         assert groups["gauss"].n_runs == 2
         assert groups["gauss"].msr == pytest.approx(50.0)
+
+
+class TestEmptySlice:
+    """The documented empty-slice convention: rates NaN, counts 0.
+
+    A fault class with no completed runs (freshly resumed or partially
+    drained queue campaign) must aggregate, not raise — and it must not
+    masquerade as "0 % success" / "0 violations" either.
+    """
+
+    def test_all_rate_aggregates_agree_on_nan(self):
+        assert np.isnan(mission_success_rate([]))
+        assert np.isnan(violations_per_km([]))
+        assert np.isnan(accidents_per_km([]))
+
+    def test_compute_metrics_empty_does_not_raise(self):
+        m = compute_metrics([])
+        assert m.n_runs == 0
+        assert np.isnan(m.msr) and np.isnan(m.vpk) and np.isnan(m.apk)
+        assert m.total_km == 0.0
+        assert m.total_violations == 0 and m.total_accidents == 0
+        assert m.ttv_s == [] and m.vpk_per_run == [] and m.success_flags == []
+        assert np.isnan(m.ttv_median_s)
+
+    def test_empty_summary_row_is_renderable(self):
+        row = compute_metrics([]).summary_row()
+        assert row["runs"] == 0
+        assert np.isnan(row["MSR_%"])
+        assert row["TTV_median_s"] is None
+
+    def test_zero_distance_with_runs_stays_zero(self):
+        # Distinct case: completed runs that never moved keep rate 0.0 —
+        # the runs happened and produced no per-km events.
+        assert violations_per_km([record(km=0.0)]) == 0.0
+        assert accidents_per_km([record(km=0.0)]) == 0.0
+        assert mission_success_rate([record(km=0.0)]) == pytest.approx(100.0)
 
 
 class TestSummarize:
