@@ -20,6 +20,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1: pytest -x -q =="
 python -m pytest -x -q
 
+echo "== smoke: declarative spec campaign (avfi run) =="
+python -m repro run examples/specs/smoke.json --workers 1
+
+echo "== smoke: spec emit round-trip =="
+# The hard-coded campaign command's emitted spec must re-load cleanly.
+python -m repro spec emit campaign --runs 2 | python -m repro spec validate -
+
+echo "== smoke: declarative-vs-programmatic equivalence =="
+python examples/declarative_campaign.py --runs 1
+
 echo "== smoke: 2-worker parallel campaign =="
 python examples/parallel_campaign.py --workers 2 --runs 2 --agent autopilot
 

@@ -1,13 +1,16 @@
 """Autonomous Driving Agent substrate: planner, expert, IL-CNN, agents."""
 
 from .agents import (
+    AGENT_REGISTRY,
     AgentFactory,
     AutopilotAgent,
     AutopilotAgentFactory,
     NNAgent,
     NNAgentFactory,
     autopilot_agent_factory,
+    make_agent_factory,
     nn_agent_factory,
+    register_agent,
 )
 from .autopilot import Expert, ExpertConfig
 from .dataset import CollectionConfig, DrivingDataset, collect_imitation_data
@@ -21,13 +24,16 @@ from .training import (
 )
 
 __all__ = [
+    "AGENT_REGISTRY",
     "AgentFactory",
     "AutopilotAgent",
     "AutopilotAgentFactory",
     "NNAgent",
     "NNAgentFactory",
     "autopilot_agent_factory",
+    "make_agent_factory",
     "nn_agent_factory",
+    "register_agent",
     "Expert",
     "ExpertConfig",
     "CollectionConfig",

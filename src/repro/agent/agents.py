@@ -11,11 +11,19 @@ Two agents ship with the library:
   should not depend on learned behaviour.
 
 Factories at the bottom adapt both to the campaign runner's
-``factory(handles, mission) -> Agent`` protocol.
+``factory(handles, mission) -> Agent`` protocol.  Both factories are
+also *registered* by name in :data:`AGENT_REGISTRY`
+(:func:`register_agent` / :func:`make_agent_factory`), which is what
+lets declarative campaign specs (:mod:`repro.core.spec`) name an agent
+as data instead of holding a callable — and both expose a
+``config_signature()`` so checkpoint fingerprints can tell two agent
+configurations apart (see
+:func:`repro.core.campaign.episode_fingerprint`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable
 
 import numpy as np
@@ -39,6 +47,9 @@ __all__ = [
     "AutopilotAgentFactory",
     "nn_agent_factory",
     "autopilot_agent_factory",
+    "AGENT_REGISTRY",
+    "register_agent",
+    "make_agent_factory",
 ]
 
 
@@ -151,6 +162,25 @@ class NNAgentFactory:
         agent.reset(mission)
         return agent
 
+    def config_signature(self) -> str:
+        """Stable identity for checkpoint fingerprints.
+
+        Hashes the model's weights (name-sorted), so swapping in a
+        retrained or differently-shaped model invalidates checkpoints,
+        while the ML-fault install/remove cycle — which restores weights
+        exactly — does not.  Recomputed on every call rather than cached:
+        the model may be trained further between campaigns.
+        """
+        digest = hashlib.sha1()
+        params = self.model.named_parameters()
+        for name in sorted(params):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(params[name].data).tobytes())
+        return (
+            f"NNAgentFactory(weights={digest.hexdigest()[:12]}, "
+            f"replan_tolerance={self.replan_tolerance!r})"
+        )
+
 
 class AutopilotAgentFactory:
     """Factory adapting :class:`AutopilotAgent` to the campaign protocol.
@@ -166,6 +196,17 @@ class AutopilotAgentFactory:
         agent.reset(mission)
         return agent
 
+    def config_signature(self) -> str:
+        """Stable identity for checkpoint fingerprints.
+
+        ``expert_config=None`` normalises to the default
+        :class:`ExpertConfig`, which is what the expert actually drives
+        with — the two spellings must not invalidate each other's
+        checkpoints.
+        """
+        config = self.expert_config if self.expert_config is not None else ExpertConfig()
+        return f"AutopilotAgentFactory({config!r})"
+
 
 def nn_agent_factory(model: ILCNN, replan_tolerance: float = 10.0) -> AgentFactory:
     """Factory adapting :class:`NNAgent` to the campaign protocol."""
@@ -175,3 +216,68 @@ def nn_agent_factory(model: ILCNN, replan_tolerance: float = 10.0) -> AgentFacto
 def autopilot_agent_factory(expert_config: ExpertConfig | None = None) -> AgentFactory:
     """Factory adapting :class:`AutopilotAgent` to the campaign protocol."""
     return AutopilotAgentFactory(expert_config)
+
+
+# ----------------------------------------------------------------------
+# Agent registry: named factories for declarative campaign specs
+# ----------------------------------------------------------------------
+
+#: Named agent-factory builders.  Keys are the names campaign specs (and
+#: the CLI's ``--agent``) use; values build a picklable agent factory
+#: from JSON-able keyword params.
+AGENT_REGISTRY: dict[str, Callable[..., AgentFactory]] = {}
+
+
+def register_agent(name: str):
+    """Decorator registering an agent-factory builder under ``name``.
+
+    The builder takes only JSON-serialisable keyword arguments and
+    returns a campaign-protocol factory — that restriction is what keeps
+    agents nameable from a spec file.
+    """
+
+    def decorate(builder: Callable[..., AgentFactory]) -> Callable[..., AgentFactory]:
+        existing = AGENT_REGISTRY.get(name)
+        if existing is not None and existing is not builder:
+            raise ValueError(f"agent name {name!r} is already registered")
+        AGENT_REGISTRY[name] = builder
+        return builder
+
+    return decorate
+
+
+def make_agent_factory(name: str, **params) -> AgentFactory:
+    """Build a registered agent factory by name (spec/CLI entry point)."""
+    try:
+        builder = AGENT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(AGENT_REGISTRY))
+        raise KeyError(f"unknown agent {name!r}; registered agents: {known}") from None
+    return builder(**params)
+
+
+@register_agent("autopilot")
+def _build_autopilot_factory(**expert_params) -> AutopilotAgentFactory:
+    """The privileged expert; params are :class:`ExpertConfig` fields."""
+    config = ExpertConfig(**expert_params) if expert_params else None
+    return AutopilotAgentFactory(config)
+
+
+@register_agent("nn")
+def _build_nn_factory(
+    model_path: str | None = None, replan_tolerance: float = 10.0
+) -> NNAgentFactory:
+    """The paper's IL-CNN agent.
+
+    ``model_path`` loads a saved checkpoint; without it the shared
+    default model is loaded from the artifact cache (trained on first
+    use — see :func:`repro.agent.training.get_or_train_default_model`).
+    """
+    if model_path is not None:
+        model = ILCNN.load(model_path)
+    else:
+        from .training import get_or_train_default_model  # deferred: heavy
+
+        model = get_or_train_default_model()
+    model.set_training(False)
+    return NNAgentFactory(model, replan_tolerance)

@@ -2,19 +2,27 @@
 
 Subcommands:
 
+* ``run`` — execute a declarative campaign spec (``avfi run spec.json``),
+  with ``--workers``/``--queue-dir`` overrides; the primary entry point;
+* ``spec emit`` — print the spec the built-in ``campaign``/``sweep-delay``
+  commands would run (edit it, archive it, ``avfi run`` it);
+* ``spec validate`` — load a spec (file or stdin) and report its hash;
 * ``demo`` — one fault-free and one faulted episode with the autopilot
   (fast; no training);
-* ``campaign`` — a named-injector campaign against the IL-CNN or autopilot;
-* ``sweep-delay`` — the fig. 4 output-delay sweep;
+* ``campaign`` — a named-injector campaign against the IL-CNN or
+  autopilot (a thin wrapper that emits a spec and runs it);
+* ``sweep-delay`` — the fig. 4 output-delay sweep (same wrapper);
 * ``worker`` — attach this machine to a distributed queue campaign
   (``--queue-dir``) and drain tasks until the queue is idle;
 * ``train`` — collect demonstrations and train the IL-CNN;
-* ``list-faults`` — the registered input fault models.
+* ``list-faults`` — every registered fault model, grouped by hook point,
+  with its config parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -37,7 +45,7 @@ def _int_at_least(minimum: int):
 
 _positive_int = _int_at_least(1)
 #: ``--workers 0`` = coordinate only; :func:`main` additionally requires
-#: ``--queue-dir`` for it.
+#: a queue directory (flag or spec) for it.
 _non_negative_int = _int_at_least(0)
 
 
@@ -52,19 +60,32 @@ def _positive_float(value: str) -> float:
     return number
 
 
-def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
+def _add_suite_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario-suite and agent options shared by the spec-emitting
+    commands (``campaign``, ``sweep-delay``, ``spec emit …``)."""
     parser.add_argument("--runs", type=_positive_int, default=4, help="missions per injector")
     parser.add_argument("--agent", choices=("nn", "autopilot"), default="autopilot")
     parser.add_argument("--seed", type=int, default=777)
     parser.add_argument("--npc-vehicles", type=int, default=2)
     parser.add_argument("--pedestrians", type=int, default=2)
-    parser.add_argument("--save", default=None, help="write records JSON here")
+
+
+def _add_exec_args(
+    parser: argparse.ArgumentParser,
+    with_save: bool = True,
+    workers_default: int | None = 1,
+) -> None:
+    """Execution options shared by everything that runs (or emits) a
+    campaign.  ``avfi run`` passes ``workers_default=None`` so an
+    unspecified flag defers to the spec's ``execution.workers``."""
+    if with_save:
+        parser.add_argument("--save", default=None, help="write records JSON here")
     parser.add_argument(
         "--workers",
         type=_non_negative_int,
-        default=1,
+        default=workers_default,
         help="worker processes for episode execution (1 = serial; with "
-        "--queue-dir: local drain workers spawned next to the coordinator, "
+        "a queue dir: local drain workers spawned next to the coordinator, "
         "0 = coordinate only and wait for `avfi worker` machines to attach)",
     )
     parser.add_argument(
@@ -76,45 +97,100 @@ def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--lease",
         type=_positive_float,
-        default=60.0,
+        default=None,
         help="queue task lease in seconds — a worker silent for this long "
-        "loses its task back to the queue (only with --queue-dir)",
+        "loses its task back to the queue (only with a queue dir; "
+        "default 60)",
     )
 
 
-def _agent_factory(kind: str):
-    from .agent import autopilot_agent_factory, get_or_train_default_model, nn_agent_factory
-
-    if kind == "nn":
-        return nn_agent_factory(get_or_train_default_model())
-    return autopilot_agent_factory()
+def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
+    _add_suite_args(parser)
+    _add_exec_args(parser)
 
 
-def _run_campaign(args, injectors) -> None:
-    from .core import Campaign, format_table, metrics_by_injector, standard_scenarios
-    from .sim.builders import SimulationBuilder
+# ----------------------------------------------------------------------
+# Spec construction from CLI arguments (campaign / sweep-delay / emit)
+# ----------------------------------------------------------------------
 
-    scenarios = standard_scenarios(
-        args.runs,
+
+def _execution_spec_from_args(args):
+    from .core.spec import ExecutionSpec
+
+    queue_dir = getattr(args, "queue_dir", None)
+    return ExecutionSpec(
+        workers=getattr(args, "workers", None),
+        backend="queue" if queue_dir else None,
+        queue_dir=queue_dir,
+        lease_s=getattr(args, "lease", None) if queue_dir else None,
+    )
+
+
+def _suite_spec_from_args(args):
+    from .core.spec import ScenarioSuiteSpec
+
+    return ScenarioSuiteSpec(
+        n=args.runs,
         seed=args.seed,
         n_npc_vehicles=args.npc_vehicles,
         n_pedestrians=args.pedestrians,
     )
-    if args.queue_dir and args.workers == 0:
+
+
+def _campaign_spec_from_args(args):
+    """The spec behind ``avfi campaign`` (the figs. 2-3 grid)."""
+    from .core.faults import make_input_fault
+    from .core.spec import AgentSpec, CampaignSpec
+
+    injectors: dict[str, list] = {"none": []}
+    for name in args.injectors:
+        injectors[name] = [make_input_fault(name)]
+    return CampaignSpec(
+        name="input-fault-campaign",
+        scenarios=_suite_spec_from_args(args),
+        agent=AgentSpec(name=args.agent),
+        injectors=injectors,
+        execution=_execution_spec_from_args(args),
+    )
+
+
+def _sweep_delay_spec_from_args(args):
+    """The spec behind ``avfi sweep-delay`` (the fig. 4 sweep)."""
+    from .core.faults import OutputDelay
+    from .core.spec import AgentSpec, CampaignSpec
+
+    injectors = {
+        f"delay-{k}": ([OutputDelay(k, mode=args.mode)] if k else [])
+        for k in args.delays
+    }
+    return CampaignSpec(
+        name="output-delay-sweep",
+        scenarios=_suite_spec_from_args(args),
+        agent=AgentSpec(name=args.agent),
+        injectors=injectors,
+        execution=_execution_spec_from_args(args),
+    )
+
+
+def _run_spec(spec, save: str | None = None, **overrides) -> None:
+    """Execute a campaign spec and print the metrics table.
+
+    The one execution path behind ``avfi run``, ``avfi campaign`` and
+    ``avfi sweep-delay`` — the hard-coded commands run exactly what
+    their emitted specs describe.
+    """
+    from .core import Campaign, format_table, metrics_by_injector
+
+    campaign = Campaign.from_spec(spec, verbose=True, **overrides)
+    if campaign.queue_dir and campaign.workers == 0:
         print(
             f"coordinating only: attach workers with\n"
-            f"  python -m repro worker --queue-dir {args.queue_dir}"
+            f"  python -m repro worker --queue-dir {campaign.queue_dir}"
         )
-    campaign = Campaign(
-        scenarios, _agent_factory(args.agent), injectors,
-        builder=SimulationBuilder(), verbose=True, workers=args.workers,
-        backend="queue" if args.queue_dir else None,
-        queue_dir=args.queue_dir, lease_s=args.lease if args.queue_dir else None,
-    )
     result = campaign.run()
-    if args.save:
-        result.save(args.save)
-        print(f"records -> {args.save}")
+    if save:
+        result.save(save)
+        print(f"records -> {save}")
     metrics = metrics_by_injector(result.records)
     rows = [
         [n, m.n_runs, m.msr, m.vpk, m.apk, m.ttv_median_s if m.ttv_s else None]
@@ -122,6 +198,82 @@ def _run_campaign(args, injectors) -> None:
     ]
     print()
     print(format_table(["injector", "runs", "MSR_%", "VPK", "APK", "TTV_s"], rows))
+
+
+def _require_queue_for_coordinate_only(parser_error, workers, queue_dir) -> None:
+    """0 workers means "coordinate only", which only the queue backend
+    can do — reject it with a readable message otherwise."""
+    if workers == 0 and not queue_dir:
+        parser_error("--workers 0 (coordinate only) requires --queue-dir")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def cmd_run(args) -> None:
+    from .core.spec import SpecError, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"avfi run: {exc}")
+    workers = args.workers if args.workers is not None else spec.execution.workers
+    queue_dir = args.queue_dir or spec.execution.queue_dir
+    if workers == 0 and not queue_dir:
+        raise SystemExit(
+            "avfi run: --workers 0 (coordinate only) requires a queue "
+            "directory (--queue-dir or the spec's execution.queue_dir)"
+        )
+    print(f"spec: {spec.name} (schema v1, hash {spec.hash()}) from {args.spec}")
+    try:
+        _run_spec(
+            spec,
+            save=args.save,
+            workers=args.workers,
+            queue_dir=args.queue_dir,
+            lease_s=args.lease,
+            checkpoint_path=args.checkpoint,
+        )
+    except (SpecError, ValueError) as exc:
+        # Spec-derived construction errors (queue backend without a
+        # queue dir, empty generated suite…) are user errors, not bugs —
+        # report them like argparse would, no traceback.
+        raise SystemExit(f"avfi run: {exc}")
+
+
+def cmd_spec_emit(args) -> None:
+    builders = {
+        "campaign": _campaign_spec_from_args,
+        "sweep-delay": _sweep_delay_spec_from_args,
+    }
+    spec = builders[args.what](args)
+    if args.out:
+        from .core.spec import save_spec
+
+        save_spec(spec, args.out)
+        print(f"spec -> {args.out}")
+    else:
+        print(json.dumps(spec.to_dict(), indent=2))
+
+
+def cmd_spec_validate(args) -> None:
+    from .core.spec import SpecError, load_spec, parse_spec
+
+    try:
+        if args.spec == "-":
+            spec = parse_spec(sys.stdin.read(), source="<stdin>")
+        else:
+            spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"avfi spec validate: {exc}")
+    n_faults = sum(len(faults) for faults in spec.injectors.values())
+    print(
+        f"OK: {spec.name!r} (hash {spec.hash()}) — "
+        f"{len(spec.injectors)} injector(s), {n_faults} fault(s), "
+        f"agent {spec.agent.name!r}"
+    )
 
 
 def cmd_demo(args) -> None:
@@ -155,22 +307,11 @@ def cmd_demo(args) -> None:
 
 
 def cmd_campaign(args) -> None:
-    from .core.faults import make_input_fault
-
-    injectors: dict[str, list] = {"none": []}
-    for name in args.injectors:
-        injectors[name] = [make_input_fault(name)]
-    _run_campaign(args, injectors)
+    _run_spec(_campaign_spec_from_args(args), save=args.save)
 
 
 def cmd_sweep_delay(args) -> None:
-    from .core.faults import OutputDelay
-
-    injectors = {
-        f"delay-{k}": ([OutputDelay(k, mode=args.mode)] if k else [])
-        for k in args.delays
-    }
-    _run_campaign(args, injectors)
+    _run_spec(_sweep_delay_spec_from_args(args), save=args.save)
 
 
 def cmd_train(args) -> None:
@@ -211,18 +352,44 @@ def cmd_worker(args) -> None:
         print(f"queue idle; this worker completed {drained} episode(s)")
 
 
-def cmd_list_faults(args) -> None:
-    from .core.faults import INPUT_FAULT_REGISTRY
+#: Hook points in fig. 1 order, with the seam each one corrupts.
+_HOOK_TITLES = (
+    ("input", "sensor bundle before the agent sees it (Input FI)"),
+    ("output", "control command after the agent produced it (Output FI)"),
+    ("timing", "packet delivery on the component channels (Timing FI)"),
+    ("model", "neural-network weights and activations (NN FI)"),
+    ("world", "world measurements and global state"),
+)
 
-    print("input fault injectors (paper figs. 2-3):")
-    for name, cls in sorted(INPUT_FAULT_REGISTRY.items()):
-        print(f"  {name:12} {cls.__name__}")
-    print(
-        "other classes: hardware (ControlBitFlip, ControlStuckAt, SensorBitFlip,\n"
-        "  PacketBitFlip), timing (OutputDelay, SensorDelay, PacketLoss,\n"
-        "  PacketReorder), ML (WeightNoise, WeightBitFlip, ActivationFault),\n"
-        "  world (WeatherShiftFault)"
-    )
+
+def cmd_list_faults(args) -> None:
+    from .core.faults import FAULT_REGISTRY, REQUIRED, fault_parameters
+
+    by_hook: dict[str, list] = {}
+    for name, cls in sorted(FAULT_REGISTRY.items()):
+        by_hook.setdefault(cls.hook, []).append((name, cls))
+    print(f"{len(FAULT_REGISTRY)} registered fault models (use these names in")
+    print('campaign specs: {"fault": "<name>", "params": {...}, "trigger": {...}}):')
+    for hook, title in _HOOK_TITLES:
+        entries = by_hook.pop(hook, [])
+        if not entries:
+            continue
+        print(f"\n{hook} — {title}:")
+        for name, cls in entries:
+            params = ", ".join(
+                f"{pname}" if default is REQUIRED else f"{pname}={default!r}"
+                for pname, default in fault_parameters(cls).items()
+            )
+            print(f"  {name:16} {cls.__name__:22} {params or '(no parameters)'}")
+    for hook, entries in sorted(by_hook.items()):  # user-registered hooks
+        print(f"\n{hook}:")
+        for name, cls in entries:
+            print(f"  {name:16} {cls.__name__}")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +397,49 @@ def build_parser() -> argparse.ArgumentParser:
         prog="avfi", description="AVFI: fault injection for autonomous vehicles"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "run", help="execute a declarative campaign spec (JSON file)"
+    )
+    p.add_argument("spec", help="path to a campaign spec (see `avfi spec emit`)")
+    _add_exec_args(p, workers_default=None)
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        help="resumable JSONL checkpoint (overrides the spec's "
+        "execution.checkpoint)",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("spec", help="emit / validate campaign specs")
+    spec_sub = p.add_subparsers(dest="spec_command", required=True)
+    p_emit = spec_sub.add_parser(
+        "emit",
+        help="print the spec a built-in command would run "
+        "(edit, archive, `avfi run` it)",
+    )
+    emit_sub = p_emit.add_subparsers(dest="what", required=True)
+    pe = emit_sub.add_parser("campaign", help="the input-fault campaign spec")
+    _add_suite_args(pe)
+    pe.add_argument(
+        "--injectors",
+        nargs="+",
+        default=["gaussian", "s&p", "solid-occ", "transp-occ", "water-drop"],
+        help="input fault names (see list-faults)",
+    )
+    _add_exec_args(pe, with_save=False)
+    pe.add_argument("--out", default=None, help="write the spec here instead of stdout")
+    pe.set_defaults(func=cmd_spec_emit, what="campaign")
+    ps = emit_sub.add_parser("sweep-delay", help="the output-delay sweep spec")
+    _add_suite_args(ps)
+    ps.add_argument("--delays", type=int, nargs="+", default=[0, 5, 10, 20, 30])
+    ps.add_argument("--mode", choices=("replay", "drop"), default="replay")
+    _add_exec_args(ps, with_save=False)
+    ps.add_argument("--out", default=None, help="write the spec here instead of stdout")
+    ps.set_defaults(func=cmd_spec_emit, what="sweep-delay")
+    p_val = spec_sub.add_parser("validate", help="load a spec and report its hash")
+    p_val.add_argument("spec", help="spec file path, or '-' for stdin")
+    p_val.set_defaults(func=cmd_spec_validate)
 
     p = sub.add_parser("demo", help="two quick episodes: clean vs. faulted")
     p.add_argument("--seed", type=int, default=3)
@@ -284,7 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-seed", type=int, default=100)
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("list-faults", help="show registered fault models")
+    p = sub.add_parser("list-faults", help="show all registered fault models")
     p.set_defaults(func=cmd_list_faults)
     return parser
 
@@ -294,9 +504,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Cross-argument check argparse types can't express: 0 workers means
-    # "coordinate only", which only the queue backend can do.
-    if getattr(args, "workers", None) == 0 and not getattr(args, "queue_dir", None):
-        parser.error("--workers 0 (coordinate only) requires --queue-dir")
+    # "coordinate only", which only the queue backend can do.  Applies
+    # to the commands that execute straight from flags; `run` checks it
+    # itself after merging the spec's execution options (the queue dir
+    # may come from the spec), and `spec emit` runs nothing — emitting a
+    # coordinate-only spec to pair with a later --queue-dir is fine.
+    if getattr(args, "command", None) in ("campaign", "sweep-delay"):
+        _require_queue_for_coordinate_only(
+            parser.error, getattr(args, "workers", None), getattr(args, "queue_dir", None)
+        )
     args.func(args)
     return 0
 

@@ -18,6 +18,7 @@ import copy
 import hashlib
 import json
 import math
+import types
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -37,13 +38,43 @@ __all__ = [
     "RunRecord",
     "CampaignResult",
     "Campaign",
+    "component_signature",
     "episode_fingerprint",
     "run_episode",
     "standard_scenarios",
 ]
 
 
-def episode_fingerprint(scenario: Scenario, faults: Sequence[FaultModel] = ()) -> str:
+def component_signature(obj) -> str:
+    """A stable, process-portable identity for an agent factory or builder.
+
+    Components that implement ``config_signature()`` (both shipped agent
+    factories, :class:`~repro.sim.builders.SimulationBuilder`) report
+    their full configuration — swapping the IL-CNN's weights or the
+    camera resolution changes the signature.  Anything else (ad-hoc
+    callables, test doubles) falls back to its qualified name, which
+    still distinguishes *kinds* of component deterministically across
+    processes — never ``id()``/``repr()`` of a bare instance, which
+    would differ per process and re-run everything.
+    """
+    if obj is None:
+        return "<none>"
+    signature = getattr(obj, "config_signature", None)
+    if callable(signature):
+        return str(signature())
+    if isinstance(obj, types.FunctionType):
+        return f"function:{obj.__module__}.{obj.__qualname__}"
+    return f"{type(obj).__module__}.{type(obj).__qualname__}"
+
+
+def episode_fingerprint(
+    scenario: Scenario,
+    faults: Sequence[FaultModel] = (),
+    agent_factory=None,
+    builder=None,
+    *,
+    component_key: tuple | None = None,
+) -> str:
     """A short stable hash of what defines an episode's configuration.
 
     Scenario *names* are just ``scn-0..n`` and episode seeds derive from
@@ -53,9 +84,15 @@ def episode_fingerprint(scenario: Scenario, faults: Sequence[FaultModel] = ()) -
     carry this fingerprint over the scenario **and** the fault
     configuration (each fault's parameter ``describe()`` plus trigger),
     so resuming against a checkpoint from a different configuration
-    re-runs episodes instead of silently returning stale records.  The
-    agent and builder are not fingerprinted (arbitrary callables); keep
-    separate checkpoints per agent.
+    re-runs episodes instead of silently returning stale records.
+
+    ``agent_factory`` and ``builder`` fold :func:`component_signature`
+    into the hash — the campaign runner always passes them, so resuming
+    a checkpoint after switching the agent (autopilot → IL-CNN, retuned
+    expert, retrained weights) or the builder (camera, sensors) re-runs
+    episodes instead of silently matching.  ``component_key`` lets the
+    runner pass the two signatures precomputed once per grid instead of
+    re-deriving them per task (the NN signature hashes model weights).
 
     Each fault is described through a *reset clone*, so per-episode state
     (a :class:`~repro.core.faults.ml_faults.WeightBitFlip`'s drawn
@@ -68,6 +105,11 @@ def episode_fingerprint(scenario: Scenario, faults: Sequence[FaultModel] = ()) -
         probe.reset()
         return (sorted(probe.describe().items()), repr(getattr(probe, "trigger", None)))
 
+    if component_key is None:
+        component_key = (
+            component_signature(agent_factory) if agent_factory is not None else None,
+            component_signature(builder) if builder is not None else None,
+        )
     key = repr(
         (
             scenario.mission,
@@ -77,6 +119,7 @@ def episode_fingerprint(scenario: Scenario, faults: Sequence[FaultModel] = ()) -
             scenario.n_pedestrians,
             scenario.seed,
             [fault_config(fault) for fault in faults],
+            tuple(component_key),
         )
     )
     return hashlib.sha1(key.encode()).hexdigest()[:12]
@@ -301,6 +344,17 @@ class Campaign:
     ``avfi worker --queue-dir``, and the broker's ``results.jsonl``
     checkpoint makes the campaign resumable — re-running the same
     campaign against the same ``queue_dir`` executes only what's missing.
+
+    ``backend`` (a name: ``"serial"``/``"process"``/``"queue"``) and
+    ``executor`` (a ready-made executor instance) are distinct: a
+    backend is resolved into an executor at :meth:`run` time, an
+    instance is used as-is and its own configuration wins.  Passing both
+    is a contradiction and raises.
+
+    A ``checkpoint_path`` makes the campaign resumable exactly like a
+    :class:`~repro.core.experiment.Study`: completed episodes append to
+    the JSONL file as they finish, and a re-run executes only what's
+    missing.
     """
 
     def __init__(
@@ -316,6 +370,7 @@ class Campaign:
         backend: str | None = None,
         queue_dir: str | Path | None = None,
         lease_s: float | None = None,
+        checkpoint_path: str | Path | None = None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
@@ -323,6 +378,11 @@ class Campaign:
             raise ValueError("campaign needs at least one injector (use {'none': []})")
         if backend is not None and executor is not None:
             raise ValueError("pass either backend= or executor=, not both")
+        if backend is not None and not isinstance(backend, str):
+            raise TypeError(
+                f"backend must be an executor name string, got "
+                f"{type(backend).__name__} (pass instances via executor=)"
+            )
         self.scenarios = list(scenarios)
         self.agent_factory = agent_factory
         self.injectors = dict(injectors)
@@ -330,9 +390,73 @@ class Campaign:
         self.base_seed = base_seed
         self.verbose = verbose
         self.workers = workers
-        self.executor = executor if executor is not None else backend
+        #: Executor *instance* (authoritative when set) — kept separate
+        #: from the ``backend`` *name* so spec-driven construction can
+        #: plumb either unambiguously.
+        self.executor = executor
+        self.backend = backend
         self.queue_dir = queue_dir
         self.lease_s = lease_s
+        self.checkpoint_path = checkpoint_path
+        #: The :class:`~repro.core.spec.CampaignSpec` this campaign was
+        #: built from (set by :meth:`from_spec`); published alongside the
+        #: queue broker's context so workers can see the full campaign
+        #: definition as a portable artifact.
+        self.spec = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        workers: int | None = None,
+        queue_dir: str | Path | None = None,
+        lease_s: float | None = None,
+        checkpoint_path: str | Path | None = None,
+        verbose: bool = False,
+    ) -> "Campaign":
+        """Build a campaign from a :class:`~repro.core.spec.CampaignSpec`.
+
+        The keyword arguments override the spec's execution options (the
+        ``avfi run`` CLI flags); everything else — scenario suite, agent,
+        injectors, builder, base seed — comes from the spec.  Fault
+        models are deep-copied out of the spec so building two campaigns
+        from one spec never shares mutable fault state.
+        """
+        execution = spec.execution
+        queue_dir = queue_dir if queue_dir is not None else execution.queue_dir
+        backend = execution.backend
+        if queue_dir is not None:
+            # A queue directory — from the spec or the override — always
+            # selects the queue backend, even when the spec pinned
+            # another one: the same archived spec must shard across
+            # machines when handed a --queue-dir.
+            backend = "queue"
+        elif backend == "queue":
+            raise ValueError(
+                "spec asks for the queue backend but no queue_dir is set "
+                "(spec.execution.queue_dir or the queue_dir= override)"
+            )
+        campaign = cls(
+            spec.scenarios.build(),
+            spec.agent.build(),
+            {
+                name: [copy.deepcopy(fault) for fault in faults]
+                for name, faults in spec.injectors.items()
+            },
+            builder=spec.build_builder(),
+            base_seed=execution.base_seed,
+            verbose=verbose,
+            workers=workers if workers is not None else execution.workers,
+            backend=backend,
+            queue_dir=queue_dir,
+            lease_s=lease_s if lease_s is not None else execution.lease_s,
+            checkpoint_path=(
+                checkpoint_path if checkpoint_path is not None else execution.checkpoint
+            ),
+        )
+        campaign.spec = spec
+        return campaign
 
     def total_runs(self) -> int:
         """Number of episodes the campaign will execute."""
@@ -352,9 +476,11 @@ class Campaign:
             builder=self.builder,
             base_seed=self.base_seed,
             workers=workers if workers is not None else self.workers,
-            executor=self.executor,
+            executor=self.executor if self.executor is not None else self.backend,
             queue_dir=self.queue_dir,
             lease_s=self.lease_s,
+            checkpoint_path=self.checkpoint_path,
+            spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="campaign",
         )

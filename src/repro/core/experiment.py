@@ -42,12 +42,24 @@ def sweep(
 
         injectors = sweep(lambda k: OutputDelay(int(k)), [5, 10, 20, 30],
                           name_format="delay-{value:g}")
+
+    Two values formatting to the same injector name (a constant
+    ``name_format``, rounded floats like ``0.30001`` vs ``0.3`` under
+    ``{value:.1f}``) would silently overwrite one sweep point with
+    another; that collision raises a ``ValueError`` instead.
     """
     injectors: dict[str, list[FaultModel]] = {}
     if include_baseline:
         injectors["none"] = []
     for value in values:
-        injectors[name_format.format(value=value)] = [fault_factory(value)]
+        name = name_format.format(value=value)
+        if name in injectors:
+            raise ValueError(
+                f"sweep name collision: value {value!r} formats to {name!r}, "
+                f"which is already taken (name_format={name_format!r}); use a "
+                f"format that distinguishes every swept value"
+            )
+        injectors[name] = [fault_factory(value)]
     return injectors
 
 
@@ -71,6 +83,50 @@ class Study:
     builder: SimulationBuilder = field(default_factory=SimulationBuilder)
     base_seed: int = 0
     verbose: bool = False
+    #: The CampaignSpec this study was built from (:meth:`from_spec`);
+    #: forwarded to queue brokers as their archived ``spec.json``.
+    spec: object | None = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        checkpoint_path: Path | str | None = None,
+        verbose: bool = False,
+    ) -> "Study":
+        """Build a resumable study from a
+        :class:`~repro.core.spec.CampaignSpec`.
+
+        ``checkpoint_path`` overrides the spec's
+        ``execution.checkpoint``; fault models are deep-copied out of
+        the spec (see :meth:`~repro.core.campaign.Campaign.from_spec`).
+        The spec's remaining execution options (workers, backend,
+        queue_dir, lease) become :meth:`run`'s defaults.
+        """
+        import copy
+
+        execution = spec.execution
+        if execution.backend == "queue" and execution.queue_dir is None:
+            raise ValueError(
+                "spec asks for the queue backend but no queue_dir is set "
+                "(spec.execution.queue_dir, or pass queue_dir= to run())"
+            )
+        return cls(
+            spec.scenarios.build(),
+            spec.agent.build(),
+            {
+                name: [copy.deepcopy(fault) for fault in faults]
+                for name, faults in spec.injectors.items()
+            },
+            checkpoint_path=(
+                checkpoint_path if checkpoint_path is not None else execution.checkpoint
+            ),
+            builder=spec.build_builder(),
+            base_seed=execution.base_seed,
+            verbose=verbose,
+            spec=spec,
+        )
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -108,6 +164,7 @@ class Study:
             # once in __post_init__) plus anything run since; handing it
             # over avoids re-parsing the JSONL on every pending()/run().
             resume_records=self.records,
+            spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="study",
         )
@@ -138,7 +195,21 @@ class Study:
         queue; when the study has its own ``checkpoint_path``, records
         are mirrored into it as the coordinator folds them back, so study
         resume semantics are unchanged.
+
+        For a spec-built study (:meth:`from_spec`), arguments left
+        ``None`` default to the spec's execution options — a spec
+        declaring ``workers: 8`` or the queue backend runs that way
+        without repeating it here.
         """
+        if self.spec is not None:
+            execution = self.spec.execution
+            workers = workers if workers is not None else execution.workers
+            queue_dir = queue_dir if queue_dir is not None else execution.queue_dir
+            lease_s = lease_s if lease_s is not None else execution.lease_s
+            if executor is None:
+                # A queue dir always selects the queue backend (mirrors
+                # Campaign.from_spec's override semantics).
+                executor = "queue" if queue_dir is not None else execution.backend
         runner = self._runner(workers, executor, queue_dir=queue_dir, lease_s=lease_s)
         try:
             runner.run()

@@ -11,7 +11,13 @@ shared machinery:
   :class:`SensorFault` (Input FI), :class:`ControlFault` (Output FI),
   :class:`ModelFault` (NN FI) and :class:`TimingFault` (Timing FI, a
   channel transform), plus :class:`WorldFault` for corrupted world
-  measurements (weather/speed type faults).
+  measurements (weather/speed type faults);
+* the universal fault registry: every concrete fault class registers
+  itself under its stable ``name`` via :func:`register_fault`, and every
+  fault round-trips through a JSON-serialisable config
+  (:meth:`FaultModel.to_config` / :meth:`FaultModel.from_config`) —
+  the machinery declarative campaign specs
+  (:mod:`repro.core.spec`) are built on.
 
 Every fault model owns a seeded RNG handed to it by the injection harness,
 so campaigns replay bit-for-bit.
@@ -19,6 +25,8 @@ so campaigns replay bit-for-bit.
 
 from __future__ import annotations
 
+import inspect
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -41,7 +49,91 @@ __all__ = [
     "ModelFault",
     "TimingFault",
     "WorldFault",
+    "FAULT_REGISTRY",
+    "register_fault",
+    "make_fault",
+    "fault_parameters",
+    "REQUIRED",
 ]
+
+
+#: Every registered fault class, keyed by its stable ``name`` attribute.
+#: Populated by :func:`register_fault`; spans ALL hook points (data,
+#: hardware, timing, ML, world) — unlike the historical
+#: ``INPUT_FAULT_REGISTRY``, which only lists the fig. 2/3 camera faults.
+FAULT_REGISTRY: dict[str, type["FaultModel"]] = {}
+
+#: Sentinel for constructor parameters without a default
+#: (see :func:`fault_parameters`).
+REQUIRED = object()
+
+
+def register_fault(cls: type["FaultModel"]) -> type["FaultModel"]:
+    """Class decorator adding a fault model to :data:`FAULT_REGISTRY`.
+
+    The class must define its *own* ``name`` (an inherited one would
+    silently shadow the parent's registration), which becomes the config
+    key :meth:`FaultModel.from_config` dispatches on.
+    """
+    name = cls.__dict__.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"{cls.__name__} needs its own class-level `name` string to register"
+        )
+    existing = FAULT_REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"fault name {name!r} is already registered by {existing.__name__}"
+        )
+    FAULT_REGISTRY[name] = cls
+    return cls
+
+
+def make_fault(name: str, **kwargs) -> "FaultModel":
+    """Instantiate any registered fault model by its stable name."""
+    try:
+        cls = FAULT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_REGISTRY))
+        raise KeyError(f"unknown fault {name!r}; registered faults: {known}") from None
+    return cls(**kwargs)
+
+
+def fault_parameters(cls: type["FaultModel"]) -> dict[str, object]:
+    """A fault class's config parameters and defaults, by introspection.
+
+    Maps constructor parameter names (``trigger`` excluded — it is
+    serialised separately) to their defaults, or :data:`REQUIRED` for
+    parameters without one.  This is both what ``avfi list-faults``
+    prints and the contract :meth:`FaultModel.config_params` auto-derives
+    serialisation from.
+    """
+    out: dict[str, object] = {}
+    for pname, param in inspect.signature(cls.__init__).parameters.items():
+        if pname in ("self", "trigger"):
+            continue
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            continue
+        out[pname] = param.default if param.default is not param.empty else REQUIRED
+    return out
+
+
+def _json_default(obj):
+    item = getattr(obj, "item", None)  # numpy scalars
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(obj).__name__} is not JSON-serialisable")
+
+
+def _jsonify(value, context: str):
+    """Normalise ``value`` to plain JSON types (tuples become lists, numpy
+    scalars become Python numbers), so ``to_config`` output is stable
+    under a JSON round-trip — the round-trip property tests rely on
+    ``to_config → from_config → to_config`` being the identity."""
+    try:
+        return json.loads(json.dumps(value, default=_json_default))
+    except TypeError as exc:
+        raise TypeError(f"{context}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -80,6 +172,49 @@ class Trigger:
             return True
         return bool(rng.random() < self.probability)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`).
+
+        Numerics coerce to canonical JSON types (``probability=1`` and
+        ``1.0`` compare equal but serialise differently), keeping spec
+        hashes content-stable.
+        """
+        return {
+            "start_frame": int(self.start_frame),
+            "end_frame": int(self.end_frame) if self.end_frame is not None else None,
+            "probability": float(self.probability),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trigger":
+        """Rebuild a trigger written by :meth:`to_dict`.
+
+        Types are validated here, not just ranges: a hand-edited spec
+        with ``"start_frame": "90"`` must fail at load time with a
+        readable message, not mid-campaign inside :meth:`fires`.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"trigger config must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"start_frame", "end_frame", "probability"}
+        if unknown:
+            raise ValueError(f"trigger config has unknown keys {sorted(unknown)}")
+        start = data.get("start_frame", 0)
+        end = data.get("end_frame")
+        probability = data.get("probability", 1.0)
+        if not isinstance(start, int) or isinstance(start, bool):
+            raise ValueError(f"trigger start_frame must be an integer, got {start!r}")
+        if end is not None and (not isinstance(end, int) or isinstance(end, bool)):
+            raise ValueError(
+                f"trigger end_frame must be an integer or null, got {end!r}"
+            )
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            raise ValueError(
+                f"trigger probability must be a number, got {probability!r}"
+            )
+        return cls(start_frame=start, end_frame=end, probability=float(probability))
+
 
 @dataclass
 class ActivationLog:
@@ -110,6 +245,10 @@ class FaultModel:
 
     #: Short stable identifier used in reports ("gaussian", "bitflip-ctl"...).
     name: str = "fault"
+    #: Which hook point the fault attaches to ("input", "output", "model",
+    #: "timing", "world") — set by the base classes below; drives the
+    #: grouped ``avfi list-faults`` output.
+    hook: str = "generic"
 
     def __init__(self, trigger: Trigger | None = None):
         self.trigger = trigger or Trigger()
@@ -128,9 +267,98 @@ class FaultModel:
         """Report-friendly description."""
         return {"name": self.name, "class": type(self).__name__}
 
+    def config_params(self) -> dict:
+        """Constructor arguments that rebuild this fault (subclass hook).
+
+        Auto-derived from the constructor signature: every parameter
+        (``trigger`` aside) must be stored under the same attribute name
+        — the convention all shipped faults follow.  A subclass whose
+        stored state differs from its constructor arguments (e.g.
+        :class:`~repro.core.faults.data_faults.WeatherShiftFault`
+        resolving a preset name into a ``Weather`` object) overrides
+        this to map back.  Per-episode state (activation logs, drawn
+        occlusion patches, bit-flip sites) is never a constructor
+        parameter, so it never leaks into the config.
+        """
+        params = {}
+        for pname in fault_parameters(type(self)):
+            if not hasattr(self, pname):
+                raise TypeError(
+                    f"{type(self).__name__} stores no attribute for constructor "
+                    f"parameter {pname!r}; override config_params()"
+                )
+            params[pname] = getattr(self, pname)
+        return params
+
+    def to_config(self) -> dict:
+        """JSON-serialisable config that rebuilds this fault exactly.
+
+        The round-trip contract every registered fault satisfies:
+        ``FaultModel.from_config(f.to_config()).to_config() ==
+        f.to_config()`` — including the trigger, and independent of any
+        per-episode state the instance has accumulated.
+        """
+        return {
+            "fault": self.name,
+            "params": _jsonify(
+                self.config_params(), f"{type(self).__name__}.to_config()"
+            ),
+            "trigger": self.trigger.to_dict(),
+        }
+
+    @staticmethod
+    def from_config(config: dict) -> "FaultModel":
+        """Rebuild any registered fault from :meth:`to_config` output."""
+        if not isinstance(config, dict):
+            raise TypeError(
+                f"fault config must be an object, got {type(config).__name__}"
+            )
+        if "fault" not in config:
+            raise ValueError(
+                "fault config needs a 'fault' key naming a registered fault"
+            )
+        name = config["fault"]
+        try:
+            cls = FAULT_REGISTRY[name]
+        except KeyError:
+            known = ", ".join(sorted(FAULT_REGISTRY))
+            raise KeyError(
+                f"unknown fault {name!r}; registered faults: {known}"
+            ) from None
+        unknown = set(config) - {"fault", "params", "trigger"}
+        if unknown:
+            raise ValueError(
+                f"fault config for {name!r} has unknown keys {sorted(unknown)}"
+            )
+        params = config.get("params")
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            # `[]`/`""`/`false` must not silently mean "all defaults".
+            raise TypeError(
+                f"fault config for {name!r}: 'params' must be an object, "
+                f"got {type(params).__name__}"
+            )
+        trigger = (
+            Trigger.from_dict(config["trigger"])
+            if config.get("trigger") is not None
+            else None
+        )
+        try:
+            return cls(**params, trigger=trigger)
+        except TypeError as exc:
+            known = ", ".join(
+                f"{p}" for p in fault_parameters(cls)
+            ) or "(no parameters)"
+            raise ValueError(
+                f"cannot build fault {name!r}: {exc}; accepted params: {known}"
+            ) from None
+
 
 class SensorFault(FaultModel):
     """Input FI: corrupts the sensor bundle before the agent sees it."""
+
+    hook = "input"
 
     def apply(self, bundle: SensorFrame, frame: int) -> SensorFrame:
         """Return the (possibly corrupted) bundle for this frame."""
@@ -146,6 +374,8 @@ class SensorFault(FaultModel):
 
 class ControlFault(FaultModel):
     """Output FI: corrupts the control command after the agent produced it."""
+
+    hook = "output"
 
     def apply(self, control: VehicleControl, frame: int) -> VehicleControl:
         """Return the (possibly corrupted) control for this frame."""
@@ -167,6 +397,8 @@ class ModelFault(FaultModel):
     instance across episodes.
     """
 
+    hook = "model"
+
     def install(self, model: "ILCNN", frame: int = 0) -> None:
         """Apply the fault to ``model`` (records one activation)."""
         raise NotImplementedError
@@ -179,6 +411,7 @@ class ModelFault(FaultModel):
 class TimingFault(ChannelTransform, FaultModel):
     """Timing FI: rewrites packet delivery on a named channel."""
 
+    hook = "timing"
     #: Which channel to attach to: "control" (ADA→actuation) or "sensor".
     channel: str = "control"
 
@@ -205,6 +438,8 @@ class WorldFault(FaultModel):
 
     The harness calls :meth:`step` once per frame with the live world.
     """
+
+    hook = "world"
 
     def step(self, world: "World", frame: int) -> None:
         """Fire if triggered (records activation) and mutate the world."""

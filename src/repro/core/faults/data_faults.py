@@ -27,7 +27,7 @@ import numpy as np
 
 from ...sim.sensors import SensorFrame
 from ...sim.weather import get_preset
-from .base import SensorFault, Trigger, WorldFault
+from .base import SensorFault, Trigger, WorldFault, register_fault
 
 __all__ = [
     "GaussianNoise",
@@ -47,6 +47,7 @@ __all__ = [
 ]
 
 
+@register_fault
 class GaussianNoise(SensorFault):
     """Additive white Gaussian noise on the camera image."""
 
@@ -67,6 +68,7 @@ class GaussianNoise(SensorFault):
         return {**super().describe(), "sigma": self.sigma}
 
 
+@register_fault
 class SaltAndPepper(SensorFault):
     """Salt-and-pepper impulse noise: random pixels forced to 0 or 255."""
 
@@ -126,6 +128,7 @@ class _PersistentPatchFault(SensorFault):
         return {**super().describe(), "size_frac": self.size_frac}
 
 
+@register_fault
 class SolidOcclusion(_PersistentPatchFault):
     """Opaque patch stuck on the lens (mud, tape, sticker)."""
 
@@ -146,6 +149,7 @@ class SolidOcclusion(_PersistentPatchFault):
         return bundle
 
 
+@register_fault
 class TransparentOcclusion(_PersistentPatchFault):
     """Semi-transparent film over part of the lens (grease, scratch haze)."""
 
@@ -176,6 +180,7 @@ class TransparentOcclusion(_PersistentPatchFault):
         return {**super().describe(), "alpha": self.alpha}
 
 
+@register_fault
 class WaterDrop(SensorFault):
     """Water droplets on the lens: local pixelation + brightening.
 
@@ -243,6 +248,7 @@ class WaterDrop(SensorFault):
         return {**super().describe(), "n_drops": self.n_drops, "radius_frac": self.radius_frac}
 
 
+@register_fault
 class CameraFreeze(SensorFault):
     """Stuck camera: the last pre-fault frame is replayed while active."""
 
@@ -270,6 +276,7 @@ class CameraFreeze(SensorFault):
         raise AssertionError("CameraFreeze overrides apply directly")
 
 
+@register_fault
 class GPSNoiseFault(SensorFault):
     """Extra Gaussian error on the GPS fix (jamming / multipath)."""
 
@@ -290,6 +297,7 @@ class GPSNoiseFault(SensorFault):
         return {**super().describe(), "sigma_m": self.sigma_m}
 
 
+@register_fault
 class GPSFreezeFault(SensorFault):
     """GPS stuck at the last pre-fault fix."""
 
@@ -317,6 +325,7 @@ class GPSFreezeFault(SensorFault):
         raise AssertionError("GPSFreezeFault overrides apply directly")
 
 
+@register_fault
 class SpeedometerScaleFault(SensorFault):
     """Miscalibrated speed measurement (wheel-size / encoder fault)."""
 
@@ -336,6 +345,7 @@ class SpeedometerScaleFault(SensorFault):
         return {**super().describe(), "scale": self.scale}
 
 
+@register_fault
 class LidarDropoutFault(SensorFault):
     """Random LIDAR returns lost to max range (absorption / misalignment)."""
 
@@ -358,6 +368,7 @@ class LidarDropoutFault(SensorFault):
         return {**super().describe(), "drop_prob": self.drop_prob}
 
 
+@register_fault
 class LidarGhostFault(SensorFault):
     """Phantom LIDAR returns: random rays report close obstacles.
 
@@ -398,6 +409,7 @@ class LidarGhostFault(SensorFault):
         return {**super().describe(), "ghost_prob": self.ghost_prob}
 
 
+@register_fault
 class WeatherShiftFault(WorldFault):
     """Corrupted world measurement: the weather flips to another preset."""
 
@@ -410,6 +422,11 @@ class WeatherShiftFault(WorldFault):
 
     def mutate(self, world) -> None:
         world.set_weather(self.weather)
+
+    def config_params(self) -> dict:
+        # The constructor takes a preset *name* but stores the resolved
+        # Weather object; map back for serialisation.
+        return {"weather": self.weather.name}
 
     def describe(self) -> dict:
         return {**super().describe(), "weather": self.weather.name}

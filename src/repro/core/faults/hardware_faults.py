@@ -25,7 +25,7 @@ import numpy as np
 from ...sim.channel import Packet
 from ...sim.physics import VehicleControl
 from ...sim.sensors import SensorFrame
-from .base import ControlFault, SensorFault, TimingFault, Trigger
+from .base import ControlFault, SensorFault, TimingFault, Trigger, register_fault
 
 __all__ = [
     "flip_float32_bits",
@@ -73,6 +73,7 @@ def _flip_scalar(value: float, bit: int) -> float:
 _CONTROL_FIELDS = ("steer", "throttle", "brake")
 
 
+@register_fault
 class ControlBitFlip(ControlFault):
     """Transient bit flip in one field of the control command.
 
@@ -117,6 +118,7 @@ class ControlBitFlip(ControlFault):
         return {**super().describe(), "bit_range": list(self.bit_range), "fields": list(self.fields)}
 
 
+@register_fault
 class ControlStuckAt(ControlFault):
     """One control field stuck at a fixed value while the trigger is active.
 
@@ -150,6 +152,7 @@ class ControlStuckAt(ControlFault):
         return {**super().describe(), "field": self.field, "value": self.value}
 
 
+@register_fault
 class SensorBitFlip(SensorFault):
     """Bit flips in raw sensor payload memory.
 
@@ -190,6 +193,7 @@ class SensorBitFlip(SensorFault):
         return {**super().describe(), "n_bits": self.n_bits, "gps_fraction": self.gps_fraction}
 
 
+@register_fault
 class PacketBitFlip(TimingFault):
     """Network-level corruption: bit flips in control packets in flight.
 

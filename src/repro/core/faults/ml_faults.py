@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ModelFault, Trigger
+from .base import ModelFault, Trigger, register_fault
 from .hardware_faults import flip_float32_bits
 
 __all__ = ["WeightNoise", "WeightBitFlip", "WeightStuckAt", "ActivationFault"]
 
 
+@register_fault
 class WeightNoise(ModelFault):
     """Add Gaussian noise to a random fraction of the model's weights.
 
@@ -83,6 +84,7 @@ class WeightNoise(ModelFault):
         return {**super().describe(), "sigma_rel": self.sigma_rel, "fraction": self.fraction}
 
 
+@register_fault
 class WeightBitFlip(ModelFault):
     """Flip ``n_flips`` random bits across the model's weight memory.
 
@@ -151,6 +153,7 @@ class WeightBitFlip(ModelFault):
         }
 
 
+@register_fault
 class WeightStuckAt(ModelFault):
     """Stuck-at faults in weight memory: bits forced high or low.
 
@@ -224,6 +227,7 @@ class WeightStuckAt(ModelFault):
         }
 
 
+@register_fault
 class ActivationFault(ModelFault):
     """Stuck or noisy neurons at one layer, injected via forward hooks.
 

@@ -19,11 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from ...sim.channel import Packet
-from .base import TimingFault, Trigger
+from .base import TimingFault, Trigger, register_fault
 
 __all__ = ["OutputDelay", "SensorDelay", "PacketLoss", "PacketReorder"]
 
 
+@register_fault
 class OutputDelay(TimingFault):
     """Delay (or drop) ADA output packets by ``delay_frames``."""
 
@@ -59,6 +60,7 @@ class OutputDelay(TimingFault):
         }
 
 
+@register_fault
 class SensorDelay(TimingFault):
     """Delay sensor bundles on their way to the agent."""
 
@@ -78,6 +80,7 @@ class SensorDelay(TimingFault):
         return {**super().describe(), "delay_frames": self.delay_frames}
 
 
+@register_fault
 class PacketLoss(TimingFault):
     """Independent per-packet loss.
 
@@ -102,6 +105,7 @@ class PacketLoss(TimingFault):
         return {**super().describe(), "loss_prob": self.trigger.probability, "channel": self.channel}
 
 
+@register_fault
 class PacketReorder(TimingFault):
     """Out-of-order delivery: triggered packets arrive late by a jitter.
 

@@ -177,6 +177,9 @@ class FilesystemBroker:
         self.results_path = self.root / "results.jsonl"
         self.context_path = self.root / "context.pkl"
         self.manifest_path = self.root / "manifest.json"
+        #: Optional archived CampaignSpec (JSON) — written by publish()
+        #: when the campaign came from a declarative spec.
+        self.spec_path = self.root / "spec.json"
 
     # -- layout --------------------------------------------------------
 
@@ -201,7 +204,12 @@ class FilesystemBroker:
 
     # -- coordinator side ----------------------------------------------
 
-    def publish(self, context: CampaignContext, tasks: Sequence[EpisodeTask]) -> None:
+    def publish(
+        self,
+        context: CampaignContext,
+        tasks: Sequence[EpisodeTask],
+        spec: dict | None = None,
+    ) -> None:
         """Write the context and sync ``tasks/`` to the pending set.
 
         Re-publishing (a resumed coordinator) is safe: failed tasks are
@@ -211,8 +219,18 @@ class FilesystemBroker:
         expire, requeue, and burn a worker on work outside this grid) —
         and currently-claimed tasks of this grid are left to their
         workers.
+
+        ``spec`` (a serialised :class:`~repro.core.spec.CampaignSpec`)
+        is archived as ``spec.json`` next to the pickled context: a
+        human- and machine-readable record of what campaign this broker
+        serves, portable across repro versions in a way the pickle is
+        not.
         """
         self.ensure_layout()
+        if spec is not None:
+            _write_atomic(
+                self.spec_path, (json.dumps(spec, indent=2) + "\n").encode()
+            )
         # Context and manifest land BEFORE the task files.  The ordering
         # is load-bearing: once a new task is claimable, the context it
         # must run under (and the manifest hash long-lived workers use to
@@ -682,6 +700,13 @@ class QueueExecutor:
         #: wait forever for workers on other machines to attach).
         self.stall_timeout = stall_timeout
         self.worker_idle_timeout = float(worker_idle_timeout)
+        self._spec: dict | None = None
+
+    def publish_spec(self, spec: dict) -> None:
+        """Attach a serialised campaign spec; archived at :meth:`run`'s
+        publish as the broker's ``spec.json`` (see
+        :meth:`FilesystemBroker.publish`)."""
+        self._spec = spec
 
     @property
     def checkpoint_path(self) -> Path:
@@ -723,7 +748,7 @@ class QueueExecutor:
             return
         by_identity = {task.identity(): task for task in tasks}
         pending = set(by_identity)
-        self.broker.publish(context, tasks)
+        self.broker.publish(context, tasks, spec=self._spec)
         procs = self._spawn_local_workers()
         offset = 0
         last_progress = time.monotonic()

@@ -38,7 +38,13 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from ..sim.builders import SimulationBuilder
 from ..sim.scenario import Scenario
-from .campaign import CampaignResult, RunRecord, episode_fingerprint, run_episode
+from .campaign import (
+    CampaignResult,
+    RunRecord,
+    component_signature,
+    episode_fingerprint,
+    run_episode,
+)
 from .faults.base import FaultModel
 
 __all__ = [
@@ -517,6 +523,7 @@ class ParallelCampaignRunner:
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         resume_records: Sequence[RunRecord] | None = None,
+        spec: dict | None = None,
         verbose: bool = False,
         label: str = "runner",
         on_record: Callable[[EpisodeTask, RunRecord], None] | None = None,
@@ -556,6 +563,11 @@ class ParallelCampaignRunner:
         self.verbose = verbose
         self.label = label
         self.on_record = on_record
+        #: Serialised campaign spec (``CampaignSpec.to_dict()``) when the
+        #: campaign came from one; published into queue brokers so the
+        #: full campaign definition travels as a portable JSON artifact
+        #: next to the pickled context.
+        self.spec = spec
         # A torn final line must come off *before* anything appends again
         # (see repair_jsonl_tail) — this runner, or queue workers sharing
         # the broker checkpoint.
@@ -578,8 +590,16 @@ class ParallelCampaignRunner:
 
         Computed once per runner (fingerprinting deep-copies fault models,
         and pending()/grid_records() call this several times per run).
+        The fingerprint covers the agent factory and builder signatures
+        (computed once per grid — the NN agent's hashes model weights),
+        so a checkpoint written under a different agent or builder never
+        satisfies this grid.
         """
         if self._tasks is None:
+            component_key = (
+                component_signature(self.agent_factory),
+                component_signature(self.builder),
+            )
             out: list[EpisodeTask] = []
             for inj_idx, (injector, faults) in enumerate(self.injectors.items()):
                 for scn_idx, scenario in enumerate(self.scenarios):
@@ -589,7 +609,9 @@ class ParallelCampaignRunner:
                             injector=injector,
                             scenario=scenario,
                             seed=episode_seed(self.base_seed, inj_idx, scn_idx),
-                            fingerprint=episode_fingerprint(scenario, faults),
+                            fingerprint=episode_fingerprint(
+                                scenario, faults, component_key=component_key
+                            ),
                         )
                     )
             self._tasks = out
@@ -645,6 +667,12 @@ class ParallelCampaignRunner:
         """
         pending = self.pending()
         context = self.context()
+        if self.spec is not None and hasattr(self.executor, "publish_spec"):
+            # Queue brokers archive the campaign's declarative spec next
+            # to the pickled context, so any attached machine can read
+            # what campaign it is serving (and future brokers can
+            # reconstruct the context from it instead of the pickle).
+            self.executor.publish_spec(self.spec)
         for task, record in self.executor.run(context, pending):
             self._new_records[task.index] = record
             self._append_checkpoint(record)

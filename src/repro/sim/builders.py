@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from .render import CameraModel, Renderer
 from .scenario import Scenario
@@ -170,6 +170,63 @@ class SimulationBuilder:
         state = dict(self.__dict__)
         state["_scene_cache"] = None
         return state
+
+    def config_signature(self) -> str:
+        """Stable identity for checkpoint fingerprints.
+
+        Covers every episode-visible construction parameter (camera
+        intrinsics, texture resolution, sensor suite shape, GPS noise) —
+        but not the scene cache, which never changes what gets built.
+        See :func:`repro.core.campaign.episode_fingerprint`.
+        """
+        return (
+            f"SimulationBuilder(camera={self.camera!r}, "
+            f"texture_resolution={self.texture_resolution!r}, "
+            f"with_lidar={self.with_lidar!r}, "
+            f"gps_noise_std={self.gps_noise_std!r})"
+        )
+
+    def to_config(self) -> dict:
+        """JSON-serialisable construction parameters (spec files).
+
+        Numeric fields coerce to canonical JSON types so equal builders
+        emit identical JSON (spec hashes are content hashes).
+        """
+        camera = asdict(self.camera)
+        for key in ("fov_deg", "mount_height", "pitch_deg", "forward_offset", "max_depth"):
+            camera[key] = float(camera[key])
+        camera["width"] = int(camera["width"])
+        camera["height"] = int(camera["height"])
+        return {
+            "camera": camera,
+            "texture_resolution": float(self.texture_resolution),
+            "with_lidar": bool(self.with_lidar),
+            "gps_noise_std": float(self.gps_noise_std),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "SimulationBuilder":
+        """Rebuild a builder from :meth:`to_config` output."""
+        if not isinstance(config, dict):
+            raise TypeError(
+                f"builder config must be an object, got {type(config).__name__}"
+            )
+        unknown = set(config) - {
+            "camera",
+            "texture_resolution",
+            "with_lidar",
+            "gps_noise_std",
+        }
+        if unknown:
+            raise ValueError(f"builder config has unknown keys {sorted(unknown)}")
+        camera_cfg = config.get("camera")
+        camera = CameraModel(**camera_cfg) if camera_cfg is not None else None
+        return cls(
+            camera=camera,
+            texture_resolution=config.get("texture_resolution", 0.25),
+            with_lidar=config.get("with_lidar", True),
+            gps_noise_std=config.get("gps_noise_std", 0.4),
+        )
 
     def town_for(self, config: GridTownConfig) -> Town:
         """The (cached) town for a configuration."""

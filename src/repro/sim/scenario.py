@@ -21,7 +21,32 @@ import numpy as np
 from .geometry import Transform, Vec2
 from .town import GridTownConfig, Town, Waypoint
 
-__all__ = ["Mission", "Scenario", "generate_missions", "make_scenarios"]
+__all__ = [
+    "Mission",
+    "Scenario",
+    "generate_missions",
+    "make_scenarios",
+    "town_config_to_dict",
+]
+
+
+def town_config_to_dict(config: GridTownConfig) -> dict:
+    """Canonical JSON form of a town config.
+
+    Numeric fields coerce to their canonical JSON type (80 and 80.0 are
+    dataclass-equal but serialise differently), so equal configs always
+    emit identical JSON — campaign-spec hashes are content hashes.
+    """
+    return {
+        "rows": int(config.rows),
+        "cols": int(config.cols),
+        "block_size": float(config.block_size),
+        "lane_width": float(config.lane_width),
+        "sidewalk_width": float(config.sidewalk_width),
+        "with_buildings": bool(config.with_buildings),
+        "building_height": float(config.building_height),
+        "name": str(config.name),
+    }
 
 #: Nominal urban cruise speed used to derive mission time limits, m/s.
 NOMINAL_SPEED = 5.0
@@ -53,6 +78,51 @@ class Mission:
         """Crow-flies start-to-goal distance, metres."""
         return self.start.position.distance_to(self.goal)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (declarative campaign specs).
+
+        Numerics coerce to canonical JSON types — see
+        :func:`town_config_to_dict`.
+        """
+        return {
+            "start": {
+                "x": float(self.start.position.x),
+                "y": float(self.start.position.y),
+                "yaw": float(self.start.yaw),
+            },
+            "goal": {"x": float(self.goal.x), "y": float(self.goal.y)},
+            "time_limit_s": float(self.time_limit_s),
+            "success_radius": float(self.success_radius),
+            "name": str(self.name),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mission":
+        """Rebuild a mission written by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise TypeError(f"mission must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"start", "goal", "time_limit_s", "success_radius", "name"}
+        if unknown:
+            raise ValueError(f"mission has unknown keys {sorted(unknown)}")
+        try:
+            start = data["start"]
+            goal = data["goal"]
+            return cls(
+                start=Transform(
+                    Vec2(float(start["x"]), float(start["y"])),
+                    float(start.get("yaw", 0.0)),
+                ),
+                goal=Vec2(float(goal["x"]), float(goal["y"])),
+                time_limit_s=float(data["time_limit_s"]),
+                success_radius=float(data.get("success_radius", 5.0)),
+                name=str(data.get("name", "mission")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"mission needs start {{x,y,yaw}}, goal {{x,y}} and "
+                f"time_limit_s: {exc!r}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -69,6 +139,51 @@ class Scenario:
     def with_seed(self, seed: int) -> "Scenario":
         """Copy of this scenario under a different episode seed."""
         return replace(self, seed=seed, name=f"{self.name}-s{seed}")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (declarative campaign specs)."""
+        return {
+            "mission": self.mission.to_dict(),
+            "town": town_config_to_dict(self.town_config),
+            "weather": str(self.weather),
+            "n_npc_vehicles": int(self.n_npc_vehicles),
+            "n_pedestrians": int(self.n_pedestrians),
+            "seed": int(self.seed),
+            "name": str(self.name),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario written by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise TypeError(f"scenario must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "mission",
+            "town",
+            "weather",
+            "n_npc_vehicles",
+            "n_pedestrians",
+            "seed",
+            "name",
+        }
+        if unknown:
+            raise ValueError(f"scenario has unknown keys {sorted(unknown)}")
+        if "mission" not in data:
+            raise ValueError("scenario needs a 'mission' object")
+        town = data.get("town")
+        try:
+            town_config = GridTownConfig(**town) if town is not None else GridTownConfig()
+        except TypeError as exc:
+            raise ValueError(f"scenario town config: {exc}") from None
+        return cls(
+            mission=Mission.from_dict(data["mission"]),
+            town_config=town_config,
+            weather=str(data.get("weather", "ClearNoon")),
+            n_npc_vehicles=int(data.get("n_npc_vehicles", 0)),
+            n_pedestrians=int(data.get("n_pedestrians", 0)),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "scenario")),
+        )
 
 
 def _manhattan(a: Vec2, b: Vec2) -> float:

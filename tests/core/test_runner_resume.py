@@ -30,7 +30,14 @@ class _Killed(RuntimeError):
 
 
 class _ExplodingFactory:
-    """Picklable agent factory that fails on one scenario's mission."""
+    """Picklable agent factory that fails on one scenario's mission.
+
+    Delegates ``config_signature`` to the wrapped autopilot factory: the
+    failure models a *transient* bug around the same agent, so records
+    it completed must still satisfy a later plain-autopilot grid (a
+    genuinely different agent would — correctly — invalidate them; see
+    test_spec.py's agent-change invalidation tests).
+    """
 
     def __init__(self, bad_scenario):
         self.bad_goal = (bad_scenario.mission.goal.x, bad_scenario.mission.goal.y)
@@ -40,6 +47,9 @@ class _ExplodingFactory:
         if (mission.goal.x, mission.goal.y) == self.bad_goal:
             raise RuntimeError("boom")
         return self.inner(handles, mission)
+
+    def config_signature(self):
+        return self.inner.config_signature()
 
 
 def _kill_after(n):
