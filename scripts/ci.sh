@@ -27,6 +27,32 @@ echo "== smoke: spec emit round-trip =="
 # The hard-coded campaign command's emitted spec must re-load cleanly.
 python -m repro spec emit campaign --runs 2 | python -m repro spec validate -
 
+echo "== smoke: compound-fault campaign + streaming report =="
+# Compound (multi-fault) episodes end-to-end: the compound spec expands
+# its cartesian pairs, runs with a JSONL checkpoint (+ parquet sink when
+# pyarrow is installed — degrades with a warning when not), and the
+# streaming `avfi report` computes interaction effects from the file.
+COMPOUND_DIR="$(mktemp -d)"
+trap 'rm -rf "$COMPOUND_DIR"' EXIT
+python -m repro run examples/specs/compound.json --workers 1 \
+    --checkpoint "$COMPOUND_DIR/results.jsonl" \
+    --parquet "$COMPOUND_DIR/results.parquet"
+python -m repro report "$COMPOUND_DIR/results.jsonl" | tee "$COMPOUND_DIR/report_jsonl.txt"
+grep -q "pairs:gaussian+output-delay" "$COMPOUND_DIR/report_jsonl.txt"
+grep -q "compound-fault interaction effects" "$COMPOUND_DIR/report_jsonl.txt"
+if python -c "import pyarrow" 2>/dev/null; then
+    echo "== smoke: parquet sink round-trip =="
+    # With pyarrow installed the sink must exist and report identically
+    # to the JSONL checkpoint (same records, other container).
+    python -m repro report "$COMPOUND_DIR/results.parquet" --parquet \
+        | tee "$COMPOUND_DIR/report_parquet.txt"
+    diff <(tail -n +2 "$COMPOUND_DIR/report_jsonl.txt") \
+         <(tail -n +2 "$COMPOUND_DIR/report_parquet.txt")
+else
+    echo "== smoke: parquet sink skipped (pyarrow not installed; JSONL fallback verified above) =="
+    test ! -e "$COMPOUND_DIR/results.parquet"
+fi
+
 echo "== smoke: declarative-vs-programmatic equivalence =="
 python examples/declarative_campaign.py --runs 1
 

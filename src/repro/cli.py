@@ -3,7 +3,13 @@
 Subcommands:
 
 * ``run`` — execute a declarative campaign spec (``avfi run spec.json``),
-  with ``--workers``/``--queue-dir`` overrides; the primary entry point;
+  with ``--workers``/``--queue-dir``/``--parquet`` overrides; the primary
+  entry point;
+* ``report`` — streaming metrics report over a results checkpoint
+  (JSONL or parquet; ``--parquet`` forces the columnar reader), with
+  per-injector metrics, baseline effects and compound-fault interaction
+  effects — aggregation never materialises the record set, so it scales
+  to million-episode files;
 * ``spec emit`` — print the spec the built-in ``campaign``/``sweep-delay``
   commands would run (edit it, archive it, ``avfi run`` it);
 * ``spec validate`` — load a spec (file or stdin) and report its hash;
@@ -235,6 +241,7 @@ def cmd_run(args) -> None:
             queue_dir=args.queue_dir,
             lease_s=args.lease,
             checkpoint_path=args.checkpoint,
+            parquet_path=args.parquet,
         )
     except (SpecError, ValueError) as exc:
         # Spec-derived construction errors (queue backend without a
@@ -268,11 +275,95 @@ def cmd_spec_validate(args) -> None:
             spec = load_spec(args.spec)
     except SpecError as exc:
         raise SystemExit(f"avfi spec validate: {exc}")
-    n_faults = sum(len(faults) for faults in spec.injectors.values())
+    # Count over the *expanded* grid so compound generator entries report
+    # the injectors/faults the campaign will actually run.
+    expanded = spec.expanded_injectors()
+    n_faults = sum(len(faults) for faults in expanded.values())
     print(
         f"OK: {spec.name!r} (hash {spec.hash()}) — "
-        f"{len(spec.injectors)} injector(s), {n_faults} fault(s), "
+        f"{len(expanded)} injector(s), {n_faults} fault(s), "
         f"agent {spec.agent.name!r}"
+    )
+
+
+def cmd_report(args) -> None:
+    from pathlib import Path
+
+    from .core import (
+        compare_to_baseline,
+        format_table,
+        interaction_effects,
+        interaction_table,
+    )
+    from .core.metrics import MetricsAccumulator
+    from .core.sink import ParquetUnavailable, iter_records
+
+    path = Path(args.checkpoint)
+    if not path.exists():
+        raise SystemExit(f"avfi report: no such results file: {path}")
+    fmt = "parquet" if args.parquet else "auto"
+    # One streaming pass: records fold into per-injector accumulators as
+    # they come off disk, so a million-episode file never loads at once.
+    groups: dict[str, MetricsAccumulator] = {}
+    n_records = 0
+    try:
+        for record in iter_records(path, fmt=fmt):
+            groups.setdefault(record.injector, MetricsAccumulator()).add(record)
+            n_records += 1
+    except ParquetUnavailable as exc:
+        raise SystemExit(f"avfi report: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"avfi report: {exc}")
+    if not groups:
+        raise SystemExit(f"avfi report: no records in {path}")
+    metrics = {name: acc.result() for name, acc in groups.items()}
+
+    print(f"{n_records} record(s), {len(metrics)} injector(s) from {path}")
+    print()
+    rows = [
+        [
+            name,
+            m.n_runs,
+            m.msr,
+            m.vpk,
+            m.apk,
+            m.ttv_median_s if m.ttv_s else None,
+            "+".join(m.fault_names) if m.fault_names else "-",
+        ]
+        for name, m in metrics.items()
+    ]
+    print(
+        format_table(
+            ["injector", "runs", "MSR_%", "VPK", "APK", "TTV_s", "faults"], rows
+        )
+    )
+
+    if args.baseline in metrics:
+        effects = compare_to_baseline(
+            {name: m.vpk_per_run for name, m in metrics.items()},
+            baseline=args.baseline,
+        )
+        if effects:
+            print()
+            print(
+                format_table(
+                    ["injector", "VPK_median_shift", "mean_ratio", "p_value"],
+                    [
+                        [name, e["median_shift"], e["mean_ratio_vs_baseline"], e["p_value"]]
+                        for name, e in effects.items()
+                    ],
+                    title=f"effect vs baseline {args.baseline!r} (per-run VPK)",
+                )
+            )
+    else:
+        print(f"\n(baseline {args.baseline!r} not in records; effects skipped)")
+
+    print()
+    print(
+        interaction_table(
+            interaction_effects(metrics, baseline=args.baseline),
+            title="compound-fault interaction effects (vs worst single-fault marginal)",
+        )
     )
 
 
@@ -409,7 +500,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="resumable JSONL checkpoint (overrides the spec's "
         "execution.checkpoint)",
     )
+    p.add_argument(
+        "--parquet",
+        default=None,
+        metavar="PATH",
+        help="also stream records into a parquet analytics sink beside "
+        "the JSONL checkpoint (needs the optional pyarrow dependency; "
+        "degrades to JSONL-only with a warning; overrides the spec's "
+        "execution.parquet)",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "report",
+        help="streaming metrics report over a results checkpoint "
+        "(JSONL or parquet)",
+    )
+    p.add_argument(
+        "checkpoint",
+        help="results file: a JSONL checkpoint or a parquet sink "
+        "(format from the .parquet suffix unless --parquet)",
+    )
+    p.add_argument(
+        "--parquet",
+        action="store_true",
+        help="force the parquet reader regardless of file suffix",
+    )
+    p.add_argument(
+        "--baseline",
+        default="none",
+        help="injector name treated as the fault-free baseline "
+        "(default: 'none')",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("spec", help="emit / validate campaign specs")
     spec_sub = p.add_subparsers(dest="spec_command", required=True)

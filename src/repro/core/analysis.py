@@ -10,16 +10,27 @@ violations"; this module provides the standard toolkit campaigns need:
   the baseline?" (exact scipy implementation when available, normal
   approximation otherwise so the library works without scipy);
 * :func:`compare_to_baseline` — per-injector effect summary against the
-  fault-free group.
+  fault-free group;
+* :func:`interaction_effects` — compound-fault interaction metrics:
+  MSR/VPK deltas of each multi-fault injector against its single-fault
+  marginals, with a Mann-Whitney test per (compound, marginal) pair.
+
+Empty groups follow the metrics module's empty-slice convention: a group
+with no completed runs (partially drained queue campaign, freshly resumed
+checkpoint) yields NaN effect summaries instead of raising or reporting a
+fake ``inf`` — absence of data stays visibly undefined.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard import
+    from .metrics import ResilienceMetrics
 
 __all__ = [
     "bootstrap_ci",
@@ -27,6 +38,7 @@ __all__ = [
     "DistributionSummary",
     "mann_whitney_u",
     "compare_to_baseline",
+    "interaction_effects",
     "wilson_interval",
 ]
 
@@ -176,6 +188,12 @@ def compare_to_baseline(
     ``groups`` maps injector name to per-run values (e.g. VPK).  Returns,
     per non-baseline group: median shift, mean ratio and the Mann-Whitney
     p-value against the baseline.
+
+    Empty or NaN-mean groups NaN-propagate rather than crash or lie: an
+    empty group (either side) gets NaN for all three summaries, and a
+    NaN or non-positive baseline mean yields a NaN mean ratio — never
+    ``inf``, which would mis-render a partially drained campaign as an
+    infinite effect.
     """
     if baseline not in groups:
         raise KeyError(f"baseline group {baseline!r} missing from groups")
@@ -187,11 +205,95 @@ def compare_to_baseline(
         if name == baseline:
             continue
         arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0 or base.size == 0:
+            out[name] = {
+                "median_shift": float("nan"),
+                "mean_ratio_vs_baseline": float("nan"),
+                "p_value": float("nan"),
+            }
+            continue
         _, p = mann_whitney_u(arr, base)
-        ratio = float(arr.mean() / base_mean) if base_mean > 0 else float("inf")
+        # NaN base_mean fails the > 0 comparison, so NaN falls through to
+        # NaN (not inf) along with genuinely zero/negative means.
+        ratio = float(arr.mean() / base_mean) if base_mean > 0 else float("nan")
         out[name] = {
             "median_shift": float(np.median(arr) - base_median),
             "mean_ratio_vs_baseline": ratio,
             "p_value": p,
+        }
+    return out
+
+
+def interaction_effects(
+    metrics: Mapping[str, "ResilienceMetrics"], baseline: str = "none"
+) -> dict[str, dict]:
+    """Compound-fault interaction metrics against single-fault marginals.
+
+    ``metrics`` maps injector name to its aggregated
+    :class:`~repro.core.metrics.ResilienceMetrics` (whose ``fault_names``
+    carries the injector's fault-set composition).  For every *compound*
+    injector (two or more faults), the single-fault injectors matching its
+    components are its **marginals**; the paper's interaction question is
+    whether the combination degrades the vehicle beyond the worst of them.
+
+    Returns, per compound injector:
+
+    * ``components`` — the ordered fault names of the compound set;
+    * ``marginals`` — component fault name → its marginal injector name
+      (``None`` when no single-fault injector covers that component);
+    * ``msr_delta_vs_worst`` — compound MSR minus the *worst* (lowest)
+      marginal MSR: negative means the pair hurts beyond either fault
+      alone (super-additive);
+    * ``vpk_delta_vs_worst`` — compound pooled VPK minus the *worst*
+      (highest) marginal VPK: positive means extra violations beyond
+      either fault alone;
+    * ``p_vs_marginals`` — component fault name → two-sided Mann-Whitney
+      p-value of the compound's per-run VPK against that marginal's.
+
+    Marginals with no completed runs (or missing entirely) NaN-propagate,
+    matching :func:`compare_to_baseline` and the metrics empty-slice
+    convention.  The ``baseline`` group is never treated as a compound.
+    """
+    # Single-fault injectors indexed by their one fault's name; first
+    # definition wins (insertion order), matching grid construction.
+    marginal_by_fault: dict[str, str] = {}
+    for name, m in metrics.items():
+        if name != baseline and len(m.fault_names) == 1:
+            marginal_by_fault.setdefault(m.fault_names[0], name)
+
+    def _pair_p(compound: "ResilienceMetrics", marginal: "ResilienceMetrics") -> float:
+        if not compound.vpk_per_run or not marginal.vpk_per_run:
+            return float("nan")
+        _, p = mann_whitney_u(compound.vpk_per_run, marginal.vpk_per_run)
+        return p
+
+    out: dict[str, dict] = {}
+    for name, m in metrics.items():
+        if name == baseline or len(m.fault_names) < 2:
+            continue
+        marginal_names = {
+            fault: marginal_by_fault.get(fault) for fault in m.fault_names
+        }
+        marginal_metrics = [
+            metrics[mname] for mname in marginal_names.values() if mname is not None
+        ]
+        if len(marginal_metrics) == len(m.fault_names) and marginal_metrics:
+            worst_msr = min(mm.msr for mm in marginal_metrics)
+            worst_vpk = max(mm.vpk for mm in marginal_metrics)
+        else:
+            # A component without a single-fault marginal leaves the
+            # "worst marginal" undefined; NaN keeps that visible.
+            worst_msr = worst_vpk = float("nan")
+        out[name] = {
+            "components": list(m.fault_names),
+            "marginals": marginal_names,
+            "msr_delta_vs_worst": float(m.msr - worst_msr),
+            "vpk_delta_vs_worst": float(m.vpk - worst_vpk),
+            "p_vs_marginals": {
+                fault: (
+                    _pair_p(m, metrics[mname]) if mname is not None else float("nan")
+                )
+                for fault, mname in marginal_names.items()
+            },
         }
     return out

@@ -152,6 +152,16 @@ class RunRecord:
         return len(self.violations)
 
     @property
+    def fault_names(self) -> tuple[str, ...]:
+        """The episode's fault-set identity: fault names in attach order.
+
+        ``()`` for fault-free baseline runs.  Compound episodes carry
+        every component, so analytics can match a compound injector to
+        its single-fault marginals without parsing injector names.
+        """
+        return tuple(f.get("name", "?") for f in self.faults)
+
+    @property
     def n_accidents(self) -> int:
         """Violations that count as accidents (collisions)."""
         return sum(1 for v in self.violations if v["is_accident"])
@@ -371,6 +381,7 @@ class Campaign:
         queue_dir: str | Path | None = None,
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
+        parquet_path: str | Path | None = None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
@@ -398,6 +409,10 @@ class Campaign:
         self.queue_dir = queue_dir
         self.lease_s = lease_s
         self.checkpoint_path = checkpoint_path
+        #: Optional parquet analytics sink written beside the JSONL
+        #: checkpoint (see :class:`~repro.core.sink.ParquetSink`);
+        #: degrades to JSONL-only when pyarrow is absent.
+        self.parquet_path = parquet_path
         #: The :class:`~repro.core.spec.CampaignSpec` this campaign was
         #: built from (set by :meth:`from_spec`); published alongside the
         #: queue broker's context so workers can see the full campaign
@@ -413,15 +428,20 @@ class Campaign:
         queue_dir: str | Path | None = None,
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
+        parquet_path: str | Path | None = None,
         verbose: bool = False,
     ) -> "Campaign":
         """Build a campaign from a :class:`~repro.core.spec.CampaignSpec`.
 
         The keyword arguments override the spec's execution options (the
         ``avfi run`` CLI flags); everything else — scenario suite, agent,
-        injectors, builder, base seed — comes from the spec.  Fault
-        models are deep-copied out of the spec so building two campaigns
-        from one spec never shares mutable fault state.
+        injectors, builder, base seed — comes from the spec.  The
+        injector table goes through
+        :meth:`~repro.core.spec.CampaignSpec.expanded_injectors`, so
+        compound entries arrive as their concrete expanded grid (the
+        expansion already deep-copies); literal entries are deep-copied
+        here so building two campaigns from one spec never shares
+        mutable fault state.
         """
         execution = spec.execution
         queue_dir = queue_dir if queue_dir is not None else execution.queue_dir
@@ -442,7 +462,7 @@ class Campaign:
             spec.agent.build(),
             {
                 name: [copy.deepcopy(fault) for fault in faults]
-                for name, faults in spec.injectors.items()
+                for name, faults in spec.expanded_injectors().items()
             },
             builder=spec.build_builder(),
             base_seed=execution.base_seed,
@@ -453,6 +473,9 @@ class Campaign:
             lease_s=lease_s if lease_s is not None else execution.lease_s,
             checkpoint_path=(
                 checkpoint_path if checkpoint_path is not None else execution.checkpoint
+            ),
+            parquet_path=(
+                parquet_path if parquet_path is not None else execution.parquet
             ),
         )
         campaign.spec = spec
@@ -480,6 +503,7 @@ class Campaign:
             queue_dir=self.queue_dir,
             lease_s=self.lease_s,
             checkpoint_path=self.checkpoint_path,
+            parquet_path=self.parquet_path,
             spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="campaign",

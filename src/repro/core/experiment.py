@@ -117,7 +117,7 @@ class Study:
             spec.agent.build(),
             {
                 name: [copy.deepcopy(fault) for fault in faults]
-                for name, faults in spec.injectors.items()
+                for name, faults in spec.expanded_injectors().items()
             },
             checkpoint_path=(
                 checkpoint_path if checkpoint_path is not None else execution.checkpoint

@@ -16,7 +16,13 @@ Figure label              Class
 Occlusion positions and droplet layouts are drawn once per episode and then
 persist (dirt and water stick to a lens); noise models redraw per frame.
 The module also provides GPS, speedometer, LIDAR and weather (world
-measurement) faults mentioned in §II's data-fault description.
+measurement) faults mentioned in §II's data-fault description, plus the
+telemetry-corruption catalog compound campaigns pair with the camera
+models: :class:`SchemaChangeFault` (producer-side unit/axis change),
+:class:`StuckAtFault` (a reading frozen at a constant),
+:class:`SpikeFault` (transient large excursions),
+:class:`SensorDriftFault` (slowly accumulating bias) and
+:class:`DuplicationFault` (stale replayed bundles).
 """
 
 from __future__ import annotations
@@ -42,6 +48,11 @@ __all__ = [
     "LidarDropoutFault",
     "LidarGhostFault",
     "WeatherShiftFault",
+    "SchemaChangeFault",
+    "StuckAtFault",
+    "SpikeFault",
+    "SensorDriftFault",
+    "DuplicationFault",
     "INPUT_FAULT_REGISTRY",
     "make_input_fault",
 ]
@@ -407,6 +418,221 @@ class LidarGhostFault(SensorFault):
 
     def describe(self) -> dict:
         return {**super().describe(), "ghost_prob": self.ghost_prob}
+
+
+@register_fault
+class SchemaChangeFault(SensorFault):
+    """Producer-side schema change the consumer never learned about.
+
+    Models a telemetry producer silently changing its wire format: GPS
+    axes swapped (lat/lon order flip) and/or speed emitted in different
+    units (the default ``speed_factor`` of 3.6 is km/h delivered where
+    m/s is expected).  Values stay individually plausible — the failure
+    is the *interpretation*, which is what makes schema faults hard to
+    catch with range checks.
+    """
+
+    name = "schema-change"
+
+    def __init__(
+        self,
+        swap_gps: bool = True,
+        speed_factor: float = 3.6,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        self.swap_gps = swap_gps
+        self.speed_factor = speed_factor
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        if self.swap_gps:
+            bundle.gps = (bundle.gps[1], bundle.gps[0])
+        bundle.speed = bundle.speed * self.speed_factor
+        return bundle
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "swap_gps": self.swap_gps,
+            "speed_factor": self.speed_factor,
+        }
+
+
+@register_fault
+class StuckAtFault(SensorFault):
+    """A scalar reading stuck at a constant (failed transducer/register).
+
+    ``field`` picks the stuck reading: ``"speed"`` or ``"heading"``.
+    Unlike the freeze faults (which hold the last *good* value), stuck-at
+    pins the reading to an arbitrary constant — the classic stuck-at-0 /
+    stuck-at-max hardware failure mode.
+    """
+
+    name = "stuck-at"
+
+    _FIELDS = ("speed", "heading")
+
+    def __init__(
+        self,
+        field: str = "speed",
+        value: float = 0.0,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if field not in self._FIELDS:
+            raise ValueError(
+                f"field must be one of {self._FIELDS}, got {field!r}"
+            )
+        self.field = field
+        self.value = value
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        setattr(bundle, self.field, self.value)
+        return bundle
+
+    def describe(self) -> dict:
+        return {**super().describe(), "field": self.field, "value": self.value}
+
+
+@register_fault
+class SpikeFault(SensorFault):
+    """Transient large excursions on a reading (EMI, loose connector).
+
+    Each activation adds a spike of random sign and magnitude up to
+    ``magnitude`` to the chosen reading (``"speed"`` or ``"gps"``; a GPS
+    spike displaces the fix in a random direction).  Defaults to an
+    intermittent trigger — spikes are occasional by nature; pass an
+    explicit trigger for a different duty cycle.
+    """
+
+    name = "spike"
+
+    _FIELDS = ("speed", "gps")
+
+    def __init__(
+        self,
+        field: str = "speed",
+        magnitude: float = 25.0,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger or Trigger(probability=0.15))
+        if field not in self._FIELDS:
+            raise ValueError(
+                f"field must be one of {self._FIELDS}, got {field!r}"
+            )
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        self.field = field
+        self.magnitude = magnitude
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        size = float(self.rng.uniform(0.25, 1.0)) * self.magnitude
+        if self.field == "speed":
+            sign = 1.0 if self.rng.random() < 0.5 else -1.0
+            bundle.speed = max(0.0, bundle.speed + sign * size)
+        else:
+            angle = float(self.rng.uniform(0.0, 2.0 * np.pi))
+            bundle.gps = (
+                bundle.gps[0] + size * float(np.cos(angle)),
+                bundle.gps[1] + size * float(np.sin(angle)),
+            )
+        return bundle
+
+    def describe(self) -> dict:
+        return {**super().describe(), "field": self.field, "magnitude": self.magnitude}
+
+
+@register_fault
+class SensorDriftFault(SensorFault):
+    """Slowly accumulating GPS bias (uncompensated IMU/odometry drift).
+
+    Every activation grows the bias by ``rate_m`` metres along a fixed
+    ``heading_deg`` direction, so the reported position walks away from
+    the truth frame by frame — the error is tiny at onset and unbounded
+    over a long episode, which is exactly what makes drift faults
+    latent.
+    """
+
+    name = "sensor-drift"
+
+    def __init__(
+        self,
+        rate_m: float = 0.05,
+        heading_deg: float = 45.0,
+        trigger: Trigger | None = None,
+    ):
+        super().__init__(trigger)
+        if rate_m <= 0:
+            raise ValueError("rate_m must be positive")
+        self.rate_m = rate_m
+        self.heading_deg = heading_deg
+        self._steps = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._steps = 0
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:
+        self._steps += 1
+        offset = self.rate_m * self._steps
+        heading = np.deg2rad(self.heading_deg)
+        bundle.gps = (
+            bundle.gps[0] + offset * float(np.cos(heading)),
+            bundle.gps[1] + offset * float(np.sin(heading)),
+        )
+        return bundle
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "rate_m": self.rate_m,
+            "heading_deg": self.heading_deg,
+        }
+
+
+@register_fault
+class DuplicationFault(SensorFault):
+    """Duplicate/replayed telemetry: a stale bundle served as fresh.
+
+    Models a producer (or flaky transport) re-delivering an old packet
+    that the consumer fails to dedupe: on each activation the agent sees
+    the bundle from ``lag`` frames ago — image, GPS, speed and all —
+    instead of the current one.  Complements the packet-level timing
+    faults: those starve the agent, this feeds it confidently wrong,
+    *internally consistent* history.
+    """
+
+    name = "duplication"
+
+    def __init__(self, lag: int = 3, trigger: Trigger | None = None):
+        super().__init__(trigger or Trigger(probability=0.3))
+        if lag < 1:
+            raise ValueError("lag must be at least 1")
+        self.lag = lag
+        self._history: list[SensorFrame] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = []
+
+    def apply(self, bundle: SensorFrame, frame: int) -> SensorFrame:
+        # History must advance every frame (fired or not), so the replay
+        # source is the true bundle stream, not the corrupted one.
+        self._history.append(bundle.copy())
+        if len(self._history) > self.lag + 1:
+            self._history.pop(0)
+        if not self.trigger.fires(frame, self.rng) or len(self._history) <= self.lag:
+            return bundle
+        self.log.record(frame)
+        return self._history[0].copy()
+
+    def transform(self, bundle: SensorFrame) -> SensorFrame:  # pragma: no cover
+        raise AssertionError("DuplicationFault overrides apply directly")
+
+    def describe(self) -> dict:
+        return {**super().describe(), "lag": self.lag}
 
 
 @register_fault

@@ -19,6 +19,14 @@ attaches each to its seam:
 objects — the trained model above all — survive across episodes.  Every
 fault receives a child RNG spawned from the harness seed, making the whole
 campaign reproducible from scalar seeds.
+
+Compound (multi-fault) episodes are first-class: the harness attaches the
+whole ordered fault set, filters compose in declaration order at each hook
+point, and each fault's child RNG derives from its *position* in the set —
+so a two-fault episode replays bit-for-bit, and the same fault paired with
+different partners draws an unrelated stream.  A fault instance may appear
+at most once per set; sharing one instance across campaigns is fine, but a
+duplicate within one set is rejected at construction.
 """
 
 from __future__ import annotations
@@ -47,11 +55,20 @@ class InjectionHarness:
     """Attaches fault models to one episode's components."""
 
     def __init__(self, faults: Sequence[FaultModel], seed: int = 0):
-        for fault in faults:
+        seen: dict[int, FaultModel] = {}
+        for position, fault in enumerate(faults):
             if not isinstance(fault, FaultModel):
                 raise TypeError(
                     f"unknown fault kind: {type(fault).__name__} (expected a FaultModel)"
                 )
+            if id(fault) in seen:
+                raise ValueError(
+                    f"fault {fault.name!r} appears twice in the fault set "
+                    f"(position {position}); each fault needs its own instance — "
+                    f"a shared instance would double-attach its hooks and share "
+                    f"per-episode state (use copy.deepcopy for a second copy)"
+                )
+            seen[id(fault)] = fault
         self.faults = list(faults)
         self.seed = seed
         self._attached = False
@@ -79,37 +96,47 @@ class InjectionHarness:
         self._model = model
         rng_root = np.random.default_rng(self.seed)
 
-        for fault in self.faults:
-            fault.reset()
-            fault.bind(np.random.default_rng(rng_root.integers(2**63)))
-            if isinstance(fault, SensorFault):
-                input_filter = _SensorFilter(fault)
-                client.input_filters.append(input_filter)
-                self._input_filters.append(input_filter)
-            elif isinstance(fault, ControlFault):
-                output_filter = fault.apply
-                client.output_filters.append(output_filter)
-                self._output_filters.append(output_filter)
-            elif isinstance(fault, TimingFault):
-                channel = (
-                    server.control_channel
-                    if fault.channel == "control"
-                    else server.sensor_channel
-                )
-                channel.add_transform(fault)
-                self._channel_transforms.append((channel, fault))
-            elif isinstance(fault, ModelFault):
-                if model is None:
-                    raise ValueError(
-                        f"{fault.name} targets the NN but the agent has no model "
-                        "(is this the autopilot baseline?)"
+        try:
+            for fault in self.faults:
+                fault.reset()
+                fault.bind(np.random.default_rng(rng_root.integers(2**63)))
+                if isinstance(fault, SensorFault):
+                    input_filter = _SensorFilter(fault)
+                    client.input_filters.append(input_filter)
+                    self._input_filters.append(input_filter)
+                elif isinstance(fault, ControlFault):
+                    output_filter = fault.apply
+                    client.output_filters.append(output_filter)
+                    self._output_filters.append(output_filter)
+                elif isinstance(fault, TimingFault):
+                    channel = (
+                        server.control_channel
+                        if fault.channel == "control"
+                        else server.sensor_channel
                     )
-                fault.install(model, frame=fault.trigger.start_frame)
-                self._installed_model_faults.append(fault)
-            elif isinstance(fault, WorldFault):
-                self._world_faults.append(fault)
-            else:
-                raise TypeError(f"unknown fault kind: {type(fault).__name__}")
+                    channel.add_transform(fault)
+                    self._channel_transforms.append((channel, fault))
+                elif isinstance(fault, ModelFault):
+                    if model is None:
+                        raise ValueError(
+                            f"{fault.name} targets the NN but the agent has no model "
+                            "(is this the autopilot baseline?)"
+                        )
+                    fault.install(model, frame=fault.trigger.start_frame)
+                    self._installed_model_faults.append(fault)
+                elif isinstance(fault, WorldFault):
+                    self._world_faults.append(fault)
+                else:
+                    raise TypeError(f"unknown fault kind: {type(fault).__name__}")
+        except BaseException:
+            # A later fault failing to attach (a ModelFault without a
+            # model, a fault subclass raising in install) must not leak
+            # the hooks earlier faults already planted on the *shared*
+            # client/server/model — detach() would no-op because
+            # _attached was never set, and the next episode would run
+            # with this episode's filters still installed.
+            self._unwind()
+            raise
         self._attached = True
 
     def on_frame(self, world: World, frame: int) -> None:
@@ -121,6 +148,16 @@ class InjectionHarness:
         """Remove every hook and restore shared state (model weights)."""
         if not self._attached:
             return
+        self._unwind()
+        self._attached = False
+
+    def _unwind(self) -> None:
+        """Remove whatever hooks are currently planted (full or partial).
+
+        Shared between :meth:`detach` and :meth:`attach`'s failure path:
+        only hooks recorded in the tracking lists are removed, so a
+        partially failed attach unwinds exactly the state it created.
+        """
         assert self._client is not None and self._server is not None
         for input_filter in self._input_filters:
             self._client.input_filters.remove(input_filter)
@@ -136,7 +173,6 @@ class InjectionHarness:
         self._channel_transforms.clear()
         self._installed_model_faults.clear()
         self._world_faults.clear()
-        self._attached = False
 
     # ------------------------------------------------------------------
     def injection_frames(self) -> list[int]:

@@ -24,6 +24,15 @@ Distinct from this is the *zero-distance* case: completed runs in which
 the car never moved keep VPK/APK of 0.0 (the run happened and produced
 no per-km events), matching the per-run properties on
 :class:`~repro.core.campaign.RunRecord`.
+
+**Streaming aggregation:** :class:`MetricsAccumulator` folds records one
+at a time into per-group aggregates (scalars plus per-run floats — never
+the records themselves, whose violation/fault payloads dominate memory),
+so million-episode checkpoints aggregate in one pass over a record
+*iterator* (:func:`~repro.core.sink.iter_records`).  The batch helpers
+:func:`compute_metrics` / :func:`metrics_by_injector` are thin wrappers
+over the same accumulator, so streamed and in-memory aggregation are
+equal by construction.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from .campaign import RunRecord
 
 __all__ = [
     "ResilienceMetrics",
+    "MetricsAccumulator",
     "compute_metrics",
     "metrics_by_injector",
     "mission_success_rate",
@@ -105,6 +115,13 @@ class ResilienceMetrics:
     total_violations: int = 0
     total_accidents: int = 0
     violations_by_type: dict[str, int] = field(default_factory=dict)
+    #: The group's fault-set composition (fault names in attach order),
+    #: taken from the first record that carries fault descriptions.
+    #: ``()`` for the fault-free baseline and for records written before
+    #: fault descriptions existed.  Compound groups (two or more names)
+    #: are what :func:`~repro.core.analysis.interaction_effects` pairs
+    #: against their single-fault marginals.
+    fault_names: tuple[str, ...] = ()
 
     @property
     def ttv_median_s(self) -> float:
@@ -123,36 +140,107 @@ class ResilienceMetrics:
         }
 
 
-def compute_metrics(records: Sequence[RunRecord]) -> ResilienceMetrics:
+class MetricsAccumulator:
+    """Streaming aggregation of one group of runs.
+
+    Folds records in one at a time, keeping only scalar aggregates and
+    per-run floats — memory stays O(runs) small floats rather than
+    O(runs × violations) record payloads, which is what lets a single
+    pass over a million-episode parquet/JSONL checkpoint compute the
+    full metric set.  :meth:`result` yields the identical
+    :class:`ResilienceMetrics` the batch path produces (same fold order,
+    same float arithmetic).
+    """
+
+    def __init__(self) -> None:
+        self.n_runs = 0
+        self.n_success = 0
+        self.total_km = 0.0
+        self.total_violations = 0
+        self.total_accidents = 0
+        self.ttv_s: list[float] = []
+        self.vpk_per_run: list[float] = []
+        self.apk_per_run: list[float] = []
+        self.success_flags: list[bool] = []
+        self.violations_by_type: dict[str, int] = {}
+        self.fault_names: tuple[str, ...] = ()
+
+    def add(self, record: RunRecord) -> None:
+        """Fold one completed run into the aggregates."""
+        self.n_runs += 1
+        self.n_success += bool(record.success)
+        self.total_km += record.distance_km
+        self.total_violations += record.n_violations
+        self.total_accidents += record.n_accidents
+        ttv = record.time_to_violation_s()
+        if ttv is not None:
+            self.ttv_s.append(ttv)
+        self.vpk_per_run.append(record.violations_per_km)
+        self.apk_per_run.append(record.accidents_per_km)
+        self.success_flags.append(record.success)
+        for v in record.violations:
+            self.violations_by_type[v["type"]] = (
+                self.violations_by_type.get(v["type"], 0) + 1
+            )
+        if not self.fault_names and record.faults:
+            self.fault_names = tuple(
+                f.get("name", "?") for f in record.faults
+            )
+
+    def result(self) -> ResilienceMetrics:
+        """The aggregated metrics (empty-slice convention applies)."""
+        if self.n_runs == 0:
+            msr = vpk = apk = float("nan")
+        else:
+            msr = 100.0 * self.n_success / self.n_runs
+            vpk = (
+                self.total_violations / self.total_km if self.total_km > 0.0 else 0.0
+            )
+            apk = (
+                self.total_accidents / self.total_km if self.total_km > 0.0 else 0.0
+            )
+        return ResilienceMetrics(
+            n_runs=self.n_runs,
+            msr=msr,
+            vpk=vpk,
+            apk=apk,
+            ttv_s=list(self.ttv_s),
+            vpk_per_run=list(self.vpk_per_run),
+            apk_per_run=list(self.apk_per_run),
+            success_flags=list(self.success_flags),
+            total_km=self.total_km,
+            total_violations=self.total_violations,
+            total_accidents=self.total_accidents,
+            violations_by_type=dict(self.violations_by_type),
+            fault_names=self.fault_names,
+        )
+
+
+def compute_metrics(records: Iterable[RunRecord]) -> ResilienceMetrics:
     """Aggregate one group of runs into :class:`ResilienceMetrics`.
 
-    An empty group is valid (see the module's empty-slice convention):
-    rates come back NaN, counts 0 — so summarising a partially drained
-    or freshly resumed campaign never raises.
+    Accepts any iterable — a list, or a streaming record iterator from
+    :func:`~repro.core.sink.iter_records` — and folds it through a
+    :class:`MetricsAccumulator` in one pass, never materialising the
+    record set.  An empty group is valid (see the module's empty-slice
+    convention): rates come back NaN, counts 0 — so summarising a
+    partially drained or freshly resumed campaign never raises.
     """
-    by_type: dict[str, int] = {}
-    for r in records:
-        for v in r.violations:
-            by_type[v["type"]] = by_type.get(v["type"], 0) + 1
-    return ResilienceMetrics(
-        n_runs=len(records),
-        msr=mission_success_rate(records),
-        vpk=violations_per_km(records),
-        apk=accidents_per_km(records),
-        ttv_s=time_to_violation(records),
-        vpk_per_run=[r.violations_per_km for r in records],
-        apk_per_run=[r.accidents_per_km for r in records],
-        success_flags=[r.success for r in records],
-        total_km=sum(r.distance_km for r in records),
-        total_violations=sum(r.n_violations for r in records),
-        total_accidents=sum(r.n_accidents for r in records),
-        violations_by_type=by_type,
-    )
+    acc = MetricsAccumulator()
+    for record in records:
+        acc.add(record)
+    return acc.result()
 
 
 def metrics_by_injector(records: Iterable[RunRecord]) -> dict[str, ResilienceMetrics]:
-    """Group records by injector and aggregate each group."""
-    groups: dict[str, list[RunRecord]] = {}
+    """Group records by injector and aggregate each group.
+
+    Single-pass and streaming-safe: grouping keeps one
+    :class:`MetricsAccumulator` per injector (first-seen order), not the
+    records themselves, so this is the right entry point for
+    arbitrarily large checkpoint iterators.
+    """
+    groups: dict[str, MetricsAccumulator] = {}
     for record in records:
-        groups.setdefault(record.injector, []).append(record)
-    return {name: compute_metrics(rs) for name, rs in groups.items()}
+        groups.setdefault(record.injector, MetricsAccumulator()).add(record)
+    return {name: acc.result() for name, acc in groups.items()}

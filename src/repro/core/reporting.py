@@ -13,7 +13,13 @@ from typing import Mapping, Sequence
 
 from .analysis import summarize
 
-__all__ = ["format_table", "bar_chart", "boxplot", "figure_header"]
+__all__ = [
+    "format_table",
+    "bar_chart",
+    "boxplot",
+    "figure_header",
+    "interaction_table",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -100,6 +106,39 @@ def boxplot(
         )
     lines.append(f"{' ' * label_w}  {lo:<10.2f}{' ' * max(0, width - 22)}{hi:>10.2f}")
     return "\n".join(lines)
+
+
+def interaction_table(interactions: Mapping[str, dict], title: str = "") -> str:
+    """Render :func:`~repro.core.analysis.interaction_effects` output.
+
+    One row per compound injector: its components, the MSR/VPK deltas
+    against the worst single-fault marginal (negative ΔMSR / positive
+    ΔVPK = the combination hurts beyond either fault alone), and the
+    smallest Mann-Whitney p across its per-marginal comparisons.  NaNs
+    (missing marginals, empty slices) render as ``nan`` like every other
+    table.  Returns a placeholder line when there are no compound
+    injectors, so report pipelines needn't special-case single-fault
+    campaigns.
+    """
+    if not interactions:
+        return "(no compound injectors — interaction effects need >= 2 faults)"
+    rows = []
+    for name, effect in interactions.items():
+        p_values = [p for p in effect["p_vs_marginals"].values() if p == p]
+        rows.append(
+            [
+                name,
+                "+".join(effect["components"]),
+                effect["msr_delta_vs_worst"],
+                effect["vpk_delta_vs_worst"],
+                min(p_values) if p_values else float("nan"),
+            ]
+        )
+    return format_table(
+        ["compound", "components", "dMSR_vs_worst", "dVPK_vs_worst", "min_p"],
+        rows,
+        title=title,
+    )
 
 
 def figure_header(figure_id: str, caption: str) -> str:

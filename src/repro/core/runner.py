@@ -16,6 +16,13 @@ as three invariants survive the distribution:
   so an interrupted overnight sweep restarts where it stopped and never
   executes an episode twice.
 
+Beside the JSONL checkpoint the runner can stream a **parquet sink**
+(``parquet_path=``, :class:`~repro.core.sink.ParquetSink`): the JSONL
+file stays the durability layer (atomic appends, resume identity), the
+parquet copy is the analytics artifact for million-episode aggregation.
+When pyarrow is missing the runner degrades to JSONL-only with a
+warning rather than failing the campaign.
+
 The execution strategy is pluggable: :class:`SerialExecutor` runs tasks
 in-process (tests, debugging, ``workers<=1``), :class:`ProcessExecutor`
 fans chunks of tasks out to a :class:`~concurrent.futures.ProcessPoolExecutor`,
@@ -522,6 +529,7 @@ class ParallelCampaignRunner:
         queue_dir: str | Path | None = None,
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
+        parquet_path: str | Path | None = None,
         resume_records: Sequence[RunRecord] | None = None,
         spec: dict | None = None,
         verbose: bool = False,
@@ -560,6 +568,10 @@ class ParallelCampaignRunner:
             and self.checkpoint_path is not None
             and self.checkpoint_path.resolve() == Path(executor_checkpoint).resolve()
         )
+        # The parquet sink is always coordinator-side, even under the
+        # queue backend: workers append JSONL durably, and this runner
+        # mirrors completed grid records into the columnar copy.
+        self.parquet_path = Path(parquet_path) if parquet_path else None
         self.verbose = verbose
         self.label = label
         self.on_record = on_record
@@ -643,6 +655,36 @@ class ParallelCampaignRunner:
             return
         append_jsonl_line(self.checkpoint_path, record.to_dict())
 
+    def _open_parquet_sink(self):
+        """Open the streaming parquet sink, seeded with resumed records.
+
+        Parquet files cannot be re-opened for append, so each run writes
+        the sink fresh: already-completed grid records go in first, then
+        every new record streams in as it finishes.  A crash costs only
+        the parquet copy — the next run rewrites it from the JSONL
+        checkpoint.  Returns ``None`` (JSONL-only, with a warning) when
+        pyarrow is not installed: a missing analytics dependency must
+        not kill a campaign.
+        """
+        if self.parquet_path is None:
+            return None
+        from .sink import HAVE_PYARROW, ParquetSink
+
+        if not HAVE_PYARROW:
+            import warnings
+
+            warnings.warn(
+                f"parquet sink {self.parquet_path} requested but pyarrow is "
+                f"not installed; continuing with the JSONL checkpoint only "
+                f"(install the 'parquet' extra to enable columnar output)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        sink = ParquetSink(self.parquet_path)
+        sink.extend(self.grid_records())
+        return sink
+
     # -- execution -----------------------------------------------------
 
     def context(self) -> CampaignContext:
@@ -673,18 +715,25 @@ class ParallelCampaignRunner:
             # what campaign it is serving (and future brokers can
             # reconstruct the context from it instead of the pickle).
             self.executor.publish_spec(self.spec)
-        for task, record in self.executor.run(context, pending):
-            self._new_records[task.index] = record
-            self._append_checkpoint(record)
-            if self.verbose:
-                status = "ok " if record.success else "FAIL"
-                print(
-                    f"[{self.label}] {record.injector:>12} {record.scenario:>8} "
-                    f"{status} {record.distance_km * 1000:6.0f} m  "
-                    f"{record.n_violations} violations"
-                )
-            if self.on_record is not None:
-                self.on_record(task, record)
+        sink = self._open_parquet_sink()
+        try:
+            for task, record in self.executor.run(context, pending):
+                self._new_records[task.index] = record
+                self._append_checkpoint(record)
+                if sink is not None:
+                    sink.append(record)
+                if self.verbose:
+                    status = "ok " if record.success else "FAIL"
+                    print(
+                        f"[{self.label}] {record.injector:>12} {record.scenario:>8} "
+                        f"{status} {record.distance_km * 1000:6.0f} m  "
+                        f"{record.n_violations} violations"
+                    )
+                if self.on_record is not None:
+                    self.on_record(task, record)
+        finally:
+            if sink is not None:
+                sink.close()
         return CampaignResult(self.grid_records())
 
     def grid_records(self) -> list[RunRecord]:

@@ -17,8 +17,15 @@ turns an experiment definition into **data**:
   explicit scenario list;
 * :class:`AgentSpec` — a name from the agent registry
   (:data:`~repro.agent.agents.AGENT_REGISTRY`) plus builder params;
-* :class:`ExecutionSpec` — workers/backend/queue/checkpoint options,
-  each overridable from the ``avfi run`` command line.
+* :class:`ExecutionSpec` — workers/backend/queue/checkpoint/parquet
+  options, each overridable from the ``avfi run`` command line;
+* :class:`CompoundInjectorSpec` — a *generator* entry in the injector
+  table: instead of one literal fault list, it declares pools of faults
+  and expands (cartesian product, or a seeded sample of it) into many
+  compound injectors, one per combination —
+  :meth:`CampaignSpec.expanded_injectors` is the single place the
+  expansion happens, so ``Campaign.from_spec`` / ``Study.from_spec`` and
+  ``avfi`` all see the identical concrete grid.
 
 Fault models serialise through the universal fault registry
 (:meth:`~repro.core.faults.base.FaultModel.to_config` /
@@ -34,8 +41,11 @@ archived and replayed without touching Python.
 
 from __future__ import annotations
 
+import copy
 import hashlib
+import itertools
 import json
+import random
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -52,6 +62,7 @@ __all__ = [
     "ScenarioSuiteSpec",
     "AgentSpec",
     "ExecutionSpec",
+    "CompoundInjectorSpec",
     "CampaignSpec",
     "load_spec",
     "parse_spec",
@@ -74,6 +85,7 @@ class SpecError(ValueError):
 
     def __init__(self, path: str, message: str):
         self.path = path
+        self.message = message
         super().__init__(f"invalid campaign spec at {path}: {message}")
 
 
@@ -269,6 +281,9 @@ class ExecutionSpec:
     queue_dir: str | None = None
     lease_s: float | None = None
     checkpoint: str | None = None
+    #: Optional parquet sink written beside the JSONL checkpoint
+    #: (requires the ``parquet`` extra; degrades to JSONL-only).
+    parquet: str | None = None
 
     _BACKENDS = (None, "serial", "process", "queue")
 
@@ -293,6 +308,7 @@ class ExecutionSpec:
             "queue_dir": str(self.queue_dir) if self.queue_dir is not None else None,
             "lease_s": float(self.lease_s) if self.lease_s is not None else None,
             "checkpoint": str(self.checkpoint) if self.checkpoint is not None else None,
+            "parquet": str(self.parquet) if self.parquet is not None else None,
         }
 
     @classmethod
@@ -301,7 +317,15 @@ class ExecutionSpec:
         data = _expect_object(data, path)
         _reject_unknown(
             data,
-            {"base_seed", "workers", "backend", "queue_dir", "lease_s", "checkpoint"},
+            {
+                "base_seed",
+                "workers",
+                "backend",
+                "queue_dir",
+                "lease_s",
+                "checkpoint",
+                "parquet",
+            },
             path,
         )
 
@@ -337,7 +361,156 @@ class ExecutionSpec:
             queue_dir=string("queue_dir"),
             lease_s=number("lease_s"),
             checkpoint=string("checkpoint"),
+            parquet=string("parquet"),
         )
+
+
+@dataclass
+class CompoundInjectorSpec:
+    """A generator entry in the injector table: compound faults as data.
+
+    Where a plain injector entry is one literal fault list, a compound
+    entry declares **pools** of candidate faults and expands into one
+    compound injector per combination (one fault drawn from each pool):
+
+    * ``mode="cartesian"`` — every combination in the cartesian product
+      of the pools, in pool order (the full pairing grid over the
+      registered catalog fits in one three-line spec entry);
+    * ``mode="sample"`` — a seeded, order-stable sample of ``n_samples``
+      distinct combinations from that product, for when the full product
+      (24 faults squared and up) is more grid than the compute budget.
+
+    Expanded names are ``<entry>:<fault>+<fault>...`` — the entry name
+    plus the combination's fault names joined with ``+`` — so records
+    and metrics tables self-describe their fault-set composition.
+    Combinations that would pair a pool fault with *itself* (the same
+    object appearing in overlapping pools) are skipped; every emitted
+    fault list holds deep copies, so each expanded injector owns
+    independent fault state (a requirement of
+    :class:`~repro.core.injector.InjectionHarness`, which rejects shared
+    instances).
+    """
+
+    pools: list[list[FaultModel]] = field(default_factory=list)
+    mode: str = "cartesian"
+    n_samples: int | None = None
+    seed: int = 0
+
+    _MODES = ("cartesian", "sample")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise SpecError(
+                "spec.injectors[...].compound.mode",
+                f"unknown mode {self.mode!r} (expected 'cartesian' or 'sample')",
+            )
+        if not self.pools or any(not pool for pool in self.pools):
+            raise SpecError(
+                "spec.injectors[...].compound.pools",
+                "needs at least one non-empty pool of faults",
+            )
+        if self.mode == "sample":
+            if self.n_samples is None or self.n_samples < 1:
+                raise SpecError(
+                    "spec.injectors[...].compound.n_samples",
+                    "sample mode needs n_samples >= 1",
+                )
+
+    def combinations(self) -> list[tuple[FaultModel, ...]]:
+        """The concrete combination list (pool order; self-pairs skipped).
+
+        In sample mode the subset is drawn without replacement by a
+        dedicated :class:`random.Random` seeded from ``seed``, so the
+        same spec always expands to the same grid on every machine —
+        the paired-design guarantee extends to sampled compound grids.
+        """
+        combos = [
+            combo
+            for combo in itertools.product(*self.pools)
+            if len({id(f) for f in combo}) == len(combo)
+        ]
+        if self.mode == "sample":
+            if self.n_samples >= len(combos):
+                return combos
+            picks = sorted(
+                random.Random(self.seed).sample(range(len(combos)), self.n_samples)
+            )
+            return [combos[i] for i in picks]
+        return combos
+
+    def expand(self, entry_name: str) -> list[tuple[str, list[FaultModel]]]:
+        """``(injector_name, fault_list)`` pairs, deep-copied per combo."""
+        out = []
+        for combo in self.combinations():
+            name = f"{entry_name}:" + "+".join(f.name for f in combo)
+            out.append((name, [copy.deepcopy(f) for f in combo]))
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON form: ``{"compound": {...}}`` (vs a plain fault array)."""
+        body = {
+            "mode": self.mode,
+            "pools": [[f.to_config() for f in pool] for pool in self.pools],
+            "seed": int(self.seed),
+        }
+        if self.n_samples is not None:
+            body["n_samples"] = int(self.n_samples)
+        return {"compound": body}
+
+    @classmethod
+    def from_dict(cls, data, path: str) -> "CompoundInjectorSpec":
+        """Parse and validate one compound entry."""
+        data = _expect_object(data, path)
+        _reject_unknown(data, {"compound"}, path)
+        if "compound" not in data:
+            raise SpecError(path, "expected a 'compound' object")
+        body = _expect_object(data["compound"], f"{path}.compound")
+        _reject_unknown(
+            body, {"mode", "pools", "n_samples", "seed"}, f"{path}.compound"
+        )
+        mode = body.get("mode", "cartesian")
+        if not isinstance(mode, str):
+            raise SpecError(f"{path}.compound.mode", f"must be a string, got {mode!r}")
+        pools_data = body.get("pools")
+        if not isinstance(pools_data, list) or not pools_data:
+            raise SpecError(
+                f"{path}.compound.pools", "expected a non-empty array of fault pools"
+            )
+        pools: list[list[FaultModel]] = []
+        for i, pool_data in enumerate(pools_data):
+            if not isinstance(pool_data, list) or not pool_data:
+                raise SpecError(
+                    f"{path}.compound.pools[{i}]",
+                    "expected a non-empty array of fault configs",
+                )
+            pool = []
+            for j, config in enumerate(pool_data):
+                try:
+                    pool.append(FaultModel.from_config(config))
+                except (KeyError, TypeError, ValueError) as exc:
+                    message = exc.args[0] if exc.args else str(exc)
+                    raise SpecError(
+                        f"{path}.compound.pools[{i}][{j}]", str(message)
+                    ) from None
+            pools.append(pool)
+        n_samples = body.get("n_samples")
+        if n_samples is not None and (
+            not isinstance(n_samples, int) or isinstance(n_samples, bool)
+        ):
+            raise SpecError(
+                f"{path}.compound.n_samples",
+                f"must be an integer, got {n_samples!r}",
+            )
+        seed = body.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SpecError(
+                f"{path}.compound.seed", f"must be an integer, got {seed!r}"
+            )
+        try:
+            return cls(pools=pools, mode=mode, n_samples=n_samples, seed=seed)
+        except SpecError as exc:
+            # Re-anchor the generic __post_init__ path at this entry.
+            raise SpecError(f"{path}.compound", exc.message) from None
 
 
 @dataclass
@@ -354,7 +527,9 @@ class CampaignSpec:
 
     scenarios: ScenarioSuiteSpec = field(default_factory=ScenarioSuiteSpec)
     agent: AgentSpec = field(default_factory=AgentSpec)
-    injectors: dict[str, list[FaultModel]] = field(
+    #: Injector table: each entry is either a literal fault list or a
+    #: :class:`CompoundInjectorSpec` generator that expands into many.
+    injectors: dict[str, list[FaultModel] | CompoundInjectorSpec] = field(
         default_factory=lambda: {"none": []}
     )
     builder: SimulationBuilder | None = None
@@ -371,6 +546,38 @@ class CampaignSpec:
         """The simulation builder (spec's own, or the default)."""
         return self.builder if self.builder is not None else SimulationBuilder()
 
+    def expanded_injectors(self) -> dict[str, list[FaultModel]]:
+        """The concrete injector grid, compound entries expanded.
+
+        Literal entries pass through under their own names; each
+        :class:`CompoundInjectorSpec` entry contributes one injector per
+        combination, named ``<entry>:<fault>+<fault>``.  Name collisions
+        (two combinations whose fault names coincide, or an expanded
+        name matching a literal entry) are disambiguated with a ``#n``
+        suffix in expansion order, so the grid size always equals the
+        declared combination count.  This is the *single* expansion
+        point — ``Campaign.from_spec``, ``Study.from_spec`` and the CLI
+        all call it, so every consumer sees the identical grid in the
+        identical order (checkpoint identity depends on that ordering).
+        """
+        out: dict[str, list[FaultModel]] = {}
+
+        def place(name: str, faults: list[FaultModel]) -> None:
+            if name in out:
+                n = 2
+                while f"{name}#{n}" in out:
+                    n += 1
+                name = f"{name}#{n}"
+            out[name] = faults
+
+        for entry_name, entry in self.injectors.items():
+            if isinstance(entry, CompoundInjectorSpec):
+                for name, faults in entry.expand(entry_name):
+                    place(name, faults)
+            else:
+                place(entry_name, list(entry))
+        return out
+
     def to_dict(self) -> dict:
         """The JSON form — stable under ``from_dict(to_dict())``."""
         return {
@@ -379,8 +586,12 @@ class CampaignSpec:
             "scenarios": self.scenarios.to_dict(),
             "agent": self.agent.to_dict(),
             "injectors": {
-                name: [fault.to_config() for fault in faults]
-                for name, faults in self.injectors.items()
+                name: (
+                    entry.to_dict()
+                    if isinstance(entry, CompoundInjectorSpec)
+                    else [fault.to_config() for fault in entry]
+                )
+                for name, entry in self.injectors.items()
             },
             "builder": self.builder.to_config() if self.builder is not None else None,
             "execution": self.execution.to_dict(),
@@ -427,13 +638,19 @@ class CampaignSpec:
             raise SpecError(
                 "spec.injectors", "needs at least one injector (use {'none': []})"
             )
-        injectors: dict[str, list[FaultModel]] = {}
+        injectors: dict[str, list[FaultModel] | CompoundInjectorSpec] = {}
         for inj_name, fault_configs in injectors_data.items():
+            entry_path = f"spec.injectors[{inj_name!r}]"
+            if isinstance(fault_configs, dict):
+                injectors[inj_name] = CompoundInjectorSpec.from_dict(
+                    fault_configs, entry_path
+                )
+                continue
             if not isinstance(fault_configs, list):
                 raise SpecError(
-                    f"spec.injectors[{inj_name!r}]",
-                    f"expected an array of fault configs, "
-                    f"got {type(fault_configs).__name__}",
+                    entry_path,
+                    f"expected an array of fault configs or a compound "
+                    f"object, got {type(fault_configs).__name__}",
                 )
             faults = []
             for i, config in enumerate(fault_configs):
@@ -441,9 +658,7 @@ class CampaignSpec:
                     faults.append(FaultModel.from_config(config))
                 except (KeyError, TypeError, ValueError) as exc:
                     message = exc.args[0] if exc.args else str(exc)
-                    raise SpecError(
-                        f"spec.injectors[{inj_name!r}][{i}]", str(message)
-                    ) from None
+                    raise SpecError(f"{entry_path}[{i}]", str(message)) from None
             injectors[inj_name] = faults
         builder_data = data.get("builder")
         if builder_data is not None:
