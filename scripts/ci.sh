@@ -33,7 +33,8 @@ echo "== smoke: compound-fault campaign + streaming report =="
 # pyarrow is installed — degrades with a warning when not), and the
 # streaming `avfi report` computes interaction effects from the file.
 COMPOUND_DIR="$(mktemp -d)"
-trap 'rm -rf "$COMPOUND_DIR"' EXIT
+CHAOS_DIR="$(mktemp -d)"
+trap 'rm -rf "$COMPOUND_DIR" "$CHAOS_DIR"' EXIT
 python -m repro run examples/specs/compound.json --workers 1 \
     --checkpoint "$COMPOUND_DIR/results.jsonl" \
     --parquet "$COMPOUND_DIR/results.parquet"
@@ -65,6 +66,19 @@ echo "== smoke: distributed queue campaign (2 workers, forced lease expiry) =="
 # lease expires and requeues.  Exits non-zero on any divergence from
 # the serial reference.
 python examples/distributed_queue_campaign.py --workers 2 --runs 2
+
+echo "== smoke: self-healing chaos campaign (quarantine + byte-identity) =="
+# The harness under its own faults: a queue campaign with one always-
+# crashing and one always-hanging episode, every broker interaction
+# misbehaving through a seeded ChaosBroker.  Must exit 0 with exactly
+# the two poison rows quarantined and the survivors byte-identical to a
+# fault-free serial run; the streaming report over the broker's raw
+# checkpoint must render the quarantine list.
+python examples/chaos_campaign.py --workers 2 --queue-dir "$CHAOS_DIR/broker"
+python -m repro report "$CHAOS_DIR/broker/results.jsonl" | tee "$CHAOS_DIR/report.txt"
+grep -q "quarantined episodes" "$CHAOS_DIR/report.txt"
+grep -q "chaos-crash" "$CHAOS_DIR/report.txt"
+grep -q "chaos-hang" "$CHAOS_DIR/report.txt"
 
 if [[ "${1:-}" == "--slow" ]]; then
     echo "== slow tier: benchmarks (incl. sensor pipeline gate) =="

@@ -32,6 +32,18 @@ import json
 import sys
 
 
+def _fail(command: str, message) -> None:
+    """Report a usage-level error (missing file, bad path) the way
+    argparse does: one readable line on stderr, exit status 2.
+
+    Distinct from mid-run failures (exceptions, exit 1): status 2 means
+    "the invocation was wrong", which scripts and CI wrappers can
+    branch on without parsing the message.
+    """
+    print(f"avfi {command}: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _int_at_least(minimum: int):
     """argparse type factory: a bounded integer rejected with a readable
     message (``--workers 0`` used to reach the executor and die with an
@@ -219,12 +231,17 @@ def _require_queue_for_coordinate_only(parser_error, workers, queue_dir) -> None
 
 
 def cmd_run(args) -> None:
+    from pathlib import Path
+
     from .core.spec import SpecError, load_spec
 
+    if not Path(args.spec).exists():
+        _fail("run", f"no such spec file: {args.spec}")
     try:
         spec = load_spec(args.spec)
     except SpecError as exc:
         raise SystemExit(f"avfi run: {exc}")
+    fault_tolerance = _fault_tolerance_from_args(args, spec)
     workers = args.workers if args.workers is not None else spec.execution.workers
     queue_dir = args.queue_dir or spec.execution.queue_dir
     if workers == 0 and not queue_dir:
@@ -242,12 +259,39 @@ def cmd_run(args) -> None:
             lease_s=args.lease,
             checkpoint_path=args.checkpoint,
             parquet_path=args.parquet,
+            fault_tolerance=fault_tolerance,
         )
     except (SpecError, ValueError) as exc:
         # Spec-derived construction errors (queue backend without a
         # queue dir, empty generated suite…) are user errors, not bugs —
         # report them like argparse would, no traceback.
         raise SystemExit(f"avfi run: {exc}")
+
+
+def _fault_tolerance_from_args(args, spec):
+    """Merge the ``avfi run`` retry flags over the spec's policy.
+
+    Returns ``None`` when no flag was given, so the spec's own
+    ``execution.fault_tolerance`` (or the abort-on-first-failure
+    default) stays in force.
+    """
+    overrides = {
+        key: value
+        for key, value in (
+            ("max_attempts", args.max_attempts),
+            ("timeout_s", args.episode_timeout),
+            ("failure_budget", args.failure_budget),
+        )
+        if value is not None
+    }
+    if not overrides:
+        return None
+    import dataclasses
+
+    from .core.outcomes import FaultTolerancePolicy
+
+    base = spec.execution.fault_tolerance or FaultTolerancePolicy()
+    return dataclasses.replace(base, **overrides)
 
 
 def cmd_spec_emit(args) -> None:
@@ -296,20 +340,29 @@ def cmd_report(args) -> None:
         interaction_table,
     )
     from .core.metrics import MetricsAccumulator
+    from .core.outcomes import EpisodeFailure
+    from .core.reporting import quarantine_table
     from .core.sink import ParquetUnavailable, iter_records
 
     path = Path(args.checkpoint)
     if not path.exists():
-        raise SystemExit(f"avfi report: no such results file: {path}")
+        _fail("report", f"no such results file: {path}")
     fmt = "parquet" if args.parquet else "auto"
     # One streaming pass: records fold into per-injector accumulators as
     # they come off disk, so a million-episode file never loads at once.
+    # Failure rows count toward the accumulators' failure_counts and
+    # collect for the quarantine table (they are few by construction —
+    # each is a grid cell that burned its whole retry budget).
     groups: dict[str, MetricsAccumulator] = {}
     n_records = 0
+    failures: list[EpisodeFailure] = []
     try:
         for record in iter_records(path, fmt=fmt):
             groups.setdefault(record.injector, MetricsAccumulator()).add(record)
-            n_records += 1
+            if isinstance(record, EpisodeFailure):
+                failures.append(record)
+            else:
+                n_records += 1
     except ParquetUnavailable as exc:
         raise SystemExit(f"avfi report: {exc}")
     except ValueError as exc:
@@ -318,12 +371,16 @@ def cmd_report(args) -> None:
         raise SystemExit(f"avfi report: no records in {path}")
     metrics = {name: acc.result() for name, acc in groups.items()}
 
-    print(f"{n_records} record(s), {len(metrics)} injector(s) from {path}")
+    print(
+        f"{n_records} record(s), {len(failures)} failure(s), "
+        f"{len(metrics)} injector(s) from {path}"
+    )
     print()
     rows = [
         [
             name,
             m.n_runs,
+            m.n_failures or None,
             m.msr,
             m.vpk,
             m.apk,
@@ -334,7 +391,8 @@ def cmd_report(args) -> None:
     ]
     print(
         format_table(
-            ["injector", "runs", "MSR_%", "VPK", "APK", "TTV_s", "faults"], rows
+            ["injector", "runs", "lost", "MSR_%", "VPK", "APK", "TTV_s", "faults"],
+            rows,
         )
     )
 
@@ -365,6 +423,10 @@ def cmd_report(args) -> None:
             title="compound-fault interaction effects (vs worst single-fault marginal)",
         )
     )
+
+    if failures:
+        print()
+        print(quarantine_table(failures))
 
 
 def cmd_demo(args) -> None:
@@ -508,6 +570,32 @@ def build_parser() -> argparse.ArgumentParser:
         "the JSONL checkpoint (needs the optional pyarrow dependency; "
         "degrades to JSONL-only with a warning; overrides the spec's "
         "execution.parquet)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="retry each episode up to this many times before giving up "
+        "(overrides the spec's fault_tolerance.max_attempts; default 1 = "
+        "no retries)",
+    )
+    p.add_argument(
+        "--episode-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-episode wall-clock budget; a hung episode is killed and "
+        "counts as a failed attempt (overrides "
+        "fault_tolerance.timeout_s; default: no timeout)",
+    )
+    p.add_argument(
+        "--failure-budget",
+        type=_non_negative_int,
+        default=None,
+        help="quarantine up to this many persistently failing episodes and "
+        "keep going; one more aborts the campaign (overrides "
+        "fault_tolerance.failure_budget; default 0 = abort on first "
+        "persistent failure)",
     )
     p.set_defaults(func=cmd_run)
 

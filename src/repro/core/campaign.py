@@ -306,9 +306,17 @@ def run_episode(
 
 @dataclass
 class CampaignResult:
-    """All run records of a campaign, with grouping helpers."""
+    """All run records of a campaign, with grouping helpers.
+
+    ``failures`` is the campaign's quarantine list: episodes the
+    executors gave up on within the fault-tolerance budget
+    (:class:`~repro.core.outcomes.EpisodeFailure`, grid order).  They are
+    never mixed into ``records`` — a quarantined episode is missing data,
+    not a mission result.
+    """
 
     records: list[RunRecord] = field(default_factory=list)
+    failures: list = field(default_factory=list)
 
     def by_injector(self) -> dict[str, list[RunRecord]]:
         """Records grouped by injector name, insertion-ordered."""
@@ -325,17 +333,32 @@ class CampaignResult:
         """Records of one injector."""
         return [r for r in self.records if r.injector == injector]
 
+    def quarantined(self) -> list[tuple[str, str, int]]:
+        """The quarantine list as ``(injector, scenario, seed)`` triples."""
+        return [(f.injector, f.scenario, f.seed) for f in self.failures]
+
     def save(self, path: str | Path) -> None:
-        """Write records as JSON."""
+        """Write records (and quarantine rows, if any) as JSON."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps([r.to_dict() for r in self.records], indent=1))
+        rows = [r.to_dict() for r in self.records]
+        rows += [f.to_dict() for f in self.failures]
+        path.write_text(json.dumps(rows, indent=1))
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignResult":
-        """Read records written by :meth:`save`."""
+        """Read records written by :meth:`save` (failure rows — the ones
+        carrying an ``outcome`` key — rebuild into the quarantine list)."""
+        from .outcomes import EpisodeFailure  # deferred: tiny leaf module
+
         rows = json.loads(Path(path).read_text())
-        return cls([RunRecord(**row) for row in rows])
+        records, failures = [], []
+        for row in rows:
+            if isinstance(row, dict) and "outcome" in row:
+                failures.append(EpisodeFailure.from_dict(row))
+            else:
+                records.append(RunRecord(**row))
+        return cls(records, failures=failures)
 
 
 class Campaign:
@@ -382,6 +405,7 @@ class Campaign:
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         parquet_path: str | Path | None = None,
+        fault_tolerance=None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
@@ -413,6 +437,10 @@ class Campaign:
         #: checkpoint (see :class:`~repro.core.sink.ParquetSink`);
         #: degrades to JSONL-only when pyarrow is absent.
         self.parquet_path = parquet_path
+        #: :class:`~repro.core.outcomes.FaultTolerancePolicy` every
+        #: executor honours (``None`` = defaults: one attempt, no
+        #: timeout, abort on the first failure — historical behaviour).
+        self.fault_tolerance = fault_tolerance
         #: The :class:`~repro.core.spec.CampaignSpec` this campaign was
         #: built from (set by :meth:`from_spec`); published alongside the
         #: queue broker's context so workers can see the full campaign
@@ -429,6 +457,7 @@ class Campaign:
         lease_s: float | None = None,
         checkpoint_path: str | Path | None = None,
         parquet_path: str | Path | None = None,
+        fault_tolerance=None,
         verbose: bool = False,
     ) -> "Campaign":
         """Build a campaign from a :class:`~repro.core.spec.CampaignSpec`.
@@ -477,6 +506,11 @@ class Campaign:
             parquet_path=(
                 parquet_path if parquet_path is not None else execution.parquet
             ),
+            fault_tolerance=(
+                fault_tolerance
+                if fault_tolerance is not None
+                else execution.fault_tolerance
+            ),
         )
         campaign.spec = spec
         return campaign
@@ -504,6 +538,7 @@ class Campaign:
             lease_s=self.lease_s,
             checkpoint_path=self.checkpoint_path,
             parquet_path=self.parquet_path,
+            policy=self.fault_tolerance,
             spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="campaign",

@@ -25,7 +25,8 @@ from ..sim.scenario import Scenario
 from .campaign import RunRecord
 from .faults.base import FaultModel
 from .metrics import ResilienceMetrics, metrics_by_injector
-from .runner import ParallelCampaignRunner, load_checkpoint_records
+from .outcomes import FaultTolerancePolicy
+from .runner import ParallelCampaignRunner, load_checkpoint_rows
 
 __all__ = ["sweep", "Study", "summary_frame"]
 
@@ -83,6 +84,10 @@ class Study:
     builder: SimulationBuilder = field(default_factory=SimulationBuilder)
     base_seed: int = 0
     verbose: bool = False
+    #: Retry/timeout/quarantine policy forwarded to the runner
+    #: (:class:`~repro.core.outcomes.FaultTolerancePolicy`); ``None``
+    #: keeps the defaults (abort on first failure).
+    fault_tolerance: FaultTolerancePolicy | None = None
     #: The CampaignSpec this study was built from (:meth:`from_spec`);
     #: forwarded to queue brokers as their archived ``spec.json``.
     spec: object | None = None
@@ -125,6 +130,7 @@ class Study:
             builder=spec.build_builder(),
             base_seed=execution.base_seed,
             verbose=verbose,
+            fault_tolerance=execution.fault_tolerance,
             spec=spec,
         )
 
@@ -135,12 +141,14 @@ class Study:
             raise ValueError("study needs at least one injector")
         if self.checkpoint_path is not None:
             self.checkpoint_path = Path(self.checkpoint_path)
-        self.records: list[RunRecord] = load_checkpoint_records(self.checkpoint_path)
-        if self.records:
+        self.records, self.failures = load_checkpoint_rows(self.checkpoint_path)
+        if self.records or self.failures:
             # Keep only rows that belong to this study's episode grid;
             # rows from another suite (or pre-fingerprint rows) would
             # otherwise pollute metrics() and duplicate after re-runs.
-            self.records = self._runner().grid_records()
+            runner = self._runner()
+            self.records = runner.grid_records()
+            self.failures = runner.grid_failures()
 
     def _runner(
         self,
@@ -160,10 +168,14 @@ class Study:
             queue_dir=queue_dir,
             lease_s=lease_s,
             checkpoint_path=self.checkpoint_path,
-            # self.records already holds the checkpoint contents (loaded
-            # once in __post_init__) plus anything run since; handing it
-            # over avoids re-parsing the JSONL on every pending()/run().
+            # self.records/failures already hold the checkpoint contents
+            # (loaded once in __post_init__) plus anything run since;
+            # handing them over avoids re-parsing the JSONL on every
+            # pending()/run() — and keeps quarantined episodes counted
+            # as done rather than re-running them each resume.
             resume_records=self.records,
+            resume_failures=self.failures,
+            policy=self.fault_tolerance,
             spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="study",
@@ -217,11 +229,13 @@ class Study:
             # Keep whatever completed even when an episode (or the pool)
             # raised, so a retry only executes the remainder.
             self.records = runner.grid_records()
+            self.failures = runner.grid_failures()
         return list(self.records)
 
     def metrics(self) -> dict[str, ResilienceMetrics]:
-        """Per-injector metrics over all completed records."""
-        return metrics_by_injector(self.records)
+        """Per-injector metrics over all completed records (quarantined
+        episodes surface as per-injector failure counts, never as data)."""
+        return metrics_by_injector(list(self.records) + list(self.failures))
 
 
 def summary_frame(records: Sequence[RunRecord]) -> list[dict]:

@@ -43,6 +43,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .campaign import RunRecord
+from .outcomes import EpisodeFailure
 
 __all__ = [
     "ResilienceMetrics",
@@ -122,6 +123,17 @@ class ResilienceMetrics:
     #: are what :func:`~repro.core.analysis.interaction_effects` pairs
     #: against their single-fault marginals.
     fault_names: tuple[str, ...] = ()
+    #: Episodes that never produced data, counted by outcome
+    #: (``"failed"``/``"timed_out"``/``"quarantined"``).  Failures are
+    #: *never* folded into MSR/VPK/APK — a crashed harness episode is
+    #: not a failed mission — but they must stay visible, so reports can
+    #: show "48 runs, 2 quarantined" instead of silently shrinking n.
+    failure_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_failures(self) -> int:
+        """Total episodes lost to harness failures (all outcomes)."""
+        return sum(self.failure_counts.values())
 
     @property
     def ttv_median_s(self) -> float:
@@ -164,9 +176,19 @@ class MetricsAccumulator:
         self.success_flags: list[bool] = []
         self.violations_by_type: dict[str, int] = {}
         self.fault_names: tuple[str, ...] = ()
+        self.failure_counts: dict[str, int] = {}
 
     def add(self, record: RunRecord) -> None:
-        """Fold one completed run into the aggregates."""
+        """Fold one completed run into the aggregates.
+
+        :class:`~repro.core.outcomes.EpisodeFailure` rows (as streamed
+        by ``iter_records`` from a checkpoint that saw crashes or
+        quarantines) are dispatched to :meth:`add_failure` — counted,
+        never folded into the mission metrics.
+        """
+        if isinstance(record, EpisodeFailure):
+            self.add_failure(record)
+            return
         self.n_runs += 1
         self.n_success += bool(record.success)
         self.total_km += record.distance_km
@@ -186,6 +208,12 @@ class MetricsAccumulator:
             self.fault_names = tuple(
                 f.get("name", "?") for f in record.faults
             )
+
+    def add_failure(self, failure: EpisodeFailure) -> None:
+        """Count one harness failure by outcome (no metric impact)."""
+        self.failure_counts[failure.outcome] = (
+            self.failure_counts.get(failure.outcome, 0) + 1
+        )
 
     def result(self) -> ResilienceMetrics:
         """The aggregated metrics (empty-slice convention applies)."""
@@ -213,6 +241,7 @@ class MetricsAccumulator:
             total_accidents=self.total_accidents,
             violations_by_type=dict(self.violations_by_type),
             fault_names=self.fault_names,
+            failure_counts=dict(self.failure_counts),
         )
 
 
@@ -238,7 +267,9 @@ def metrics_by_injector(records: Iterable[RunRecord]) -> dict[str, ResilienceMet
     Single-pass and streaming-safe: grouping keeps one
     :class:`MetricsAccumulator` per injector (first-seen order), not the
     records themselves, so this is the right entry point for
-    arbitrarily large checkpoint iterators.
+    arbitrarily large checkpoint iterators.  Mixed iterables are fine:
+    :class:`~repro.core.outcomes.EpisodeFailure` rows group under their
+    injector and surface as ``failure_counts``, never as runs.
     """
     groups: dict[str, MetricsAccumulator] = {}
     for record in records:

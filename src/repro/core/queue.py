@@ -38,8 +38,9 @@ implement the same :class:`Broker` protocol later:
       claimed/NNNNN_x.task   # tasks currently leased to a worker
       leases/NNNNN_x.json    # the lease: worker id + heartbeat timestamp
       failed/NNNNN_x.task(.error.json)  # tasks whose execution raised
+      quarantined/NNNNN_x.task(.error.json)  # poison tasks given up within budget
       workers/<worker>.json  # per-worker liveness heartbeats (observability)
-      results.jsonl     # THE checkpoint: completed records, append-only
+      results.jsonl     # THE checkpoint: completed records + quarantine rows
 
 Exactly-once is enforced at the *results* layer, not the queue layer: a
 lease can expire after its worker actually finished (slow NFS, paused
@@ -69,11 +70,15 @@ from pathlib import Path
 from typing import Iterator, Protocol, Sequence
 
 from .campaign import RunRecord
+from .outcomes import EpisodeFailure, EpisodeOutcome, reap_process
 from .runner import (
     CampaignContext,
     EpisodeTask,
+    _FailureBudget,
     _init_worker,
     append_jsonl_line,
+    attempt_task,
+    context_policy,
     record_identity,
     repair_jsonl_tail,
 )
@@ -128,16 +133,31 @@ class Broker(Protocol):
         """Retire a finished claim; False if the lease had already expired."""
         ...
 
-    def fail(self, claim: Claim, error: BaseException) -> None:
-        """Park a claim whose execution raised, with the error attached."""
+    def fail(
+        self,
+        claim: Claim,
+        error: BaseException | None = None,
+        failure: EpisodeFailure | None = None,
+    ) -> None:
+        """Park a claim whose execution failed.  ``failure`` carries the
+        structured episode outcome (attempts already exhausted
+        worker-side); a bare ``error`` is an infrastructure fault."""
         ...
 
     def requeue_expired(self) -> list[str]:
         """Return expired claims to the pending queue; list what moved."""
         ...
 
+    def quarantine(self, name: str) -> None:
+        """Retire a parked failed task for good (coordinator decision)."""
+        ...
+
     def append_result(self, record: RunRecord) -> None:
         """Durably append one finished record to the shared checkpoint."""
+        ...
+
+    def append_failure(self, failure: EpisodeFailure) -> None:
+        """Durably append one quarantine row to the shared checkpoint."""
         ...
 
     def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
@@ -173,6 +193,7 @@ class FilesystemBroker:
         self.claimed_dir = self.root / "claimed"
         self.leases_dir = self.root / "leases"
         self.failed_dir = self.root / "failed"
+        self.quarantined_dir = self.root / "quarantined"
         self.workers_dir = self.root / "workers"
         self.results_path = self.root / "results.jsonl"
         self.context_path = self.root / "context.pkl"
@@ -185,7 +206,7 @@ class FilesystemBroker:
 
     def ensure_layout(self) -> None:
         for d in (self.tasks_dir, self.claimed_dir, self.leases_dir,
-                  self.failed_dir, self.workers_dir):
+                  self.failed_dir, self.quarantined_dir, self.workers_dir):
             d.mkdir(parents=True, exist_ok=True)
 
     @staticmethod
@@ -259,7 +280,7 @@ class FilesystemBroker:
                 }
             ).encode(),
         )
-        self.recover_failed()
+        self.requeue_failed()
         wanted = {self._task_filename(task): task for task in tasks}
         existing = set(self._list(self.tasks_dir))
         claimed = set(self._list(self.claimed_dir))
@@ -282,8 +303,13 @@ class FilesystemBroker:
         except (FileNotFoundError, json.JSONDecodeError):
             return None
 
-    def recover_failed(self) -> list[str]:
-        """Move failed tasks back to pending (retry after a fix)."""
+    def requeue_failed(self) -> list[str]:
+        """Move failed tasks back to pending (retry after a fix).
+
+        The failed→pending round-trip preserves the task payload byte
+        for byte (it is a rename) and clears the parked error report, so
+        a retried task starts with a clean slate.
+        """
         recovered = []
         for name in self._list(self.failed_dir):
             try:
@@ -293,6 +319,26 @@ class FilesystemBroker:
             (self.failed_dir / f"{name}.error.json").unlink(missing_ok=True)
             recovered.append(name)
         return recovered
+
+    # Backwards-compatible alias (pre-quarantine name).
+    recover_failed = requeue_failed
+
+    def quarantine(self, name: str) -> None:
+        """Retire a parked failed task for good: the coordinator decided
+        (within the campaign's failure budget) to give this episode up,
+        so a later re-publish must NOT requeue it.  The task pickle and
+        its error report move to ``quarantined/`` as the post-mortem
+        artifact."""
+        self.ensure_layout()
+        try:
+            os.rename(self.failed_dir / name, self.quarantined_dir / name)
+        except FileNotFoundError:
+            pass  # already quarantined (or requeued) by someone else
+        error_name = f"{name}.error.json"
+        try:
+            os.rename(self.failed_dir / error_name, self.quarantined_dir / error_name)
+        except FileNotFoundError:
+            pass
 
     def failures(self) -> list[dict]:
         out = []
@@ -315,6 +361,7 @@ class FilesystemBroker:
             "pending": len(self._list(self.tasks_dir)),
             "claimed": len(self._list(self.claimed_dir)),
             "failed": len(self._list(self.failed_dir)),
+            "quarantined": len(self._list(self.quarantined_dir)),
             "results": len(self.result_identities()),
         }
 
@@ -390,21 +437,40 @@ class FilesystemBroker:
             # were (slowly) finishing; the rerun will dedupe by identity.
             return False
 
-    def fail(self, claim: Claim, error: BaseException) -> None:
+    def fail(
+        self,
+        claim: Claim,
+        error: BaseException | None = None,
+        failure: EpisodeFailure | None = None,
+    ) -> None:
+        """Park a failed claim with its error report.
+
+        With ``failure`` (the worker already exhausted the retry policy)
+        the report carries the structured outcome dict — the coordinator
+        reads it back to decide quarantine-vs-abort.  A bare ``error``
+        marks an infrastructure fault (context unloadable, broker I/O),
+        which always aborts the campaign.
+        """
         self._lease_path(claim.name).unlink(missing_ok=True)
         try:
             os.rename(self.claimed_dir / claim.name, self.failed_dir / claim.name)
         except FileNotFoundError:
             return  # requeued from under us; let the retry speak for itself
+        if error is None and failure is not None:
+            error = failure.exception
+        tb_text = failure.traceback_text if failure is not None else ""
         _write_atomic(
             self.failed_dir / f"{claim.name}.error.json",
             json.dumps(
                 {
                     "task": claim.name,
                     "worker": claim.worker_id,
-                    "error": repr(error),
-                    "traceback": traceback.format_exc(),
+                    "error": repr(error) if error is not None else (
+                        failure.error if failure is not None else ""
+                    ),
+                    "traceback": tb_text or traceback.format_exc(),
                     "failed_at": time.time(),
+                    "failure": failure.to_dict() if failure is not None else None,
                 }
             ).encode(),
         )
@@ -479,6 +545,13 @@ class FilesystemBroker:
     def append_result(self, record: RunRecord) -> None:
         append_jsonl_line(self.results_path, record.to_dict())
 
+    def append_failure(self, failure: EpisodeFailure) -> None:
+        """Quarantine rows live in the same checkpoint as records — the
+        ``outcome`` key is the discriminator, and
+        :func:`~repro.core.runner.load_checkpoint_rows` folds both back
+        (so a resumed campaign never re-runs a quarantined episode)."""
+        append_jsonl_line(self.results_path, failure.to_dict())
+
     def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
         """Complete lines past ``offset``; a trailing partial line (an
         append in flight on another machine) stays unread until next poll.
@@ -540,6 +613,10 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
+def _sigterm_to_exit(signum, frame):
+    raise SystemExit(143)
+
+
 def run_worker(
     queue_dir: str | Path,
     worker_id: str | None = None,
@@ -548,34 +625,81 @@ def run_worker(
     idle_timeout: float = 5.0,
     max_tasks: int | None = None,
     verbose: bool = False,
+    broker: "FilesystemBroker | None" = None,
+    chaos: dict | None = None,
 ) -> int:
     """Attach to a broker directory and drain tasks until the queue is idle.
 
     This is what ``avfi worker --queue-dir DIR`` runs.  The loop:
     requeue any expired leases, claim a task, skip it if its identity is
     already in the results (a lease that expired *after* its worker
-    finished), execute it under a heartbeating lease, append the record
-    to the shared checkpoint, release.  An episode that raises parks the
-    task in ``failed/`` (with the traceback) and the worker moves on.
+    finished), execute it under a heartbeating lease — honouring the
+    campaign's :class:`~repro.core.outcomes.FaultTolerancePolicy`
+    (retries with backoff, per-attempt wall-clock sandbox) via
+    :func:`~repro.core.runner.attempt_task` — append the record to the
+    shared checkpoint, release.  An episode whose attempts are exhausted
+    parks the task in ``failed/`` with its structured
+    :class:`~repro.core.outcomes.EpisodeFailure`; the *coordinator*
+    decides quarantine-vs-abort (workers cannot see each other's
+    failures, so the campaign-level budget cannot live here).
+
+    ``broker`` substitutes a pre-built broker (chaos tests wrap the
+    filesystem one); ``chaos`` is a picklable kwargs dict for
+    :class:`~repro.core.chaos.ChaosBroker`, applied to this worker's own
+    broker — the form local drain processes can receive across ``fork``.
 
     Exits once ``tasks/`` and ``claimed/`` have stayed empty for
     ``idle_timeout`` seconds — i.e. nothing is pending and no live lease
     could still expire back into the queue.  Returns the number of
     episodes this worker completed.
     """
-    from .runner import execute_task  # deferred: keep import surface obvious
-
     worker_id = worker_id or default_worker_id()
-    broker = FilesystemBroker(queue_dir, lease_s=lease_s)
+    if broker is None:
+        broker = FilesystemBroker(queue_dir, lease_s=lease_s)
+    if chaos:
+        from .chaos import ChaosBroker  # deferred: chaos imports this module
+
+        broker = ChaosBroker(broker, **chaos)
+    # QueueExecutor shuts local drain workers down with SIGTERM; turn it
+    # into a normal SystemExit so ``finally`` blocks run — in particular
+    # attempt_task's sandbox reap, which otherwise orphans a hung episode
+    # child to sleep out its bounded hang.  Only the main thread may set
+    # signal handlers; inside one (embedded/test use) keep the default.
+    import signal
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    except ValueError:
+        pass
+    try:
+        return _drain(
+            broker, worker_id, lease_s, poll_s, idle_timeout, max_tasks, verbose
+        )
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+
+
+def _drain(
+    broker,
+    worker_id: str,
+    lease_s: float,
+    poll_s: float,
+    idle_timeout: float,
+    max_tasks: int | None,
+    verbose: bool,
+) -> int:
     context = broker.load_context(timeout_s=idle_timeout)
     if context is None:
         if verbose:
-            print(f"[worker {worker_id}] no campaign published at {queue_dir}; exiting")
+            print(f"[worker {worker_id}] no campaign published; exiting")
         return 0
     broker.ensure_layout()
     broker.repair_results()
     # Warm this worker's scene cache exactly like a pool worker would.
     _init_worker(context)
+    policy = context_policy(context)
     context_sha = (broker.manifest() or {}).get("context_sha")
     done = 0
     idle_since: float | None = None
@@ -623,6 +747,7 @@ def run_worker(
             if fresh_context is not None:
                 context = fresh_context
                 _init_worker(context)
+                policy = context_policy(context)
             context_sha = current_sha
             if verbose:
                 print(f"[worker {worker_id}] campaign re-published; context reloaded")
@@ -635,12 +760,25 @@ def run_worker(
             continue
         try:
             with _LeaseKeeper(broker, claim):
-                record = execute_task(context, claim.task)
-        except Exception as exc:  # noqa: BLE001 — park the task, keep draining
-            broker.fail(claim, exc)
+                result = attempt_task(context, claim.task, policy)
+        except Exception as exc:  # noqa: BLE001 — infra error: park, keep draining
+            broker.fail(claim, error=exc)
             if verbose:
                 print(f"[worker {worker_id}] {claim.name} FAILED: {exc!r}")
             continue
+        if isinstance(result, EpisodeFailure):
+            # Attempts exhausted: park the structured failure for the
+            # coordinator's budget decision.  Never appended to results
+            # here — only the coordinator may declare quarantine, and a
+            # budget-exceeded abort must leave the task resumable.
+            broker.fail(claim, failure=result)
+            if verbose:
+                print(
+                    f"[worker {worker_id}] {claim.name} {result.outcome} "
+                    f"after {result.attempts} attempt(s): {result.error}"
+                )
+            continue
+        record = result
         broker.append_result(record)
         broker.release(claim)
         done += 1
@@ -688,6 +826,7 @@ class QueueExecutor:
         poll_s: float = 0.2,
         stall_timeout: float | None = None,
         worker_idle_timeout: float = 5.0,
+        chaos: dict | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0 (got {workers})")
@@ -700,6 +839,9 @@ class QueueExecutor:
         #: wait forever for workers on other machines to attach).
         self.stall_timeout = stall_timeout
         self.worker_idle_timeout = float(worker_idle_timeout)
+        #: ChaosBroker kwargs injected into each local drain worker
+        #: (chaos testing; each worker gets a distinct derived seed).
+        self.chaos = dict(chaos) if chaos else None
         self._spec: dict | None = None
 
     def publish_spec(self, spec: dict) -> None:
@@ -718,6 +860,13 @@ class QueueExecutor:
 
         procs = []
         for i in range(self.workers):
+            chaos = None
+            if self.chaos is not None:
+                # Decorrelate workers: identical chaos schedules on every
+                # worker would synchronise their misbehaviour instead of
+                # exercising races.
+                chaos = dict(self.chaos)
+                chaos["seed"] = int(chaos.get("seed", 0)) + i
             proc = multiprocessing.Process(
                 target=run_worker,
                 kwargs=dict(
@@ -726,8 +875,13 @@ class QueueExecutor:
                     lease_s=self.lease_s,
                     poll_s=max(self.poll_s / 2.0, 0.05),
                     idle_timeout=self.worker_idle_timeout,
+                    chaos=chaos,
                 ),
-                daemon=True,
+                # Not daemonic: a policy with timeout_s forks sandbox
+                # children per attempt, and daemonic processes may not
+                # have children.  Shutdown is explicit (terminate→kill
+                # escalation in run()'s finally) instead of implicit.
+                daemon=False,
             )
             proc.start()
             procs.append(proc)
@@ -735,19 +889,27 @@ class QueueExecutor:
 
     def run(
         self, context: CampaignContext, tasks: Sequence[EpisodeTask]
-    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
-        """Yield ``(task, record)`` as workers complete episodes.
+    ) -> Iterator[tuple[EpisodeTask, RunRecord | EpisodeFailure]]:
+        """Yield ``(task, outcome)`` as workers complete episodes.
 
-        Completed records are yielded even when another task fails or
-        the queue stalls — the runner checkpoints finished work first,
-        then the error propagates, mirroring :class:`ProcessExecutor`'s
-        drain semantics.
+        Workers park terminal episode failures in ``failed/`` with their
+        structured :class:`~repro.core.outcomes.EpisodeFailure`; this
+        loop converts them within the campaign's failure budget — append
+        the quarantine row to the shared checkpoint, retire the task to
+        ``quarantined/``, yield it — and aborts once the budget is
+        exceeded (or on any unstructured infrastructure failure), leaving
+        the task parked so a re-publish retries it.  Completed records
+        are yielded even when another task fails or the queue stalls —
+        the runner checkpoints finished work first, then the error
+        propagates, mirroring :class:`ProcessExecutor`'s drain semantics.
         """
         tasks = list(tasks)
         if not tasks:
             return
         by_identity = {task.identity(): task for task in tasks}
         pending = set(by_identity)
+        policy = context_policy(context)
+        budget = _FailureBudget(policy.failure_budget)
         self.broker.publish(context, tasks, spec=self._spec)
         procs = self._spawn_local_workers()
         offset = 0
@@ -774,14 +936,36 @@ class QueueExecutor:
                 if scan_due:
                     last_scan = now
                     self.broker.requeue_expired()
-                    failures = self.broker.failures()
-                    if failures:
-                        first = failures[0]
-                        raise RuntimeError(
-                            f"queue worker {first.get('worker')} failed on "
-                            f"{first.get('task')}: {first.get('error')}\n"
-                            f"{first.get('traceback', '')}"
-                        )
+                    for report in self.broker.failures():
+                        fdict = report.get("failure")
+                        if fdict is None:
+                            # Unstructured park = infrastructure fault;
+                            # no budget applies. Left parked: re-publish
+                            # retries it after the operator intervenes.
+                            raise RuntimeError(
+                                f"queue worker {report.get('worker')} failed on "
+                                f"{report.get('task')}: {report.get('error')}\n"
+                                f"{report.get('traceback', '')}"
+                            )
+                        failure = EpisodeFailure.from_dict(fdict)
+                        failure.traceback_text = report.get("traceback") or ""
+                        identity = record_identity(failure)
+                        if identity not in pending:
+                            # Stale park (task of a previous publish, or
+                            # a duplicate holder losing a race with a
+                            # completed record): journal it and move on.
+                            self.broker.quarantine(str(report.get("task")))
+                            continue
+                        if not budget.admit(failure):
+                            failure.raise_error()
+                        failure.outcome = EpisodeOutcome.QUARANTINED
+                        self.broker.append_failure(failure)
+                        self.broker.quarantine(str(report.get("task")))
+                        pending.discard(identity)
+                        progressed = True
+                        yield by_identity[identity], failure
+                if not pending:
+                    break
                 if progressed:
                     last_progress = now
                 elif scan_due:
@@ -807,8 +991,22 @@ class QueueExecutor:
                     )
                 time.sleep(self.poll_s)
         finally:
+            # Escalating shutdown: terminate, grace, kill, reap.  A drain
+            # worker wedged in uninterruptible I/O used to be silently
+            # abandoned after join(10) — now it is killed and the PID
+            # reported, so nothing outlives the campaign unannounced.
+            import sys
+
             for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=10.0)
+                how = reap_process(
+                    proc,
+                    grace_s=10.0,
+                    log=lambda msg: print(f"[queue] {msg}", file=sys.stderr, flush=True),
+                )
+                if how in ("killed", "leaked"):
+                    print(
+                        f"[queue] local worker pid={proc.pid} needed {how} "
+                        f"during shutdown",
+                        file=sys.stderr,
+                        flush=True,
+                    )

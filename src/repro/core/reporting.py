@@ -19,6 +19,7 @@ __all__ = [
     "boxplot",
     "figure_header",
     "interaction_table",
+    "quarantine_table",
 ]
 
 
@@ -136,6 +137,38 @@ def interaction_table(interactions: Mapping[str, dict], title: str = "") -> str:
         )
     return format_table(
         ["compound", "components", "dMSR_vs_worst", "dVPK_vs_worst", "min_p"],
+        rows,
+        title=title,
+    )
+
+
+def quarantine_table(failures, title: str = "quarantined episodes") -> str:
+    """Render a campaign's failure list
+    (:class:`~repro.core.outcomes.EpisodeFailure` rows) as a table.
+
+    One row per failed/quarantined episode: its grid identity, the
+    outcome, the error that killed it, how many attempts were spent and
+    the wall time burned.  Returns a placeholder line when the list is
+    empty, so report pipelines can print it unconditionally.
+    """
+    failures = list(failures)
+    if not failures:
+        return "(no quarantined episodes — every grid cell produced a record)"
+    rows = []
+    for f in failures:
+        rows.append(
+            [
+                f.injector,
+                f.scenario,
+                f.seed,
+                f.outcome,
+                f"{f.error_type}: {f.error}" if f.error_type else f.error,
+                f.attempts,
+                f.wall_time_s,
+            ]
+        )
+    return format_table(
+        ["injector", "scenario", "seed", "outcome", "error", "attempts", "wall_s"],
         rows,
         title=title,
     )

@@ -37,7 +37,11 @@ exactly.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import pickle
+import time
+import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,12 +57,20 @@ from .campaign import (
     run_episode,
 )
 from .faults.base import FaultModel
+from .outcomes import (
+    EpisodeFailure,
+    EpisodeOutcome,
+    FaultTolerancePolicy,
+    reap_process,
+)
 
 __all__ = [
     "EpisodeTask",
+    "EpisodeTimeout",
     "CampaignContext",
     "available_cpus",
     "execute_task",
+    "attempt_task",
     "episode_seed",
     "SerialExecutor",
     "ProcessExecutor",
@@ -67,6 +79,7 @@ __all__ = [
     "repair_jsonl_tail",
     "record_identity",
     "load_checkpoint_records",
+    "load_checkpoint_rows",
     "ParallelCampaignRunner",
 ]
 
@@ -195,37 +208,53 @@ def record_identity(record) -> tuple[str, str, int, str]:
     return (record.injector, record.scenario, record.seed, record.config_fingerprint)
 
 
-def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
-    """Parse a JSONL checkpoint into records (empty for missing/None paths).
+def load_checkpoint_rows(
+    path: str | Path | None,
+) -> tuple[list[RunRecord], list[EpisodeFailure]]:
+    """Parse a JSONL checkpoint into ``(records, failures)``.
 
     A hard kill (or full disk) can truncate the final append mid-line;
     that trailing fragment is dropped silently — the episode simply
     re-runs on resume.  A malformed line anywhere *else* means real
-    corruption and raises.  A line that parses as JSON but doesn't build
-    a :class:`~repro.core.campaign.RunRecord` (a row appended by a
+    corruption and raises.  Rows carrying an ``outcome`` key are
+    :class:`~repro.core.outcomes.EpisodeFailure` journal entries
+    (quarantined episodes live beside normal records in the same file).
+    A line that parses as JSON but builds neither (a row appended by a
     different repro version into a shared queue checkpoint) is skipped,
     not fatal — it could never match a grid identity anyway, matching
     :meth:`~repro.core.queue.FilesystemBroker.read_results`.
     """
     if path is None:
-        return []
+        return [], []
     path = Path(path)
     if not path.exists():
-        return []
+        return [], []
     lines = [line for line in path.read_text().splitlines() if line.strip()]
-    records = []
+    records: list[RunRecord] = []
+    failures: list[EpisodeFailure] = []
     for lineno, line in enumerate(lines):
         try:
-            records.append(RunRecord(**json.loads(line)))
+            row = json.loads(line)
         except json.JSONDecodeError:
             if lineno == len(lines) - 1:
                 break  # truncated final write; resume re-runs this episode
             raise ValueError(
                 f"corrupt checkpoint {path}: unparseable JSON on line {lineno + 1}"
             )
+        try:
+            if isinstance(row, dict) and "outcome" in row:
+                failures.append(EpisodeFailure.from_dict(row))
+            else:
+                records.append(RunRecord(**row))
         except TypeError:
             continue  # foreign schema: journal noise, never a grid match
-    return records
+    return records, failures
+
+
+def load_checkpoint_records(path: str | Path | None) -> list[RunRecord]:
+    """The ``ok``-records half of :func:`load_checkpoint_rows` (the
+    historical reader; failure rows are simply not returned)."""
+    return load_checkpoint_rows(path)[0]
 
 
 def available_cpus() -> int:
@@ -299,6 +328,16 @@ class CampaignContext:
     injectors: dict[str, tuple[FaultModel, ...]]
     #: Town configs to pre-build in each worker (deduplicated, grid order).
     warm_configs: tuple = ()
+    #: Fault-tolerance policy every executor honours for this campaign
+    #: (``None`` means :class:`~repro.core.outcomes.FaultTolerancePolicy`
+    #: defaults: one attempt, no timeout, abort on first failure).
+    policy: FaultTolerancePolicy | None = None
+
+
+def context_policy(context: CampaignContext) -> FaultTolerancePolicy:
+    """The context's effective policy (``getattr`` so contexts pickled by
+    older versions, which lack the field entirely, keep working)."""
+    return getattr(context, "policy", None) or FaultTolerancePolicy()
 
 
 def execute_task(context: CampaignContext, task: EpisodeTask) -> RunRecord:
@@ -314,6 +353,149 @@ def execute_task(context: CampaignContext, task: EpisodeTask) -> RunRecord:
         # through keeps them equal by construction.
         config_fingerprint=task.fingerprint or None,
     )
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant execution: attempts, timeouts, sandboxes
+# ----------------------------------------------------------------------
+
+
+class EpisodeTimeout(RuntimeError):
+    """An episode attempt exceeded the policy's wall-clock timeout."""
+
+
+def _sandbox_entry(conn, context: CampaignContext, task: EpisodeTask) -> None:
+    """Sandbox child: run one episode, ship the outcome up the pipe."""
+    try:
+        record = execute_task(context, task)
+    except BaseException as exc:  # noqa: BLE001 - the pipe is the only exit
+        tb_text = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            # An unpicklable exception must still cross the pipe; the
+            # wrapper keeps class name + message, the traceback text
+            # carries the rest.
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(("error", exc, tb_text))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    else:
+        conn.send(("ok", record, ""))
+    finally:
+        conn.close()
+
+
+def _run_sandboxed(
+    context: CampaignContext, task: EpisodeTask, timeout_s: float
+) -> tuple[str, object, str]:
+    """Run one attempt in a disposable child process with a wall-clock cap.
+
+    The child is forked fresh per attempt (sharing the parent's warmed
+    scene cache copy-on-write) so a hung episode can be *killed* — the
+    one thing an in-process timeout cannot do against C-level or
+    ``time.sleep`` hangs — without taking the worker down with it.
+    Returns ``("ok", record, "")``, ``("error", exc, traceback_text)`` or
+    ``("timeout", None, "")``.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_sandbox_entry, args=(child_conn, context, task), daemon=False
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout_s):
+            return ("timeout", None, "")
+        try:
+            return parent_conn.recv()
+        except EOFError:
+            # The child died without reporting (segfault, OOM kill): a
+            # real failure, not a timeout.
+            exc = RuntimeError(
+                f"episode sandbox died without a result (exit code {proc.exitcode})"
+            )
+            return ("error", exc, "")
+    finally:
+        parent_conn.close()
+        reap_process(proc, log=lambda msg: print(f"[sandbox] {msg}", flush=True))
+
+
+def attempt_task(
+    context: CampaignContext,
+    task: EpisodeTask,
+    policy: FaultTolerancePolicy | None = None,
+) -> RunRecord | EpisodeFailure:
+    """Run one episode under the fault-tolerance policy.
+
+    Returns the :class:`~repro.core.campaign.RunRecord` on success or an
+    :class:`~repro.core.outcomes.EpisodeFailure` once every attempt is
+    exhausted — never raises for episode-level errors (infrastructure
+    errors and ``KeyboardInterrupt`` still propagate).  Every attempt
+    replays the task's own seed against freshly-``reset()`` fault state
+    (the harness attach contract), so a successful retry is byte-identical
+    to a first-try success.  With ``timeout_s`` set each attempt runs in
+    a killable sandbox child; otherwise inline.
+    """
+    policy = policy if policy is not None else context_policy(context)
+    wall_s = 0.0
+    failure: EpisodeFailure | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            delay = policy.backoff_for(task.seed, attempt - 1)
+            if delay > 0:
+                time.sleep(delay)
+        start = time.monotonic()
+        if policy.timeout_s is None:
+            try:
+                result = ("ok", execute_task(context, task), "")
+            except Exception as exc:  # episode-level failure, not a crash
+                result = ("error", exc, traceback.format_exc())
+        else:
+            result = _run_sandboxed(context, task, policy.timeout_s)
+        wall_s += time.monotonic() - start
+        status, payload, tb_text = result
+        if status == "ok":
+            return payload
+        if status == "timeout":
+            exc = EpisodeTimeout(
+                f"episode exceeded the {policy.timeout_s:g}s wall-clock timeout"
+            )
+            outcome = EpisodeOutcome.TIMED_OUT
+        else:
+            exc = payload
+            outcome = EpisodeOutcome.FAILED
+        failure = EpisodeFailure.from_exception(
+            task,
+            exc,
+            attempts=attempt,
+            wall_time_s=wall_s,
+            traceback_text=tb_text,
+            outcome=outcome,
+        )
+    assert failure is not None
+    return failure
+
+
+class _FailureBudget:
+    """Campaign-level quarantine budget shared by all executors.
+
+    ``admit`` answers "may this terminal failure be quarantined so the
+    campaign continues?" — ``None`` means unlimited, ``0`` (the default)
+    means the first failure aborts, matching historical behaviour.
+    """
+
+    def __init__(self, budget: int | None):
+        self.budget = budget
+        self.used = 0
+
+    def admit(self, failure: EpisodeFailure) -> bool:
+        if self.budget is not None and self.used >= self.budget:
+            return False
+        self.used += 1
+        return True
 
 
 # ----------------------------------------------------------------------
@@ -337,10 +519,27 @@ def _init_worker(context: CampaignContext) -> None:
         context.builder.renderer_for(config)
 
 
-def _run_task_chunk(tasks: Sequence[EpisodeTask]) -> list[tuple[int, RunRecord]]:
-    """Worker-side entry point: execute a chunk against the process context."""
+def _run_task_chunk(
+    tasks: Sequence[EpisodeTask],
+) -> list[tuple[int, RunRecord | EpisodeFailure]]:
+    """Worker-side entry point: execute a chunk against the process context.
+
+    Failures come back as values, not raises — the coordinator applies
+    the campaign-level budget (workers cannot see each other's failures).
+    The carried exception object is pickle-tested here because the whole
+    chunk result must cross the pool's result pipe.
+    """
     assert _WORKER_CONTEXT is not None, "worker pool not initialised"
-    return [(task.index, execute_task(_WORKER_CONTEXT, task)) for task in tasks]
+    out: list[tuple[int, RunRecord | EpisodeFailure]] = []
+    for task in tasks:
+        result = attempt_task(_WORKER_CONTEXT, task)
+        if isinstance(result, EpisodeFailure) and result.exception is not None:
+            try:
+                pickle.dumps(result.exception)
+            except Exception:
+                result.exception = RuntimeError(f"{result.error_type}: {result.error}")
+        out.append((task.index, result))
+    return out
 
 
 class SerialExecutor:
@@ -354,10 +553,30 @@ class SerialExecutor:
 
     def run(
         self, context: CampaignContext, tasks: Sequence[EpisodeTask]
-    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
-        """Yield ``(task, record)`` as episodes complete (here: grid order)."""
+    ) -> Iterator[tuple[EpisodeTask, RunRecord | EpisodeFailure]]:
+        """Yield ``(task, outcome)`` as episodes complete (here: grid order).
+
+        Terminal failures within the policy's budget are yielded as
+        quarantined :class:`~repro.core.outcomes.EpisodeFailure` rows;
+        one over budget aborts with the original exception (after every
+        earlier episode has been yielded — completed work survives).
+        """
+        policy = context_policy(context)
+        if policy.timeout_s is not None:
+            # Sandbox children fork from this process: warm the scene
+            # cache here once so every attempt inherits built scenes
+            # copy-on-write instead of rebuilding them per child.
+            limit = context.builder.scene_cache.max_entries
+            for config in context.warm_configs[:limit]:
+                context.builder.renderer_for(config)
+        budget = _FailureBudget(policy.failure_budget)
         for task in tasks:
-            yield task, execute_task(context, task)
+            result = attempt_task(context, task, policy)
+            if isinstance(result, EpisodeFailure):
+                if not budget.admit(result):
+                    result.raise_error()
+                result.outcome = EpisodeOutcome.QUARANTINED
+            yield task, result
 
 
 class ProcessExecutor:
@@ -386,37 +605,60 @@ class ProcessExecutor:
 
     def run(
         self, context: CampaignContext, tasks: Sequence[EpisodeTask]
-    ) -> Iterator[tuple[EpisodeTask, RunRecord]]:
-        """Yield ``(task, record)`` as episodes complete (arbitrary order).
+    ) -> Iterator[tuple[EpisodeTask, RunRecord | EpisodeFailure]]:
+        """Yield ``(task, outcome)`` as episodes complete (arbitrary order).
 
-        If a worker chunk raises, the queued (not yet started) chunks are
-        cancelled but every already-finished chunk is still yielded — so
-        the runner checkpoints all completed work — and the first worker
-        exception re-raises after the drain.
+        Workers retry/time-out episodes locally (:func:`attempt_task`)
+        and return terminal failures as values; the campaign-level
+        failure budget is applied *here*, on the coordinator, because
+        workers cannot see each other's failures.  When the budget is
+        exceeded (or a worker chunk raises an infrastructure error) the
+        queued chunks are cancelled but every already-finished episode is
+        still yielded — so the runner checkpoints all completed work —
+        and the abort re-raises after the drain.
         """
         tasks = list(tasks)
         if not tasks:
             return
         by_index = {task.index: task for task in tasks}
+        policy = context_policy(context)
+        budget = _FailureBudget(policy.failure_budget)
         pool = ProcessPoolExecutor(
             max_workers=self.workers, initializer=_init_worker, initargs=(context,)
         )
         try:
             futures = [pool.submit(_run_task_chunk, chunk) for chunk in self._chunks(tasks)]
-            error: Exception | None = None
+            error: BaseException | None = None
+
+            def abort(exc: BaseException) -> None:
+                nonlocal error
+                if error is None:
+                    error = exc
+                    for other in futures:
+                        other.cancel()
+
             for future in as_completed(futures):
                 try:
-                    chunk_records = future.result()
+                    chunk_results = future.result()
                 except CancelledError:
                     continue
                 except Exception as exc:
-                    if error is None:
-                        error = exc
-                        for other in futures:
-                            other.cancel()
+                    abort(exc)
                     continue
-                for index, record in chunk_records:
-                    yield by_index[index], record
+                for index, result in chunk_results:
+                    if isinstance(result, EpisodeFailure):
+                        if error is not None:
+                            # Already aborting: leave the failure
+                            # uncheckpointed so it re-runs on resume.
+                            continue
+                        if not budget.admit(result):
+                            try:
+                                result.raise_error()
+                            except BaseException as exc:
+                                abort(exc)
+                            continue
+                        result.outcome = EpisodeOutcome.QUARANTINED
+                    yield by_index[index], result
             if error is not None:
                 raise error
         finally:
@@ -531,6 +773,8 @@ class ParallelCampaignRunner:
         checkpoint_path: str | Path | None = None,
         parquet_path: str | Path | None = None,
         resume_records: Sequence[RunRecord] | None = None,
+        resume_failures: Sequence[EpisodeFailure] | None = None,
+        policy: FaultTolerancePolicy | None = None,
         spec: dict | None = None,
         verbose: bool = False,
         label: str = "runner",
@@ -585,14 +829,22 @@ class ParallelCampaignRunner:
         # the broker checkpoint.
         if self.checkpoint_path is not None:
             repair_jsonl_tail(self.checkpoint_path)
+        #: Fault-tolerance policy for this campaign (``None`` = defaults:
+        #: one attempt, no timeout, abort on first failure).
+        self.policy = policy
         # Explicit resume_records are authoritative (the caller already
         # loaded or owns them); otherwise read the checkpoint file.
-        self._checkpoint_records: list[RunRecord] = (
-            list(resume_records)
-            if resume_records is not None
-            else load_checkpoint_records(self.checkpoint_path)
-        )
+        if resume_records is not None:
+            self._checkpoint_records: list[RunRecord] = list(resume_records)
+            self._checkpoint_failures: list[EpisodeFailure] = (
+                list(resume_failures) if resume_failures is not None else []
+            )
+        else:
+            self._checkpoint_records, self._checkpoint_failures = load_checkpoint_rows(
+                self.checkpoint_path
+            )
         self._new_records: dict[int, RunRecord] = {}
+        self._new_failures: dict[int, EpisodeFailure] = {}
         self._tasks: list[EpisodeTask] | None = None
 
     # -- planning ------------------------------------------------------
@@ -638,9 +890,17 @@ class ParallelCampaignRunner:
         return record_identity(record)
 
     def completed(self) -> set[tuple[str, str, int, str]]:
-        """Identities already present in the checkpoint (or finished)."""
+        """Identities already present in the checkpoint (or finished).
+
+        Quarantined episodes count as completed: the whole point of
+        quarantine is that resume never re-burns compute on a poison
+        task.  Re-running one means deleting its row (or using a fresh
+        checkpoint).
+        """
         done = {self._record_identity(r) for r in self._checkpoint_records}
         done.update(self._record_identity(r) for r in self._new_records.values())
+        done.update(self._record_identity(f) for f in self._checkpoint_failures)
+        done.update(self._record_identity(f) for f in self._new_failures.values())
         return done
 
     def pending(self) -> list[EpisodeTask]:
@@ -650,10 +910,10 @@ class ParallelCampaignRunner:
 
     # -- checkpointing -------------------------------------------------
 
-    def _append_checkpoint(self, record: RunRecord) -> None:
+    def _append_checkpoint(self, row: RunRecord | EpisodeFailure) -> None:
         if self.checkpoint_path is None or self._executor_owns_checkpoint:
             return
-        append_jsonl_line(self.checkpoint_path, record.to_dict())
+        append_jsonl_line(self.checkpoint_path, row.to_dict())
 
     def _open_parquet_sink(self):
         """Open the streaming parquet sink, seeded with resumed records.
@@ -683,6 +943,7 @@ class ParallelCampaignRunner:
             return None
         sink = ParquetSink(self.parquet_path)
         sink.extend(self.grid_records())
+        sink.extend(self.grid_failures())
         return sink
 
     # -- execution -----------------------------------------------------
@@ -697,6 +958,7 @@ class ParallelCampaignRunner:
             agent_factory=self.agent_factory,
             injectors={name: tuple(faults) for name, faults in self.injectors.items()},
             warm_configs=tuple(warm),
+            policy=self.policy,
         )
 
     def run(self) -> CampaignResult:
@@ -717,7 +979,20 @@ class ParallelCampaignRunner:
             self.executor.publish_spec(self.spec)
         sink = self._open_parquet_sink()
         try:
-            for task, record in self.executor.run(context, pending):
+            for task, result in self.executor.run(context, pending):
+                if isinstance(result, EpisodeFailure):
+                    self._new_failures[task.index] = result
+                    self._append_checkpoint(result)
+                    if sink is not None:
+                        sink.append(result)
+                    if self.verbose:
+                        print(
+                            f"[{self.label}] {result.injector:>12} "
+                            f"{result.scenario:>8} QUAR {result.error_type} "
+                            f"after {result.attempts} attempt(s)"
+                        )
+                    continue
+                record = result
                 self._new_records[task.index] = record
                 self._append_checkpoint(record)
                 if sink is not None:
@@ -734,7 +1009,7 @@ class ParallelCampaignRunner:
         finally:
             if sink is not None:
                 sink.close()
-        return CampaignResult(self.grid_records())
+        return CampaignResult(self.grid_records(), failures=self.grid_failures())
 
     def grid_records(self) -> list[RunRecord]:
         """One record per completed grid task, resumed or fresh, in grid order.
@@ -753,6 +1028,31 @@ class ParallelCampaignRunner:
                 out.append(record)
         return out
 
+    def grid_failures(self) -> list[EpisodeFailure]:
+        """Quarantined episodes of *this* grid, in grid order.
+
+        An identity that also has a real record (quarantined in an old
+        run, then re-run to success after its row was cleared) is not a
+        failure any more and is excluded.
+        """
+        recorded = {self._record_identity(r) for r in self._checkpoint_records}
+        recorded.update(self._record_identity(r) for r in self._new_records.values())
+        by_identity: dict[tuple, EpisodeFailure] = {}
+        for failure in self._checkpoint_failures:
+            by_identity.setdefault(self._record_identity(failure), failure)
+        out = []
+        for task in self.tasks():
+            failure = self._new_failures.get(task.index) or by_identity.get(
+                task.identity()
+            )
+            if failure is not None and task.identity() not in recorded:
+                out.append(failure)
+        return out
+
     def new_records(self) -> list[RunRecord]:
         """Records executed by this runner (not resumed), in grid order."""
         return [self._new_records[i] for i in sorted(self._new_records)]
+
+    def new_failures(self) -> list[EpisodeFailure]:
+        """Failures quarantined by this runner (not resumed), in grid order."""
+        return [self._new_failures[i] for i in sorted(self._new_failures)]

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from .campaign import RunRecord
+from .outcomes import EpisodeFailure, EpisodeOutcome
 
 __all__ = [
     "HAVE_PYARROW",
@@ -85,6 +86,18 @@ _SCALAR_FIELDS = (
     "config_fingerprint",
 )
 _JSON_FIELDS = ("violations", "injection_frames", "faults")
+#: Failure-only columns (null on every normal-record row).  ``outcome``
+#: is the discriminator: ``"ok"`` for records, a failure outcome
+#: otherwise — mirroring the JSONL convention where only failure rows
+#: carry an ``outcome`` key at all.
+_FAILURE_FIELDS = (
+    "outcome",
+    "error_type",
+    "error",
+    "traceback_digest",
+    "attempts",
+    "wall_time_s",
+)
 
 
 def _schema():
@@ -103,22 +116,46 @@ def _schema():
             ("violations", _pa.string()),
             ("injection_frames", _pa.string()),
             ("faults", _pa.string()),
+            ("outcome", _pa.string()),
+            ("error_type", _pa.string()),
+            ("error", _pa.string()),
+            ("traceback_digest", _pa.string()),
+            ("attempts", _pa.int64()),
+            ("wall_time_s", _pa.float64()),
         ]
     )
 
 
-def record_to_row(record: RunRecord) -> dict:
-    """Flatten one record to a parquet row (nested payloads → JSON)."""
+def record_to_row(record: RunRecord | EpisodeFailure) -> dict:
+    """Flatten one record *or failure* to a parquet row.
+
+    Records get nested payloads JSON-encoded, ``outcome="ok"`` and null
+    failure columns; failures get their identity + failure columns and
+    null everything record-specific.
+    """
+    if isinstance(record, EpisodeFailure):
+        row = dict.fromkeys(_SCALAR_FIELDS + _JSON_FIELDS + _FAILURE_FIELDS)
+        row.update(record.to_dict())
+        return row
     row = record.to_dict()
     for field in _JSON_FIELDS:
         row[field] = json.dumps(row[field])
+    for field in _FAILURE_FIELDS:
+        row[field] = None
+    row["outcome"] = EpisodeOutcome.OK
     return row
 
 
-def row_to_record(row: dict) -> RunRecord:
-    """Rebuild a :class:`RunRecord` from a parquet row — the exact
-    inverse of :func:`record_to_row` (dataclass equality holds)."""
-    data = dict(row)
+def row_to_record(row: dict) -> RunRecord | EpisodeFailure:
+    """Rebuild a :class:`RunRecord` or
+    :class:`~repro.core.outcomes.EpisodeFailure` from a parquet row —
+    the exact inverse of :func:`record_to_row` (dataclass equality
+    holds).  Rows from pre-outcome files (no ``outcome`` column) are
+    plain records."""
+    outcome = row.get("outcome")
+    if outcome is not None and outcome != EpisodeOutcome.OK:
+        return EpisodeFailure.from_dict({k: v for k, v in row.items() if v is not None})
+    data = {k: v for k, v in row.items() if k not in _FAILURE_FIELDS}
     for field in _JSON_FIELDS:
         data[field] = json.loads(data[field])
     return RunRecord(**data)
@@ -150,13 +187,13 @@ class ParquetSink:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._writer = _pq.ParquetWriter(str(self.path), _schema())
 
-    def append(self, record: RunRecord) -> None:
-        """Buffer one record; flushes a row group when the batch fills."""
+    def append(self, record: RunRecord | EpisodeFailure) -> None:
+        """Buffer one record or failure; flushes when the batch fills."""
         self._buffer.append(record_to_row(record))
         if len(self._buffer) >= self.batch_size:
             self.flush()
 
-    def extend(self, records: Iterable[RunRecord]) -> None:
+    def extend(self, records: Iterable[RunRecord | EpisodeFailure]) -> None:
         """Append many records (still batch-buffered, never all at once)."""
         for record in records:
             self.append(record)
@@ -167,7 +204,7 @@ class ParquetSink:
             return
         columns = {
             name: [row[name] for row in self._buffer]
-            for name in _SCALAR_FIELDS + _JSON_FIELDS
+            for name in _SCALAR_FIELDS + _JSON_FIELDS + _FAILURE_FIELDS
         }
         self._writer.write_table(_pa.table(columns, schema=_schema()))
         self.rows_written += len(self._buffer)
@@ -206,7 +243,10 @@ def iter_jsonl_records(path: str | Path) -> Iterator[RunRecord]:
     tolerance rules: a torn *final* line is dropped silently (hard-kill
     tail), a malformed interior line raises (real corruption), and a
     line that parses but is not a record schema is skipped (foreign rows
-    in a shared queue checkpoint).  Never holds more than one line.
+    in a shared queue checkpoint).  Failure rows (the ones carrying an
+    ``outcome`` key) stream through as
+    :class:`~repro.core.outcomes.EpisodeFailure` objects, so downstream
+    accumulators can count them.  Never holds more than one line.
     """
     path = Path(path)
     if not path.exists():
@@ -224,15 +264,23 @@ def iter_jsonl_records(path: str | Path) -> Iterator[RunRecord]:
         yield from _parse_jsonl_line(*pending, final=True)
 
 
-def _parse_jsonl_line(lineno: int, line: str, final: bool) -> Iterator[RunRecord]:
+def _parse_jsonl_line(
+    lineno: int, line: str, final: bool
+) -> Iterator[RunRecord | EpisodeFailure]:
     try:
-        yield RunRecord(**json.loads(line))
+        data = json.loads(line)
     except json.JSONDecodeError:
         if final:
             return  # truncated final write; the episode re-runs on resume
         raise ValueError(
             f"corrupt checkpoint: unparseable JSON on line {lineno}"
         ) from None
+    try:
+        if isinstance(data, dict) and "outcome" in data:
+            # Failure rows (and only failure rows) carry an outcome key.
+            yield EpisodeFailure.from_dict(data)
+        else:
+            yield RunRecord(**data)
     except TypeError:
         return  # foreign schema: journal noise, never a grid match
 

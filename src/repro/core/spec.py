@@ -55,6 +55,7 @@ from ..sim.scenario import Scenario, town_config_to_dict
 from ..sim.town import GridTownConfig
 from .campaign import standard_scenarios
 from .faults.base import FaultModel
+from .outcomes import FaultTolerancePolicy
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
@@ -284,6 +285,9 @@ class ExecutionSpec:
     #: Optional parquet sink written beside the JSONL checkpoint
     #: (requires the ``parquet`` extra; degrades to JSONL-only).
     parquet: str | None = None
+    #: Retry/timeout/quarantine policy all executors honour (``None`` =
+    #: defaults: one attempt, no timeout, abort on first failure).
+    fault_tolerance: FaultTolerancePolicy | None = None
 
     _BACKENDS = (None, "serial", "process", "queue")
 
@@ -309,6 +313,11 @@ class ExecutionSpec:
             "lease_s": float(self.lease_s) if self.lease_s is not None else None,
             "checkpoint": str(self.checkpoint) if self.checkpoint is not None else None,
             "parquet": str(self.parquet) if self.parquet is not None else None,
+            "fault_tolerance": (
+                self.fault_tolerance.to_dict()
+                if self.fault_tolerance is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -325,6 +334,7 @@ class ExecutionSpec:
                 "lease_s",
                 "checkpoint",
                 "parquet",
+                "fault_tolerance",
             },
             path,
         )
@@ -354,6 +364,12 @@ class ExecutionSpec:
                 raise SpecError(f"{path}.{key}", f"must be a string, got {value!r}")
             return value
 
+        fault_tolerance = data.get("fault_tolerance")
+        if fault_tolerance is not None:
+            try:
+                fault_tolerance = FaultTolerancePolicy.from_dict(fault_tolerance)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"{path}.fault_tolerance", str(exc))
         return cls(
             base_seed=integer("base_seed", 0),
             workers=integer("workers", None),
@@ -362,6 +378,7 @@ class ExecutionSpec:
             lease_s=number("lease_s"),
             checkpoint=string("checkpoint"),
             parquet=string("parquet"),
+            fault_tolerance=fault_tolerance,
         )
 
 

@@ -687,11 +687,16 @@ class TestSpecCli:
         assert "spec: smoke" in out
         assert "delay-10" in out and "MSR_%" in out
 
-    def test_run_rejects_missing_spec(self, tmp_path):
+    def test_run_rejects_missing_spec(self, tmp_path, capsys):
         from repro.cli import main
 
-        with pytest.raises(SystemExit, match="no such spec file"):
+        with pytest.raises(SystemExit) as exc_info:
             main(["run", str(tmp_path / "ghost.json")])
+        # Usage-level error: exit status 2 (like argparse), one readable
+        # line on stderr — scripts branch on the code, humans read the line.
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "no such spec file" in err and "\n" not in err.rstrip("\n")
 
     def test_run_rejects_coordinate_only_without_queue(self):
         from repro.cli import main
