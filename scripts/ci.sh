@@ -12,6 +12,10 @@
 # parity against a baseline recaptured on another machine with
 #   PYTHONPATH=src python benchmarks/sensor_bench.py --capture-baseline
 # (see benchmarks/test_bench_throughput.py::test_sensor_pipeline_gate).
+# It also gates the episode multiplexer: batched sensing must stay
+# >= 1.5x single-episode serial per core on the dense scene, recorded in
+# benchmarks/results/BENCH_multiplex.json
+# (see benchmarks/test_bench_multiplex.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +71,31 @@ echo "== smoke: distributed queue campaign (2 workers, forced lease expiry) =="
 # the serial reference.
 python examples/distributed_queue_campaign.py --workers 2 --runs 2
 
+echo "== smoke: multiplexed-vs-serial byte-identity =="
+# The multiplexed backend's headline guarantee: a mixed-weather campaign
+# run with episodes interleaved at tick granularity (batched sensing,
+# slot of 4) must produce byte-identical records to the serial run.
+python - <<'PY'
+from repro.agent import autopilot_agent_factory
+from repro.core import ParallelCampaignRunner, standard_scenarios
+from repro.core.faults import GaussianNoise, OutputDelay
+
+scenarios = standard_scenarios(4, seed=23, n_npc_vehicles=2, n_pedestrians=1)
+injectors = {"none": [], "compound": [GaussianNoise(0.1), OutputDelay(3)]}
+
+def run(executor, slot):
+    return ParallelCampaignRunner(
+        scenarios, autopilot_agent_factory(), injectors,
+        executor=executor, episodes_per_slot=slot,
+    ).run().records
+
+serial = run("serial", 1)
+mux = run("multiplexed", 4)
+assert [r.to_dict() for r in serial] == [r.to_dict() for r in mux], \
+    "multiplexed records diverged from serial"
+print(f"multiplexed == serial over {len(serial)} episodes")
+PY
+
 echo "== smoke: self-healing chaos campaign (quarantine + byte-identity) =="
 # The harness under its own faults: a queue campaign with one always-
 # crashing and one always-hanging episode, every broker interaction
@@ -81,8 +110,12 @@ grep -q "chaos-crash" "$CHAOS_DIR/report.txt"
 grep -q "chaos-hang" "$CHAOS_DIR/report.txt"
 
 if [[ "${1:-}" == "--slow" ]]; then
-    echo "== slow tier: benchmarks (incl. sensor pipeline gate) =="
+    echo "== slow tier: benchmarks (incl. sensor pipeline + multiplex gates) =="
+    # The multiplex gate (benchmarks/test_bench_multiplex.py) fails the
+    # tier if batched sensing drops below 1.5x single-episode serial per
+    # core on the dense scene, and records BENCH_multiplex.json.
     python -m pytest -x -q -m slow
+    test -s benchmarks/results/BENCH_multiplex.json
     echo "== bench results =="
     ls -l benchmarks/results/
 fi

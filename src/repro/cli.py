@@ -20,6 +20,8 @@ Subcommands:
 * ``sweep-delay`` — the fig. 4 output-delay sweep (same wrapper);
 * ``worker`` — attach this machine to a distributed queue campaign
   (``--queue-dir``) and drain tasks until the queue is idle;
+* ``queue-status`` — one-shot health report for a queue directory
+  (pending/claimed/failed/quarantined counts, worker liveness);
 * ``train`` — collect demonstrations and train the IL-CNN;
 * ``list-faults`` — every registered fault model, grouped by hook point,
   with its config parameters.
@@ -120,6 +122,17 @@ def _add_exec_args(
         "loses its task back to the queue (only with a queue dir; "
         "default 60)",
     )
+    parser.add_argument(
+        "--episodes-per-slot",
+        type=_positive_int,
+        default=None,
+        metavar="E",
+        help="keep this many episodes live at once per process, batching "
+        "their per-frame sensing across episodes (output stays "
+        "byte-identical to serial; alone this multiplexes in-process, "
+        "with --workers/--queue-dir each worker drains slots of this "
+        "size; default 1)",
+    )
 
 
 def _add_common_campaign_args(parser: argparse.ArgumentParser) -> None:
@@ -141,6 +154,7 @@ def _execution_spec_from_args(args):
         backend="queue" if queue_dir else None,
         queue_dir=queue_dir,
         lease_s=getattr(args, "lease", None) if queue_dir else None,
+        episodes_per_slot=getattr(args, "episodes_per_slot", None),
     )
 
 
@@ -260,6 +274,7 @@ def cmd_run(args) -> None:
             checkpoint_path=args.checkpoint,
             parquet_path=args.parquet,
             fault_tolerance=fault_tolerance,
+            episodes_per_slot=args.episodes_per_slot,
         )
     except (SpecError, ValueError) as exc:
         # Spec-derived construction errors (queue backend without a
@@ -498,11 +513,62 @@ def cmd_worker(args) -> None:
         idle_timeout=args.idle_timeout,
         max_tasks=args.max_tasks,
         verbose=True,
+        episodes_per_slot=args.episodes_per_slot,
     )
     if args.max_tasks is not None and drained >= args.max_tasks:
         print(f"reached --max-tasks; this worker completed {drained} episode(s)")
     else:
         print(f"queue idle; this worker completed {drained} episode(s)")
+
+
+def cmd_queue_status(args) -> None:
+    import json
+    import time
+    from pathlib import Path
+
+    from .core.queue import FilesystemBroker
+
+    root = Path(args.queue_dir)
+    if not root.is_dir():
+        _fail("queue-status", f"no such queue directory: {args.queue_dir}")
+    broker = FilesystemBroker(root)
+    manifest = broker.manifest() or {}
+    status = broker.status()
+    print(f"queue: {root}")
+    if manifest:
+        created = manifest.get("created_at")
+        age = f", published {time.time() - created:.0f}s ago" if created else ""
+        print(
+            f"campaign: {manifest.get('n_tasks', '?')} task(s) from "
+            f"{manifest.get('coordinator', '?')}{age}"
+        )
+    else:
+        print("campaign: none published yet")
+    for key in ("pending", "claimed", "failed", "quarantined", "results"):
+        print(f"  {key:>12}: {status[key]}")
+    done = status["results"] + status["quarantined"]
+    n_tasks = manifest.get("n_tasks")
+    if isinstance(n_tasks, int) and n_tasks > 0:
+        print(f"  {'progress':>12}: {done}/{n_tasks} episode(s) settled")
+    stale_after = args.stale_after
+    if stale_after is None:
+        stale_after = float(manifest.get("lease_s") or 60.0)
+    worker_files = sorted(broker.workers_dir.glob("*.json")) if broker.workers_dir.is_dir() else []
+    print(f"workers: {len(worker_files)} seen")
+    now = time.time()
+    for path in worker_files:
+        try:
+            beat = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            print(f"  {path.stem}: unreadable heartbeat file")
+            continue
+        age = now - float(beat.get("heartbeat_at", 0.0))
+        live = "live" if age <= stale_after else f"STALE (>{stale_after:.0f}s)"
+        print(
+            f"  {beat.get('worker', path.stem)}: {live}, last beat "
+            f"{age:.0f}s ago, {beat.get('episodes_done', 0)} episode(s) done "
+            f"on {beat.get('host', '?')}"
+        )
 
 
 #: Hook points in fig. 1 order, with the seam each one corrupts.
@@ -696,7 +762,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-tasks", type=_positive_int, default=None,
         help="detach after completing this many episodes",
     )
+    p.add_argument(
+        "--episodes-per-slot", type=_positive_int, default=None, metavar="E",
+        help="drain this many claimed episodes at once through one "
+        "multiplexed slot (default: the published campaign's "
+        "episodes_per_slot; output stays byte-identical)",
+    )
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "queue-status",
+        help="one-shot health report for a queue campaign directory",
+    )
+    p.add_argument(
+        "queue_dir",
+        help="the campaign's shared broker directory (the coordinator's "
+        "--queue-dir)",
+    )
+    p.add_argument(
+        "--stale-after", type=_positive_float, default=None, metavar="SECONDS",
+        help="flag workers whose last heartbeat is older than this "
+        "(default: the campaign's lease_s)",
+    )
+    p.set_defaults(func=cmd_queue_status)
 
     p = sub.add_parser("train", help="train the IL-CNN agent")
     p.add_argument("--out", default="ilcnn_trained.npz")

@@ -38,6 +38,7 @@ __all__ = [
     "RunRecord",
     "CampaignResult",
     "Campaign",
+    "EpisodeDriver",
     "component_signature",
     "episode_fingerprint",
     "run_episode",
@@ -210,6 +211,224 @@ def _violation_to_dict(event: ViolationEvent, fps: float) -> dict:
     }
 
 
+class EpisodeDriver:
+    """One episode as an explicit, externally-steppable state machine.
+
+    The monolithic ``run_episode`` loop factored into phases so an
+    :class:`~repro.core.multiplex.EpisodeMultiplexer` can interleave many
+    live episodes at tick granularity and batch their sensing:
+
+    - :meth:`setup` — build world/agent/channels/harness/tracer
+      (``"new"`` → ``"running"``);
+    - :meth:`start` — ship the frame-0 sensor bundle;
+    - :meth:`advance` — one full client/server frame (itself composed of
+      :meth:`begin_frame` / :meth:`step_client` / :meth:`step_world` /
+      :meth:`sense` / :meth:`complete_frame`, each callable directly);
+    - :meth:`finalize` — collect harness output into the
+      :class:`RunRecord` (``"running"`` → ``"finalized"``);
+    - :meth:`close` — detach the harness and close the tracer
+      (idempotent, always safe).
+
+    :meth:`run` composes them with exactly ``run_episode``'s historical
+    control flow and exception semantics (setup errors propagate before
+    the harness attaches; loop errors still detach and close the trace),
+    so ``run_episode`` is now a thin wrapper over this class.
+
+    ``client_clock_skew`` decouples the client's polling clock from the
+    server's frame counter: the client polls the sensor channel at
+    ``world.frame + client_clock_skew``.  The default ``0`` is the
+    historical lockstep loop (bit-identical); a negative skew makes the
+    client see stale frames — the clock-jitter seam the channel layer's
+    delivery model keys on.
+    """
+
+    def __init__(
+        self,
+        builder: SimulationBuilder,
+        scenario: Scenario,
+        agent_factory: Callable,
+        faults: Sequence[FaultModel] = (),
+        injector_name: str = "none",
+        harness_seed: int = 0,
+        trace_path: str | Path | None = None,
+        config_fingerprint: str | None = None,
+        client_clock_skew: int = 0,
+    ):
+        self.builder = builder
+        self.scenario = scenario
+        self.agent_factory = agent_factory
+        self.faults = faults
+        self.injector_name = injector_name
+        self.harness_seed = harness_seed
+        self.trace_path = trace_path
+        self.config_fingerprint = config_fingerprint
+        self.client_clock_skew = client_clock_skew
+        self.state = "new"
+        self.success = False
+        self._frames_done = 0
+        self._new_violations: list[ViolationEvent] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def setup(self) -> "EpisodeDriver":
+        """Build the episode stack; mirrors ``run_episode``'s preamble.
+
+        Exceptions propagate without detaching (the harness only needs a
+        :meth:`close` once ``attach`` has run — callers that need safety
+        across partially-constructed drivers use :meth:`close`, which is
+        a no-op before attach).
+        """
+        from .trace import TraceWriter  # local import: tracing is optional
+
+        assert self.state == "new", f"setup() in state {self.state!r}"
+        if self.config_fingerprint is None:
+            self.config_fingerprint = episode_fingerprint(self.scenario, self.faults)
+        self.handles = builder_handles = self.builder.build_episode(self.scenario)
+        self.world = builder_handles.world
+        ego = self.world.ego
+        assert ego is not None
+        self.ego = ego
+        self.agent = self.agent_factory(builder_handles, self.scenario.mission)
+
+        self.sensor_channel = Channel("sensor")
+        self.control_channel = Channel("control")
+        self.server = SimulationServer(
+            self.world, builder_handles.sensors, self.sensor_channel, self.control_channel
+        )
+        self.client = AgentClient(self.agent, self.sensor_channel, self.control_channel)
+
+        self.harness = InjectionHarness(self.faults, seed=self.harness_seed)
+        self._attached = False
+        self.harness.attach(
+            self.server, self.client, model=getattr(self.agent, "model", None)
+        )
+        self._attached = True
+
+        self.mission = self.scenario.mission
+        self.max_frames = int(math.ceil(self.mission.time_limit_s * self.world.fps))
+        self.tracer = (
+            TraceWriter(
+                self.trace_path,
+                header={
+                    "scenario": self.scenario.name,
+                    "injector": self.injector_name,
+                    "seed": self.harness_seed,
+                },
+            )
+            if self.trace_path is not None
+            else None
+        )
+        self.state = "running"
+        return self
+
+    def start(self) -> None:
+        """Ship the frame-0 sensor bundle so the agent has input."""
+        self.server.send_initial_frame()
+
+    # -- per-frame phases ----------------------------------------------
+    def begin_frame(self) -> bool:
+        """Whether another frame should run (the loop guard)."""
+        return (
+            self.state == "running"
+            and not self.success
+            and self._frames_done < self.max_frames
+        )
+
+    def step_client(self) -> None:
+        """Client phase: act on the freshest due sensor bundle.
+
+        Polls at the client's own clock (``world.frame`` plus the skew) —
+        with skew 0 this is the historical lockstep ``client.tick``.
+        """
+        self.client.tick(self.world.frame + self.client_clock_skew)
+
+    def step_world(self) -> None:
+        """Server phases 1-3: apply control, tick physics, monitor."""
+        self.server.apply_pending_control()
+        _, self._new_violations = self.server.advance_world()
+
+    def sense(self):
+        """Server phase 4a: read the sensor bundle (batchable)."""
+        return self.server.read_bundle()
+
+    def complete_frame(self, bundle) -> None:
+        """Publish ``bundle``, run the harness, trace, check success."""
+        self.server.publish_bundle(bundle)
+        self.harness.on_frame(self.world, self.world.frame)
+        if self.tracer is not None:
+            ego = self.ego
+            self.tracer.state(
+                self.world.frame, ego.position.x, ego.position.y, ego.yaw, ego.speed()
+            )
+            for event in self._new_violations:
+                self.tracer.violation(event.start_frame, event.type.value)
+        if self.ego.position.distance_to(self.mission.goal) < self.mission.success_radius:
+            self.success = True
+        self._frames_done += 1
+
+    def advance(self) -> bool:
+        """Run one full frame; ``False`` once the episode is over."""
+        if not self.begin_frame():
+            return False
+        self.step_client()
+        self.step_world()
+        self.complete_frame(self.sense())
+        return True
+
+    # -- teardown -------------------------------------------------------
+    def finalize(self) -> RunRecord:
+        """Collect harness output and build the :class:`RunRecord`."""
+        assert self.state == "running", f"finalize() in state {self.state!r}"
+        injection_frames = self.harness.injection_frames()
+        fault_descriptions = self.harness.describe()
+        if self.tracer is not None:
+            for frame in injection_frames:
+                self.tracer.injection(frame, self.injector_name)
+        record = RunRecord(
+            scenario=self.scenario.name,
+            injector=self.injector_name,
+            seed=self.harness_seed,
+            success=self.success,
+            frames=self.world.frame,
+            duration_s=self.world.time_s,
+            distance_km=self.ego.odometer_m / 1000.0,
+            time_limit_s=self.mission.time_limit_s,
+            violations=[
+                _violation_to_dict(e, self.world.fps)
+                for e in self.server.monitor.events
+            ],
+            injection_frames=injection_frames,
+            faults=fault_descriptions,
+            agent_frames_missed=self.client.frames_missed,
+            config_fingerprint=self.config_fingerprint,
+        )
+        self.state = "finalized"
+        return record
+
+    def close(self) -> None:
+        """Detach the harness and close the tracer.  Idempotent."""
+        if self.state == "closed":
+            return
+        if getattr(self, "_attached", False):
+            self.harness.detach()
+        tracer = getattr(self, "tracer", None)
+        if tracer is not None:
+            tracer.close(footer={"success": self.success})
+            self.tracer = None
+        self.state = "closed"
+
+    def run(self) -> RunRecord:
+        """``setup`` + frame loop + ``finalize``, with the historical
+        exception semantics of ``run_episode``."""
+        self.setup()
+        try:
+            self.start()
+            while self.advance():
+                pass
+            return self.finalize()
+        finally:
+            self.close()
+
+
 def run_episode(
     builder: SimulationBuilder,
     scenario: Scenario,
@@ -228,80 +447,20 @@ def run_episode(
     With ``trace_path`` given, a JSONL trace (per-frame ego state plus
     violation/injection events) is written for offline analysis and
     replay comparison (:mod:`repro.core.trace`).
+
+    Implemented as :meth:`EpisodeDriver.run`; use the driver directly to
+    step an episode externally (the multiplexer does).
     """
-    from .trace import TraceWriter  # local import: tracing is optional
-
-    if config_fingerprint is None:
-        config_fingerprint = episode_fingerprint(scenario, faults)
-    handles = builder.build_episode(scenario)
-    world = handles.world
-    ego = world.ego
-    assert ego is not None
-    agent = agent_factory(handles, scenario.mission)
-
-    sensor_channel = Channel("sensor")
-    control_channel = Channel("control")
-    server = SimulationServer(world, handles.sensors, sensor_channel, control_channel)
-    client = AgentClient(agent, sensor_channel, control_channel)
-
-    harness = InjectionHarness(faults, seed=harness_seed)
-    harness.attach(server, client, model=getattr(agent, "model", None))
-
-    mission = scenario.mission
-    max_frames = int(math.ceil(mission.time_limit_s * world.fps))
-    success = False
-    tracer = (
-        TraceWriter(
-            trace_path,
-            header={
-                "scenario": scenario.name,
-                "injector": injector_name,
-                "seed": harness_seed,
-            },
-        )
-        if trace_path is not None
-        else None
-    )
-    try:
-        server.send_initial_frame()
-        for _ in range(max_frames):
-            client.tick(world.frame)
-            frame_result = server.tick()
-            harness.on_frame(world, world.frame)
-            if tracer is not None:
-                tracer.state(
-                    world.frame, ego.position.x, ego.position.y, ego.yaw, ego.speed()
-                )
-                for event in frame_result.new_violations:
-                    tracer.violation(event.start_frame, event.type.value)
-            if ego.position.distance_to(mission.goal) < mission.success_radius:
-                success = True
-                break
-        injection_frames = harness.injection_frames()
-        fault_descriptions = harness.describe()
-        if tracer is not None:
-            for frame in injection_frames:
-                tracer.injection(frame, injector_name)
-    finally:
-        harness.detach()
-        if tracer is not None:
-            tracer.close(footer={"success": success})
-
-    return RunRecord(
-        scenario=scenario.name,
-        injector=injector_name,
-        seed=harness_seed,
-        success=success,
-        frames=world.frame,
-        duration_s=world.time_s,
-        distance_km=ego.odometer_m / 1000.0,
-        time_limit_s=mission.time_limit_s,
-        violations=[_violation_to_dict(e, world.fps) for e in server.monitor.events],
-        injection_frames=injection_frames,
-        faults=fault_descriptions,
-        agent_frames_missed=client.frames_missed,
+    return EpisodeDriver(
+        builder,
+        scenario,
+        agent_factory,
+        faults=faults,
+        injector_name=injector_name,
+        harness_seed=harness_seed,
+        trace_path=trace_path,
         config_fingerprint=config_fingerprint,
-    )
+    ).run()
 
 
 @dataclass
@@ -406,6 +565,7 @@ class Campaign:
         checkpoint_path: str | Path | None = None,
         parquet_path: str | Path | None = None,
         fault_tolerance=None,
+        episodes_per_slot: int | None = None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
@@ -441,6 +601,17 @@ class Campaign:
         #: executor honours (``None`` = defaults: one attempt, no
         #: timeout, abort on the first failure — historical behaviour).
         self.fault_tolerance = fault_tolerance
+        if episodes_per_slot is not None and episodes_per_slot < 1:
+            raise ValueError(
+                f"episodes_per_slot must be >= 1 (got {episodes_per_slot})"
+            )
+        #: Live episodes per multiplexed slot: with
+        #: ``backend="multiplexed"`` this is the slot size of the single
+        #: in-process multiplexer; with process/queue backends each
+        #: worker drains slots of this size.  ``None``/1 = one episode
+        #: at a time (serial semantics).  Output is byte-identical
+        #: either way.
+        self.episodes_per_slot = episodes_per_slot
         #: The :class:`~repro.core.spec.CampaignSpec` this campaign was
         #: built from (set by :meth:`from_spec`); published alongside the
         #: queue broker's context so workers can see the full campaign
@@ -458,6 +629,7 @@ class Campaign:
         checkpoint_path: str | Path | None = None,
         parquet_path: str | Path | None = None,
         fault_tolerance=None,
+        episodes_per_slot: int | None = None,
         verbose: bool = False,
     ) -> "Campaign":
         """Build a campaign from a :class:`~repro.core.spec.CampaignSpec`.
@@ -511,6 +683,11 @@ class Campaign:
                 if fault_tolerance is not None
                 else execution.fault_tolerance
             ),
+            episodes_per_slot=(
+                episodes_per_slot
+                if episodes_per_slot is not None
+                else execution.episodes_per_slot
+            ),
         )
         campaign.spec = spec
         return campaign
@@ -539,6 +716,7 @@ class Campaign:
             checkpoint_path=self.checkpoint_path,
             parquet_path=self.parquet_path,
             policy=self.fault_tolerance,
+            episodes_per_slot=self.episodes_per_slot,
             spec=self.spec.to_dict() if self.spec is not None else None,
             verbose=self.verbose,
             label="campaign",

@@ -69,7 +69,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Protocol, Sequence
 
+from contextlib import ExitStack
+
 from .campaign import RunRecord
+from .multiplex import EpisodeMultiplexer, multiplex_slot_size
 from .outcomes import EpisodeFailure, EpisodeOutcome, reap_process
 from .runner import (
     CampaignContext,
@@ -77,7 +80,6 @@ from .runner import (
     _FailureBudget,
     _init_worker,
     append_jsonl_line,
-    attempt_task,
     context_policy,
     record_identity,
     repair_jsonl_tail,
@@ -627,6 +629,7 @@ def run_worker(
     verbose: bool = False,
     broker: "FilesystemBroker | None" = None,
     chaos: dict | None = None,
+    episodes_per_slot: int | None = None,
 ) -> int:
     """Attach to a broker directory and drain tasks until the queue is idle.
 
@@ -647,6 +650,15 @@ def run_worker(
     filesystem one); ``chaos`` is a picklable kwargs dict for
     :class:`~repro.core.chaos.ChaosBroker`, applied to this worker's own
     broker — the form local drain processes can receive across ``fork``.
+
+    When the published campaign multiplexes
+    (``context.episodes_per_slot > 1``, or an explicit
+    ``episodes_per_slot`` override here), the worker claims up to a full
+    slot of tasks per cycle and drains them through one
+    :class:`~repro.core.multiplex.EpisodeMultiplexer` — every claim's
+    lease heartbeats for the whole slot, and each episode's record/
+    failure retires its own claim as it finishes.  Output stays
+    byte-identical to single-task draining.
 
     Exits once ``tasks/`` and ``claimed/`` have stayed empty for
     ``idle_timeout`` seconds — i.e. nothing is pending and no live lease
@@ -674,7 +686,14 @@ def run_worker(
         pass
     try:
         return _drain(
-            broker, worker_id, lease_s, poll_s, idle_timeout, max_tasks, verbose
+            broker,
+            worker_id,
+            lease_s,
+            poll_s,
+            idle_timeout,
+            max_tasks,
+            verbose,
+            episodes_per_slot,
         )
     finally:
         if previous_handler is not None:
@@ -689,6 +708,7 @@ def _drain(
     idle_timeout: float,
     max_tasks: int | None,
     verbose: bool,
+    episodes_per_slot: int | None = None,
 ) -> int:
     context = broker.load_context(timeout_s=idle_timeout)
     if context is None:
@@ -751,43 +771,77 @@ def _drain(
             context_sha = current_sha
             if verbose:
                 print(f"[worker {worker_id}] campaign re-published; context reloaded")
+        # Fill this worker's multiplexed slot: the published context
+        # carries the campaign's episodes_per_slot, an explicit worker
+        # override wins.  Slot size 1 degenerates to the classic
+        # one-claim-at-a-time drain (the multiplexer's serial path).
+        slot = (
+            max(1, int(episodes_per_slot))
+            if episodes_per_slot is not None
+            else multiplex_slot_size(context)
+        )
+        if max_tasks is not None:
+            slot = max(1, min(slot, max_tasks - done))
+        claims = [claim]
+        while len(claims) < slot:
+            extra = broker.claim(worker_id, lease_s)
+            if extra is None:
+                break
+            claims.append(extra)
         results_offset, fresh = broker.read_results(results_offset)
         seen_identities.update(record_identity(r) for r in fresh)
-        if claim.task.identity() in seen_identities:
-            # A previous holder finished after losing its lease; the
-            # record is already checkpointed — retire, don't re-run.
-            broker.release(claim)
+        runnable: list[Claim] = []
+        for claim in claims:
+            if claim.task.identity() in seen_identities:
+                # A previous holder finished after losing its lease; the
+                # record is already checkpointed — retire, don't re-run.
+                broker.release(claim)
+            else:
+                runnable.append(claim)
+        if not runnable:
             continue
+        by_identity = {c.task.identity(): c for c in runnable}
+        mux = EpisodeMultiplexer(context, episodes_per_slot=slot, policy=policy)
         try:
-            with _LeaseKeeper(broker, claim):
-                result = attempt_task(context, claim.task, policy)
+            with ExitStack() as leases:
+                for claim in runnable:
+                    leases.enter_context(_LeaseKeeper(broker, claim))
+                for task, result in mux.run([c.task for c in runnable]):
+                    claim = by_identity.pop(task.identity())
+                    if isinstance(result, EpisodeFailure):
+                        # Attempts exhausted: park the structured failure
+                        # for the coordinator's budget decision.  Never
+                        # appended to results here — only the coordinator
+                        # may declare quarantine, and a budget-exceeded
+                        # abort must leave the task resumable.
+                        broker.fail(claim, failure=result)
+                        if verbose:
+                            print(
+                                f"[worker {worker_id}] {claim.name} "
+                                f"{result.outcome} after {result.attempts} "
+                                f"attempt(s): {result.error}"
+                            )
+                        continue
+                    record = result
+                    broker.append_result(record)
+                    broker.release(claim)
+                    done += 1
+                    if verbose:
+                        status = "ok " if record.success else "FAIL"
+                        print(
+                            f"[worker {worker_id}] {claim.name} "
+                            f"{record.injector:>12} {record.scenario:>8} "
+                            f"{status} {record.n_violations} violations"
+                        )
         except Exception as exc:  # noqa: BLE001 — infra error: park, keep draining
-            broker.fail(claim, error=exc)
-            if verbose:
-                print(f"[worker {worker_id}] {claim.name} FAILED: {exc!r}")
+            # Claims whose episodes already finished were retired above;
+            # everything still held parks with the error so the
+            # coordinator sees it and a re-publish can retry.
+            for claim in by_identity.values():
+                broker.fail(claim, error=exc)
+                if verbose:
+                    print(f"[worker {worker_id}] {claim.name} FAILED: {exc!r}")
             continue
-        if isinstance(result, EpisodeFailure):
-            # Attempts exhausted: park the structured failure for the
-            # coordinator's budget decision.  Never appended to results
-            # here — only the coordinator may declare quarantine, and a
-            # budget-exceeded abort must leave the task resumable.
-            broker.fail(claim, failure=result)
-            if verbose:
-                print(
-                    f"[worker {worker_id}] {claim.name} {result.outcome} "
-                    f"after {result.attempts} attempt(s): {result.error}"
-                )
-            continue
-        record = result
-        broker.append_result(record)
-        broker.release(claim)
-        done += 1
-        if verbose:
-            status = "ok " if record.success else "FAIL"
-            print(
-                f"[worker {worker_id}] {claim.name} {record.injector:>12} "
-                f"{record.scenario:>8} {status} {record.n_violations} violations"
-            )
         if max_tasks is not None and done >= max_tasks:
             break
     broker.heartbeat_worker(worker_id, done)

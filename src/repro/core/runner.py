@@ -332,6 +332,11 @@ class CampaignContext:
     #: (``None`` means :class:`~repro.core.outcomes.FaultTolerancePolicy`
     #: defaults: one attempt, no timeout, abort on first failure).
     policy: FaultTolerancePolicy | None = None
+    #: Live episodes per multiplexed slot (see
+    #: :mod:`repro.core.multiplex`); ``1`` means no multiplexing.  Rides
+    #: in the context so process-pool and queue workers drain whole
+    #: multiplexed slots without extra plumbing.
+    episodes_per_slot: int = 1
 
 
 def context_policy(context: CampaignContext) -> FaultTolerancePolicy:
@@ -599,8 +604,10 @@ class ProcessExecutor:
         self.workers = max(1, workers if workers is not None else available_cpus())
         self.chunksize = chunksize
 
-    def _chunks(self, tasks: Sequence[EpisodeTask]) -> list[list[EpisodeTask]]:
-        size = max(1, self.chunksize or 1)
+    def _chunks(
+        self, tasks: Sequence[EpisodeTask], default: int = 1
+    ) -> list[list[EpisodeTask]]:
+        size = max(1, self.chunksize or default)
         return [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
 
     def run(
@@ -623,11 +630,21 @@ class ProcessExecutor:
         by_index = {task.index: task for task in tasks}
         policy = context_policy(context)
         budget = _FailureBudget(policy.failure_budget)
+        # A context asking for episode multiplexing makes each worker
+        # drain its chunk as one multiplexed slot; the chunk then
+        # defaults to the slot size so slots actually fill.
+        from .multiplex import _run_mux_chunk, multiplex_slot_size
+
+        slot = multiplex_slot_size(context)
+        chunk_fn = _run_mux_chunk if slot > 1 else _run_task_chunk
         pool = ProcessPoolExecutor(
             max_workers=self.workers, initializer=_init_worker, initargs=(context,)
         )
         try:
-            futures = [pool.submit(_run_task_chunk, chunk) for chunk in self._chunks(tasks)]
+            futures = [
+                pool.submit(chunk_fn, chunk)
+                for chunk in self._chunks(tasks, default=slot)
+            ]
             error: BaseException | None = None
 
             def abort(exc: BaseException) -> None:
@@ -676,9 +693,10 @@ def make_executor(
     lease_s: float | None = None,
     poll_s: float | None = None,
     stall_timeout: float | None = None,
+    episodes_per_slot: int | None = None,
 ):
     """Resolve an executor spec (``"serial"``/``"process"``/``"queue"``/
-    instance/None).
+    ``"multiplexed"``/instance/None).
 
     With no explicit spec the other arguments decide: a ``queue_dir``
     selects the distributed queue backend, ``workers`` of
@@ -686,6 +704,13 @@ def make_executor(
     pool.  Asking for serial execution *and* multiple workers is a
     contradiction and raises rather than silently dropping the workers.
     An executor instance is authoritative (its own worker count wins).
+
+    ``"multiplexed"`` runs one in-process multiplexed slot
+    (:class:`~repro.core.multiplex.MultiplexedExecutor`) of
+    ``episodes_per_slot`` live episodes.  The knob also composes with
+    the other backends through the campaign context
+    (:attr:`CampaignContext.episodes_per_slot`): process-pool and queue
+    workers drain whole multiplexed slots when it is above 1.
 
     For ``"queue"``, ``workers`` is the number of *local* drain
     processes to spawn alongside the coordinator — defaulting to 1 so a
@@ -700,8 +725,14 @@ def make_executor(
     if executor is None:
         if queue_dir is not None:
             executor = "queue"
+        elif parallel_requested:
+            executor = "process"
+        elif episodes_per_slot is not None and episodes_per_slot > 1:
+            # A bare slot-size request multiplexes in this process; with
+            # workers/queue above it rides the context into each worker.
+            executor = "multiplexed"
         else:
-            executor = "process" if parallel_requested else "serial"
+            executor = "serial"
     if queue_dir is not None:
         spec = executor if isinstance(executor, str) else getattr(executor, "name", None)
         if spec != "queue":
@@ -720,6 +751,16 @@ def make_executor(
         return executor
     if executor == "process":
         return ProcessExecutor(workers=workers, chunksize=chunksize)
+    if executor == "multiplexed":
+        from .multiplex import MultiplexedExecutor  # deferred: imports us
+
+        if parallel_requested:
+            raise ValueError(
+                f"executor='multiplexed' conflicts with workers={workers}; "
+                "multiplexing is single-process (combine it with the "
+                "process or queue backend for multi-worker slots)"
+            )
+        return MultiplexedExecutor(episodes_per_slot=episodes_per_slot)
     if executor == "queue":
         from .queue import QueueExecutor  # deferred: queue imports us
 
@@ -739,7 +780,8 @@ def make_executor(
         # coordinate-only needs an explicit workers=0.
         return QueueExecutor(queue_dir, workers=1 if workers is None else workers, **options)
     raise ValueError(
-        f"unknown executor {executor!r} (expected 'serial', 'process' or 'queue')"
+        f"unknown executor {executor!r} (expected 'serial', 'process', "
+        f"'queue' or 'multiplexed')"
     )
 
 
@@ -779,22 +821,31 @@ class ParallelCampaignRunner:
         verbose: bool = False,
         label: str = "runner",
         on_record: Callable[[EpisodeTask, RunRecord], None] | None = None,
+        episodes_per_slot: int | None = None,
     ):
         if not scenarios:
             raise ValueError("campaign needs at least one scenario")
         if not injectors:
             raise ValueError("campaign needs at least one injector (use {'none': []})")
+        if episodes_per_slot is not None and episodes_per_slot < 1:
+            raise ValueError(
+                f"episodes_per_slot must be >= 1 (got {episodes_per_slot})"
+            )
         self.scenarios = list(scenarios)
         self.agent_factory = agent_factory
         self.injectors = dict(injectors)
         self.builder = builder or SimulationBuilder()
         self.base_seed = base_seed
+        #: Live episodes per multiplexed slot; carried into the campaign
+        #: context so every backend's workers see it.
+        self.episodes_per_slot = episodes_per_slot
         self.executor = make_executor(
             executor,
             workers=workers,
             chunksize=chunksize,
             queue_dir=queue_dir,
             lease_s=lease_s,
+            episodes_per_slot=episodes_per_slot,
         )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         # A queue executor's broker owns the shared results checkpoint:
@@ -959,6 +1010,7 @@ class ParallelCampaignRunner:
             injectors={name: tuple(faults) for name, faults in self.injectors.items()},
             warm_configs=tuple(warm),
             policy=self.policy,
+            episodes_per_slot=self.episodes_per_slot or 1,
         )
 
     def run(self) -> CampaignResult:

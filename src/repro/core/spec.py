@@ -285,23 +285,29 @@ class ExecutionSpec:
     #: Optional parquet sink written beside the JSONL checkpoint
     #: (requires the ``parquet`` extra; degrades to JSONL-only).
     parquet: str | None = None
+    #: Live episodes per multiplexed slot (``backend="multiplexed"``, or
+    #: process/queue workers each draining a slot).  ``None`` = backend
+    #: default; 1 = classic one-episode-at-a-time execution.
+    episodes_per_slot: int | None = None
     #: Retry/timeout/quarantine policy all executors honour (``None`` =
     #: defaults: one attempt, no timeout, abort on first failure).
     fault_tolerance: FaultTolerancePolicy | None = None
 
-    _BACKENDS = (None, "serial", "process", "queue")
+    _BACKENDS = (None, "serial", "process", "queue", "multiplexed")
 
     def __post_init__(self) -> None:
         if self.backend not in self._BACKENDS:
             raise SpecError(
                 "spec.execution.backend",
                 f"unknown backend {self.backend!r} "
-                f"(expected one of 'serial', 'process', 'queue')",
+                f"(expected one of 'serial', 'process', 'queue', 'multiplexed')",
             )
         if self.workers is not None and self.workers < 0:
             raise SpecError("spec.execution.workers", "must be >= 0")
         if self.lease_s is not None and not self.lease_s > 0:
             raise SpecError("spec.execution.lease_s", "must be > 0")
+        if self.episodes_per_slot is not None and self.episodes_per_slot < 1:
+            raise SpecError("spec.execution.episodes_per_slot", "must be >= 1")
 
     def to_dict(self) -> dict:
         """JSON-serialisable form."""
@@ -313,6 +319,11 @@ class ExecutionSpec:
             "lease_s": float(self.lease_s) if self.lease_s is not None else None,
             "checkpoint": str(self.checkpoint) if self.checkpoint is not None else None,
             "parquet": str(self.parquet) if self.parquet is not None else None,
+            "episodes_per_slot": (
+                int(self.episodes_per_slot)
+                if self.episodes_per_slot is not None
+                else None
+            ),
             "fault_tolerance": (
                 self.fault_tolerance.to_dict()
                 if self.fault_tolerance is not None
@@ -334,6 +345,7 @@ class ExecutionSpec:
                 "lease_s",
                 "checkpoint",
                 "parquet",
+                "episodes_per_slot",
                 "fault_tolerance",
             },
             path,
@@ -378,6 +390,7 @@ class ExecutionSpec:
             lease_s=number("lease_s"),
             checkpoint=string("checkpoint"),
             parquet=string("parquet"),
+            episodes_per_slot=integer("episodes_per_slot", None),
             fault_tolerance=fault_tolerance,
         )
 

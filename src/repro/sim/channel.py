@@ -140,9 +140,19 @@ class Channel:
         return len(self._heap)
 
     def clear(self) -> None:
-        """Drop all in-flight packets and reset transforms and stats."""
+        """Drop all in-flight packets and reset transforms, stats and the
+        delivery tiebreak counter.
+
+        Resetting ``_tiebreak`` matters for replay fidelity: the counter
+        participates in heap ordering whenever two packets share a
+        delivery frame, so a cleared channel must hand out the same
+        tiebreak sequence a freshly constructed one would — otherwise a
+        reused channel delivers reordered duplicates differently than the
+        first run.
+        """
         self._heap.clear()
         self.stats.reset()
+        self._tiebreak = itertools.count()
         for transform in self.transforms:
             transform.reset()
 

@@ -34,6 +34,8 @@ __all__ = [
     "segments_intersect",
     "pack_boxes",
     "batch_ray_hits",
+    "pad_box_packs",
+    "batch_ray_hits_multi",
 ]
 
 TWO_PI = 2.0 * math.pi
@@ -414,6 +416,103 @@ def batch_ray_hits(
         hit &= ~miss
     per_box = np.where(hit, t_min, np.inf)
     return np.minimum(per_box.min(axis=1), max_range)
+
+
+#: Padding row for ragged box packs: a unit box parked ~1e12 m away.  Any
+#: ray either misses its slabs outright or first hits far beyond every
+#: finite ``max_range``, so after range clamping it contributes ``inf`` to
+#: the per-box fold — the exact value an absent box contributes.
+_MISS_BOX = (1.0e12, 1.0e12, 1.0, 0.0, 1.0, 1.0)
+
+
+def pad_box_packs(packs: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack ragged per-episode box packs into one ``(E, B_max, 6)`` slab.
+
+    Episodes see different box counts (actor pruning is pose-dependent);
+    short packs are padded with :data:`_MISS_BOX` rows, which are
+    guaranteed misses, so :func:`batch_ray_hits_multi` over the padded
+    slab returns exactly what per-episode :func:`batch_ray_hits` calls
+    would.
+    """
+    n_eps = len(packs)
+    b_max = max((len(p) for p in packs), default=0)
+    out = np.empty((n_eps, b_max, 6), dtype=np.float64)
+    pad = np.asarray(_MISS_BOX, dtype=np.float64)
+    for e, pack in enumerate(packs):
+        n = len(pack)
+        out[e, :n] = pack
+        if n < b_max:
+            out[e, n:] = pad
+    return out
+
+
+def batch_ray_hits_multi(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    packed: np.ndarray,
+    max_range: float,
+) -> np.ndarray:
+    """:func:`batch_ray_hits` stacked over ``E`` episodes in one dispatch.
+
+    ``origins`` is ``(E, 2)``, ``directions`` ``(E, R, 2)`` and ``packed``
+    ``(E, B, 6)`` (see :func:`pad_box_packs`).  Returns ``(E, R)`` hit
+    distances, bit-identical per episode to
+    ``batch_ray_hits(origins[e], directions[e], packed[e], max_range)``:
+    every elementwise operation below is the same IEEE op on the same
+    operands, just with a leading episode axis, and the per-box ``min``
+    fold is exact and insensitive to the inf-padded rows.  (The scalar
+    path's ``any_parallel`` fast-path gate is dropped here — the gated
+    corrections are value-identity wherever no axis is parallel.)
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    n_eps, n_rays = directions.shape[0], directions.shape[1]
+    n_boxes = packed.shape[1] if len(packed) else 0
+    if n_eps == 0 or n_boxes == 0:
+        return np.full((n_eps, n_rays), max_range, dtype=np.float64)
+    cx, cy, c, s, hl, hw = (packed[:, :, i] for i in range(6))  # (E, B)
+    px = origins[:, 0:1] - cx
+    py = origins[:, 1:2] - cy
+    ox = c * px - s * py  # (E, B)
+    oy = s * px + c * py
+    nlo = np.empty((n_eps, 2 * n_boxes))
+    nhi = np.empty((n_eps, 2 * n_boxes))
+    np.subtract(-hl, ox, out=nlo[:, :n_boxes])
+    np.subtract(hl, ox, out=nhi[:, :n_boxes])
+    np.subtract(-hw, oy, out=nlo[:, n_boxes:])
+    np.subtract(hw, oy, out=nhi[:, n_boxes:])
+    dx = directions[:, :, 0:1]  # (E, R, 1)
+    dy = directions[:, :, 1:2]
+    r2 = np.empty((n_eps, n_rays, 2 * n_boxes))
+    rx = r2[:, :, :n_boxes]
+    ry = r2[:, :, n_boxes:]
+    np.multiply(c[:, None, :], dx, out=rx)
+    rx -= s[:, None, :] * dy
+    np.multiply(s[:, None, :], dx, out=ry)
+    ry += c[:, None, :] * dy
+
+    abs_r2 = np.abs(r2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t1 = nlo[:, None, :] / r2
+        t2 = nhi[:, None, :] / r2
+        lo = np.minimum(t1, t2)
+        hi = np.maximum(t1, t2)
+    par = abs_r2 < 1e-12
+    outside = np.empty((n_eps, 2 * n_boxes), dtype=bool)
+    np.greater(np.abs(ox), hl, out=outside[:, :n_boxes])
+    np.greater(np.abs(oy), hw, out=outside[:, n_boxes:])
+    miss_2 = par & outside[:, None, :]
+    miss = miss_2[:, :, :n_boxes] | miss_2[:, :, n_boxes:]
+    lo = np.where(par, -np.inf, lo)
+    hi = np.where(par, np.inf, hi)
+    t_min = np.maximum(lo[:, :, :n_boxes], lo[:, :, n_boxes:])
+    np.maximum(t_min, 0.0, out=t_min)
+    t_max = np.minimum(hi[:, :, :n_boxes], hi[:, :, n_boxes:])
+    np.minimum(t_max, max_range, out=t_max)
+    hit = t_min <= t_max
+    hit &= ~miss
+    per_box = np.where(hit, t_min, np.inf)
+    return np.minimum(per_box.min(axis=2), max_range)
 
 
 class Polyline:

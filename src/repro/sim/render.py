@@ -315,6 +315,10 @@ class Renderer:
         self._frame_base = base
         #: Per-weather cache of ground-pass fog alphas (f32, masked shape).
         self._ground_alpha_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+        #: Episode-stacked variant, keyed on a batch's fog-density tuple.
+        self._ground_alpha_multi_cache: dict[
+            tuple[float, ...], tuple[np.ndarray, np.ndarray]
+        ] = {}
 
         buildings = self.town.buildings
         self._bb_cx = np.array([b.box.center.x for b in buildings], dtype=np.float64)
@@ -369,6 +373,30 @@ class Renderer:
             if len(self._ground_alpha_cache) >= 16:
                 self._ground_alpha_cache.pop(next(iter(self._ground_alpha_cache)))
             self._ground_alpha_cache[fog_density] = cached
+        return cached
+
+    def _ground_alpha_multi(
+        self, fog_densities: tuple[float, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Episode-stacked ``(fog_term, 1 - alpha)`` for a batch of weathers.
+
+        ``np.stack`` of the per-episode :meth:`_ground_alpha` pairs along
+        a new leading axis — cached on the fog-density tuple because a
+        multiplexed slot's weathers are fixed for the whole slot, so every
+        frame after the first reuses the stacked arrays.
+        """
+        cached = self._ground_alpha_multi_cache.get(fog_densities)
+        if cached is None:
+            pairs = [self._ground_alpha(f) for f in fog_densities]
+            cached = (
+                np.stack([p[0] for p in pairs]),
+                np.stack([p[1] for p in pairs]),
+            )
+            if len(self._ground_alpha_multi_cache) >= 8:
+                self._ground_alpha_multi_cache.pop(
+                    next(iter(self._ground_alpha_multi_cache))
+                )
+            self._ground_alpha_multi_cache[fog_densities] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -526,6 +554,119 @@ class Renderer:
             dist,
         )
 
+    def _billboard_geometry_multi(self, egos, actor_lists):
+        """:meth:`_billboard_geometry` over many episodes in one dispatch.
+
+        ``egos``/``actor_lists`` pair one ego :class:`Transform` and one
+        actor list per episode.  The per-episode :meth:`_stack_drawables`
+        pass is fused in: all drawables write straight into one
+        concatenated ``(7, total)`` row buffer (static building block plus
+        per-actor columns, buildings first — the same build order and
+        ``math`` trig as the scalar path) with per-row ego scalars
+        expanded along their episode's segment.  Every arithmetic step is
+        then the same elementwise op on the same operands as the
+        single-episode call, so the sliced per-episode results are
+        bit-identical.  Sorting stays per episode (paint order never
+        crosses episodes).  Returns one
+        ``(order, valid, u0, u1, v0, v1, dist)`` tuple per episode.
+        """
+        cam = self.camera
+        n_b = len(self._bb_cx)
+        counts = [n_b + len(al) for al in actor_lists]
+        total = sum(counts)
+        if total == 0:
+            return [([], [], [], [], [], [], np.empty(0)) for _ in egos]
+        buf = np.empty((7, total))
+        ex = np.empty(total)
+        ey = np.empty(total)
+        c2 = np.empty(total)
+        s2 = np.empty(total)
+        offsets = [0]
+        pos = 0
+        for ego, actor_list, n in zip(egos, actor_lists, counts):
+            nxt = pos + n
+            nb_end = pos + n_b
+            buf[:, pos:nb_end] = self._bb_block
+            rel0 = 0.0 - ego.yaw
+            buf[2, pos:nb_end] = math.cos(rel0)
+            buf[3, pos:nb_end] = math.sin(rel0)
+            for i, a in enumerate(actor_list, start=nb_end):
+                apos = a.transform.position
+                rel = a.yaw - ego.yaw
+                buf[:, i] = (
+                    apos.x,
+                    apos.y,
+                    math.cos(rel),
+                    math.sin(rel),
+                    a.half_length,
+                    a.half_width,
+                    a.height,
+                )
+            ex[pos:nxt] = ego.position.x
+            ey[pos:nxt] = ego.position.y
+            c2[pos:nxt] = math.cos(-ego.yaw)
+            s2[pos:nxt] = math.sin(-ego.yaw)
+            pos = nxt
+            offsets.append(pos)
+        cx, cy, crel, srel, hl, hw, height = buf
+        dx = cx - ex
+        dy = cy - ey
+        lx = c2 * dx - s2 * dy
+        ly = s2 * dx + c2 * dy
+        hyp = math.hypot
+        sort_key = [hyp(a, b) for a, b in zip(dx.tolist(), dy.tolist())]
+        dist = np.array([hyp(a, b) for a, b in zip(lx.tolist(), ly.tolist())])
+        keep = (lx >= 0.5) & (dist <= cam.max_depth)
+
+        a = (hl * crel)[:, None]
+        b = (hw * srel)[:, None]
+        e = (hl * srel)[:, None]
+        f = (hw * crel)[:, None]
+        px = lx[:, None] + (self._CORNER_SX[None, :] * a - self._CORNER_SY[None, :] * b)
+        py = ly[:, None] + (self._CORNER_SX[None, :] * e + self._CORNER_SY[None, :] * f)
+        theta = math.radians(cam.pitch_deg)
+        cth, sth = math.cos(theta), math.sin(theta)
+        foc = cam.focal_px
+        ccx = (cam.width - 1) / 2.0
+        ccy = (cam.height - 1) / 2.0
+        qx = np.empty((total, 8))
+        qx[:, :4] = px
+        qx[:, 4:] = px
+        np.subtract(qx, cam.forward_offset, out=qx)
+        py8 = np.empty((total, 8))
+        py8[:, :4] = py
+        py8[:, 4:] = py
+        qz = np.empty((total, 8))
+        qz[:, :4] = 0.0 - cam.mount_height
+        qz[:, 4:] = (height - cam.mount_height)[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xc = qx * cth + qz * sth
+            zc = qx * (-sth) + qz * cth
+            u = ccx - foc * py8 / xc
+            v = ccy - foc * zc / xc
+        valid = keep & ~(xc < 0.2).any(1)
+        u0 = u.min(1)
+        u1 = u.max(1)
+        v0 = v.min(1)
+        v1 = v.max(1)
+        out = []
+        for idx in range(len(egos)):
+            lo, hi = offsets[idx], offsets[idx + 1]
+            seg_key = sort_key[lo:hi]
+            order = sorted(range(hi - lo), key=seg_key.__getitem__, reverse=True)
+            out.append(
+                (
+                    order,
+                    valid[lo:hi].tolist(),
+                    u0[lo:hi].tolist(),
+                    u1[lo:hi].tolist(),
+                    v0[lo:hi].tolist(),
+                    v1[lo:hi].tolist(),
+                    dist[lo:hi],
+                )
+            )
+        return out
+
     def _paint_billboards(self, target, order, valid, u0, u1, v0, v1, values) -> None:
         """Paint far-to-near; ``values[i]`` fills drawable ``i``'s rect."""
         wmax = self.camera.width - 1
@@ -541,6 +682,143 @@ class Renderer:
             if a0 > a1 or b0 > b1:
                 continue
             target[b0 : b1 + 1, a0 : a1 + 1] = values[i]
+
+    def _billboard_colors(
+        self, actor_list: list, dist: np.ndarray, weather: Weather
+    ) -> np.ndarray:
+        """Shaded + fogged uint8 fill colours for all drawables.
+
+        Buildings first, then actors, matching :meth:`_stack_drawables`
+        order.  Shared by :meth:`render` and :meth:`render_batch` so both
+        paths produce the same bytes.
+        """
+        cam = self.camera
+        if actor_list:
+            cols = np.concatenate(
+                [
+                    self._bb_colors,
+                    np.array([a.color for a in actor_list], dtype=np.float32),
+                ]
+            )
+        else:
+            cols = self._bb_colors
+        shade = 1.0 - 0.35 * np.minimum(dist / cam.max_depth, 1.0)
+        cols = cols * shade.astype(np.float32)[:, None]
+        visibility = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
+        fog_a = np.clip(dist / visibility, 0.0, 1.0)
+        if weather.fog_density > 0.0:
+            fog_a = fog_a ** max(0.5, 1.0 - weather.fog_density)
+        cols = (
+            cols * (1.0 - fog_a).astype(np.float32)[:, None]
+            + FOG_COLOR[None, :] * fog_a.astype(np.float32)[:, None]
+        )
+        return cols.astype(np.uint8)
+
+    def _billboard_colors_multi(
+        self,
+        actor_lists: list[list],
+        dists: list[np.ndarray],
+        weathers: list[Weather],
+    ) -> list[np.ndarray]:
+        """:meth:`_billboard_colors` for many episodes in one dispatch.
+
+        All episodes' drawable rows concatenate into one colour/distance
+        row set with per-episode scalars (fog visibility) expanded along
+        their segment, so the shading/fog ufuncs run once instead of once
+        per episode.  Every step is the same elementwise op on the same
+        operands as the per-episode call — except the fog-gamma power,
+        which keeps a *scalar* exponent per episode segment: NumPy's
+        scalar-exponent fast paths (e.g. ``** 0.5`` -> sqrt) are not
+        guaranteed bit-identical to an array-exponent ``pow``.
+        """
+        cam = self.camera
+        pieces = []
+        offsets = [0]
+        vis = np.empty(len(dists))
+        counts = np.empty(len(dists), dtype=np.int64)
+        pos = 0
+        for i, (actor_list, dist, weather) in enumerate(
+            zip(actor_lists, dists, weathers)
+        ):
+            pieces.append(self._bb_colors)
+            if actor_list:
+                pieces.append(
+                    np.array([a.color for a in actor_list], dtype=np.float32)
+                )
+            vis[i] = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
+            counts[i] = len(dist)
+            pos += len(dist)
+            offsets.append(pos)
+        if pos == 0:
+            return [np.empty((0, 3), dtype=np.uint8) for _ in dists]
+        cols = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+        dist = np.concatenate(dists) if len(dists) > 1 else dists[0]
+        shade = 1.0 - 0.35 * np.minimum(dist / cam.max_depth, 1.0)
+        cols = cols * shade.astype(np.float32)[:, None]
+        fog_a = np.clip(dist / np.repeat(vis, counts), 0.0, 1.0)
+        for i, weather in enumerate(weathers):
+            if weather.fog_density > 0.0:
+                lo, hi = offsets[i], offsets[i + 1]
+                fog_a[lo:hi] = fog_a[lo:hi] ** max(0.5, 1.0 - weather.fog_density)
+        cols = (
+            cols * (1.0 - fog_a).astype(np.float32)[:, None]
+            + FOG_COLOR[None, :] * fog_a.astype(np.float32)[:, None]
+        )
+        u8 = cols.astype(np.uint8)
+        return [u8[offsets[i] : offsets[i + 1]] for i in range(len(dists))]
+
+    def _apply_atmosphere(
+        self,
+        img: np.ndarray,
+        weather: Weather,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Rain streaks + brightness; returns the final uint8 frame.
+
+        The streak update is a single fancy-indexed pass; pixels covered
+        by k overlapping streaks get the darken/brighten transform applied
+        k times, which is exactly what the retired per-streak loop
+        produced.  Shared by :meth:`render` and :meth:`render_batch` so the
+        per-episode rng draws happen in the same order with the same
+        arguments either way.
+        """
+        cam = self.camera
+        if weather.rain_intensity > 0.0 and rng is not None:
+            n = int(weather.rain_intensity * cam.width * cam.height * 0.01)
+            if n > 0:
+                us = rng.integers(0, cam.width, n)
+                vs = rng.integers(0, max(1, cam.height - 4), n)
+                lengths = rng.integers(2, 5, n)
+                offsets = np.arange(int(lengths.sum())) - np.repeat(
+                    np.cumsum(lengths) - lengths, lengths
+                )
+                rows = np.repeat(vs, lengths) + offsets
+                flat = rows * cam.width + np.repeat(us, lengths)
+                cells, counts = np.unique(flat, return_counts=True)
+                pixels = img.reshape(-1, 3)
+                vals = pixels[cells]
+                vals = np.minimum(vals * 0.7 + 90.0, 255.0)
+                for k in range(2, int(counts.max()) + 1):
+                    again = counts >= k
+                    vals[again] = np.minimum(vals[again] * 0.7 + 90.0, 255.0)
+                pixels[cells] = vals
+        if weather.brightness != 1.0:
+            img = img * weather.brightness
+        if weather.brightness <= 1.0:
+            # Every source (sky gradient, convex fog blends, uint8-cast
+            # billboards, 255-clamped rain) is already in [0, 255] and a
+            # brightness <= 1 keeps it there: the clip is an identity.
+            return img.astype(np.uint8)
+        return np.clip(img, 0.0, 255.0).astype(np.uint8)
+
+    def _scatter_ground(self, img: np.ndarray, colors: np.ndarray) -> None:
+        """Write fogged ground colours into a frame (scatter + block)."""
+        cam = self.camera
+        split = self._ground_split
+        if split:
+            img.reshape(-1, 3)[self._ground_scatter_idx] = colors[:split]
+        if self._ground_block_row < cam.height:
+            img[self._ground_block_row :] = colors[split:].reshape(-1, cam.width, 3)
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -576,13 +854,7 @@ class Renderer:
         fog_term, one_minus_alpha = self._ground_alpha(weather.fog_density)
         np.multiply(colors, one_minus_alpha, out=colors)
         np.add(colors, fog_term, out=colors)
-        split = self._ground_split
-        if split:
-            img.reshape(-1, 3)[self._ground_scatter_idx] = colors[:split]
-        if self._ground_block_row < cam.height:
-            img[self._ground_block_row :] = colors[split:].reshape(
-                -1, cam.width, 3
-            )
+        self._scatter_ground(img, colors)
 
         # Billboard pass: one batched cull/project/sort, then far-to-near
         # slab paints.
@@ -593,60 +865,96 @@ class Renderer:
             order, valid, u0, u1, v0, v1, dist = self._billboard_geometry(
                 ego, cx, cy, crel, srel, hl, hw, height
             )
-            if actor_list:
-                cols = np.concatenate(
-                    [
-                        self._bb_colors,
-                        np.array([a.color for a in actor_list], dtype=np.float32),
-                    ]
-                )
-            else:
-                cols = self._bb_colors
-            shade = 1.0 - 0.35 * np.minimum(dist / cam.max_depth, 1.0)
-            cols = cols * shade.astype(np.float32)[:, None]
-            visibility = cam.max_depth * (1.0 - 0.85 * weather.fog_density)
-            fog_a = np.clip(dist / visibility, 0.0, 1.0)
-            if weather.fog_density > 0.0:
-                fog_a = fog_a ** max(0.5, 1.0 - weather.fog_density)
-            cols = (
-                cols * (1.0 - fog_a).astype(np.float32)[:, None]
-                + FOG_COLOR[None, :] * fog_a.astype(np.float32)[:, None]
-            )
             self._paint_billboards(
-                img, order, valid, u0, u1, v0, v1, cols.astype(np.uint8)
+                img,
+                order,
+                valid,
+                u0,
+                u1,
+                v0,
+                v1,
+                self._billboard_colors(actor_list, dist, weather),
             )
 
-        # Atmosphere: rain streaks and brightness.  The streak update is a
-        # single fancy-indexed pass; pixels covered by k overlapping
-        # streaks get the darken/brighten transform applied k times, which
-        # is exactly what the retired per-streak loop produced.
-        if weather.rain_intensity > 0.0 and rng is not None:
-            n = int(weather.rain_intensity * cam.width * cam.height * 0.01)
-            if n > 0:
-                us = rng.integers(0, cam.width, n)
-                vs = rng.integers(0, max(1, cam.height - 4), n)
-                lengths = rng.integers(2, 5, n)
-                offsets = np.arange(int(lengths.sum())) - np.repeat(
-                    np.cumsum(lengths) - lengths, lengths
-                )
-                rows = np.repeat(vs, lengths) + offsets
-                flat = rows * cam.width + np.repeat(us, lengths)
-                cells, counts = np.unique(flat, return_counts=True)
-                pixels = img.reshape(-1, 3)
-                vals = pixels[cells]
-                vals = np.minimum(vals * 0.7 + 90.0, 255.0)
-                for k in range(2, int(counts.max()) + 1):
-                    again = counts >= k
-                    vals[again] = np.minimum(vals[again] * 0.7 + 90.0, 255.0)
-                pixels[cells] = vals
-        if weather.brightness != 1.0:
-            img = img * weather.brightness
-        if weather.brightness <= 1.0:
-            # Every source (sky gradient, convex fog blends, uint8-cast
-            # billboards, 255-clamped rain) is already in [0, 255] and a
-            # brightness <= 1 keeps it there: the clip is an identity.
-            return img.astype(np.uint8)
-        return np.clip(img, 0.0, 255.0).astype(np.uint8)
+        # Atmosphere: rain streaks and brightness.
+        return self._apply_atmosphere(img, weather, rng)
+
+    def render_batch(
+        self,
+        views: list[
+            tuple[Transform, list | None, Weather | None, np.random.Generator | None]
+        ],
+    ) -> list[np.ndarray]:
+        """Render many episodes' frames through this renderer in one batch.
+
+        ``views`` holds one ``(ego, actors, weather, rng)`` tuple per
+        episode; the return list pairs with it.  Ground-pass world
+        coordinates and the billboard geometry pipeline run over all
+        episodes stacked into ``(E, .)`` slabs — every arithmetic step is
+        the same elementwise op as :meth:`render` on the same operands,
+        and everything order-sensitive (paint order, rain rng draws)
+        stays per episode, so each output is bit-identical to the serial
+        call.  Used by the episode multiplexer for same-scene-fingerprint
+        groups (one shared renderer via the scene cache).
+        """
+        if not views:
+            return []
+        cam = self.camera
+        n_eps = len(views)
+        # Batched ground pass: (E, N) world coordinates in one dispatch,
+        # one flat texture gather for all episodes.
+        exs = np.empty((n_eps, 1))
+        eys = np.empty((n_eps, 1))
+        coss = np.empty((n_eps, 1))
+        sins = np.empty((n_eps, 1))
+        for i, (ego, _, _, _) in enumerate(views):
+            exs[i, 0] = ego.position.x
+            eys[i, 0] = ego.position.y
+            coss[i, 0] = math.cos(ego.yaw)
+            sins[i, 0] = math.sin(ego.yaw)
+        wx = exs + self._ground_x[None, :] * coss - self._ground_y[None, :] * sins
+        wy = eys + self._ground_x[None, :] * sins + self._ground_y[None, :] * coss
+        n_ground = len(self._ground_x)
+        colors = self.texture.sample_f32_xy(wx.ravel(), wy.ravel()).reshape(
+            n_eps, n_ground, 3
+        )
+        # Ground fog: per-episode cached (fog_term, 1 - alpha) pairs
+        # stacked along the episode axis and applied in one pass.
+        weathers = [w or Weather("ClearNoon") for (_, _, w, _) in views]
+        fog_term, one_minus = self._ground_alpha_multi(
+            tuple(w.fog_density for w in weathers)
+        )
+        np.multiply(colors, one_minus, out=colors)
+        np.add(colors, fog_term, out=colors)
+
+        # Billboard geometry for all episodes in one concatenated dispatch
+        # (the per-episode drawable stacking is fused into the multi call).
+        actor_lists = [list(actors or []) for (_, actors, _, _) in views]
+        geoms = self._billboard_geometry_multi(
+            [ego for (ego, _, _, _) in views], actor_lists
+        )
+        painting = [i for i in range(n_eps) if len(geoms[i][6])]
+        fills = dict(
+            zip(
+                painting,
+                self._billboard_colors_multi(
+                    [actor_lists[i] for i in painting],
+                    [geoms[i][6] for i in painting],
+                    [weathers[i] for i in painting],
+                ),
+            )
+        )
+
+        out: list[np.ndarray] = []
+        for i, (_, _, weather, rng) in enumerate(views):
+            weather = weathers[i]
+            img = self._frame_base.copy()
+            self._scatter_ground(img, colors[i])
+            order, valid, u0, u1, v0, v1, dist = geoms[i]
+            if i in fills:
+                self._paint_billboards(img, order, valid, u0, u1, v0, v1, fills[i])
+            out.append(self._apply_atmosphere(img, weather, rng))
+        return out
 
     # ------------------------------------------------------------------
     # Ground-truth layers (semantic segmentation + depth)

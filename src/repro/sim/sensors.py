@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from .geometry import Vec2, batch_ray_hits
+from .geometry import Vec2, batch_ray_hits, batch_ray_hits_multi, pad_box_packs
 from .render import CameraModel, Renderer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -37,6 +37,7 @@ __all__ = [
     "Speedometer",
     "Lidar2D",
     "SensorSuite",
+    "read_frames_batch",
 ]
 
 
@@ -196,7 +197,17 @@ class Lidar2D(Sensor):
             self._angles_cache = (key, self.ray_angles().tolist())
         return self._angles_cache[1]
 
-    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+    def scan_inputs(
+        self, world: "World", vehicle: "Vehicle"
+    ) -> tuple[Vec2, np.ndarray, np.ndarray]:
+        """``(origin, directions, packed)`` for this frame's ray cast.
+
+        The Python-side pruning/packing stays per episode; the returned
+        arrays feed either :func:`~repro.sim.geometry.batch_ray_hits`
+        (serial) or, stacked across episodes,
+        :func:`~repro.sim.geometry.batch_ray_hits_multi` (multiplexed) —
+        both produce the same bits from these inputs.
+        """
         origin = vehicle.position
         ox, oy = origin.x, origin.y
         max_range = self.max_range
@@ -240,8 +251,15 @@ class Lidar2D(Sensor):
             packed = kept_buildings
         # Per-ray unit directions, derived exactly as the scalar path did
         # (from_heading then normalized; the hypot of an exact unit pair
-        # may still differ from 1.0 in the last bit).
+        # may still differ from 1.0 in the last bit).  The rays depend
+        # only on the ego yaw, which repeats whenever the vehicle holds
+        # its heading, so the last frame's array is memoised and reused
+        # verbatim (callers treat it as read-only).
         ego_yaw = vehicle.yaw
+        key = (self.n_rays, self.fov, ego_yaw)
+        cached = getattr(self, "_dir_cache", None)
+        if cached is not None and cached[0] == key:
+            return origin, cached[1], packed
         directions = np.empty((self.n_rays, 2), dtype=np.float64)
         for i, rel in enumerate(self._angles()):
             heading = ego_yaw + rel
@@ -253,7 +271,12 @@ class Lidar2D(Sensor):
             else:
                 directions[i, 0] = dx / norm
                 directions[i, 1] = dy / norm
-        return batch_ray_hits(origin, directions, packed, max_range)
+        self._dir_cache = (key, directions)
+        return origin, directions, packed
+
+    def read(self, world: "World", vehicle: "Vehicle", rng: np.random.Generator) -> np.ndarray:
+        origin, directions, packed = self.scan_inputs(world, vehicle)
+        return batch_ray_hits(origin, directions, packed, self.max_range)
 
 
 class SensorSuite:
@@ -288,3 +311,101 @@ class SensorSuite:
             heading=vehicle.yaw,
             lidar=None if self.lidar is None else self.lidar.read(world, vehicle, rng),
         )
+
+
+def read_frames_batch(
+    items: list[tuple[SensorSuite, "World", "Vehicle", int]],
+) -> list[SensorFrame]:
+    """Read many episodes' sensor bundles with cross-episode batching.
+
+    ``items`` holds one ``(suite, world, vehicle, frame)`` tuple per live
+    episode; the returned list pairs with it.  Camera work batches per
+    shared renderer (episodes in one scene-fingerprint group share a
+    cached renderer), LIDAR ray casts batch per scan shape
+    ``(n_rays, fov, max_range)``; GPS/speedometer stay per episode.
+
+    Bit-identity with the serial path holds because every episode draws
+    from its *own* ``world.rng`` in the same order as
+    :meth:`SensorSuite.read_frame` (camera rain, then GPS, then speed;
+    LIDAR consumes no randomness), and the batched numeric kernels are
+    elementwise-identical to their per-episode counterparts.
+    """
+    if not items:
+        return []
+    n = len(items)
+
+    # Camera pass, grouped by renderer identity.
+    images: list[Optional[np.ndarray]] = [None] * n
+    cam_groups: dict[int, tuple[Renderer, list[int]]] = {}
+    for idx, (suite, world, vehicle, frame) in enumerate(items):
+        renderer = suite.camera.renderer
+        cam_groups.setdefault(id(renderer), (renderer, []))[1].append(idx)
+    for renderer, idxs in cam_groups.values():
+        if len(idxs) == 1:
+            suite, world, vehicle, _ = items[idxs[0]]
+            images[idxs[0]] = suite.camera.read(world, vehicle, world.rng)
+            continue
+        views = []
+        for idx in idxs:
+            suite, world, vehicle, _ = items[idx]
+            views.append(
+                (
+                    vehicle.transform,
+                    world.other_actors(vehicle.id),
+                    world.weather,
+                    world.rng,
+                )
+            )
+        for idx, img in zip(idxs, renderer.render_batch(views)):
+            images[idx] = img
+
+    # GPS / speed / heading: small per-episode reads in item order (each
+    # episode's rng has already consumed its camera draws above).
+    gps_l: list[tuple[float, float]] = []
+    speed_l: list[float] = []
+    heading_l: list[float] = []
+    for suite, world, vehicle, frame in items:
+        gps_l.append(suite.gps.read(world, vehicle, world.rng))
+        speed_l.append(suite.speedometer.read(world, vehicle, world.rng))
+        heading_l.append(vehicle.yaw)
+
+    # LIDAR pass, grouped by scan shape so directions stack rectangularly.
+    lidars: list[Optional[np.ndarray]] = [None] * n
+    lidar_groups: dict[tuple[int, float, float], list[int]] = {}
+    for idx, (suite, world, vehicle, frame) in enumerate(items):
+        if suite.lidar is None:
+            continue
+        key = (suite.lidar.n_rays, suite.lidar.fov, suite.lidar.max_range)
+        lidar_groups.setdefault(key, []).append(idx)
+    for (n_rays, fov, max_range), idxs in lidar_groups.items():
+        if len(idxs) == 1:
+            suite, world, vehicle, _ = items[idxs[0]]
+            lidars[idxs[0]] = suite.lidar.read(world, vehicle, world.rng)
+            continue
+        origins = np.empty((len(idxs), 2), dtype=np.float64)
+        dir_stack = []
+        packs = []
+        for j, idx in enumerate(idxs):
+            suite, world, vehicle, _ = items[idx]
+            origin, directions, packed = suite.lidar.scan_inputs(world, vehicle)
+            origins[j, 0] = origin.x
+            origins[j, 1] = origin.y
+            dir_stack.append(directions)
+            packs.append(packed)
+        ranges = batch_ray_hits_multi(
+            origins, np.stack(dir_stack), pad_box_packs(packs), max_range
+        )
+        for j, idx in enumerate(idxs):
+            lidars[idx] = ranges[j].copy()
+
+    return [
+        SensorFrame(
+            frame=frame,
+            image=images[i],
+            gps=gps_l[i],
+            speed=speed_l[i],
+            heading=heading_l[i],
+            lidar=lidars[i],
+        )
+        for i, (suite, world, vehicle, frame) in enumerate(items)
+    ]

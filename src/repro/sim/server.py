@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from .channel import Channel, Packet
 from .physics import VehicleControl
-from .sensors import SensorSuite
+from .sensors import SensorFrame, SensorSuite
 from .violations import ViolationEvent, ViolationMonitor
 from .world import World
 
@@ -69,19 +69,55 @@ class SimulationServer:
         bundle = self.sensors.read_frame(self.world, ego, self.world.frame, self.world.rng)
         self.sensor_channel.send(Packet("sensor", self.world.frame, bundle))
 
-    def tick(self) -> ServerFrameResult:
-        """Advance the simulation one frame (steps 1-4 above)."""
+    # -- stepwise phases -----------------------------------------------
+    #
+    # tick() used to be monolithic; it is now the composition of four
+    # explicit phases so an episode multiplexer can interleave many
+    # servers at tick granularity and batch the sensing phase across
+    # episodes.  The server clock is simply ``world.frame``; channel
+    # delivery is keyed on whatever frame the *polling* side passes, so a
+    # client stepped on its own clock (jitter) needs no server change.
+
+    def apply_pending_control(self) -> VehicleControl:
+        """Phase 1: poll the freshest due control and apply it.
+
+        Polls at the server's own clock (the pre-tick ``world.frame``);
+        when nothing is due the previous command stays applied — the
+        paper's hold-and-replay semantics.
+        """
         ego = self.world.ego
         assert ego is not None
-
         packet = self.control_channel.poll_latest(self.world.frame)
         if packet is not None:
             self._last_control = packet.payload
         ego.apply_control(self._last_control)
+        return self._last_control
 
+    def advance_world(self) -> tuple[int, list[ViolationEvent]]:
+        """Phases 2-3: tick physics/NPCs and run the violation monitor."""
+        ego = self.world.ego
+        assert ego is not None
         frame = self.world.tick()
         new_events = self.monitor.step(self.world, ego, frame)
+        return frame, new_events
 
-        bundle = self.sensors.read_frame(self.world, ego, frame, self.world.rng)
-        self.sensor_channel.send(Packet("sensor", frame, bundle))
-        return ServerFrameResult(frame, new_events, self._last_control)
+    def read_bundle(self) -> "SensorFrame":
+        """Phase 4a: read the sensor suite at the current world frame."""
+        ego = self.world.ego
+        assert ego is not None
+        return self.sensors.read_frame(self.world, ego, self.world.frame, self.world.rng)
+
+    def publish_bundle(self, bundle: "SensorFrame") -> None:
+        """Phase 4b: ship a sensor bundle on the sensor channel.
+
+        Split from :meth:`read_bundle` so a multiplexer can compute the
+        bundle in a cross-episode batch and publish it here unchanged.
+        """
+        self.sensor_channel.send(Packet("sensor", self.world.frame, bundle))
+
+    def tick(self) -> ServerFrameResult:
+        """Advance the simulation one frame (steps 1-4 above)."""
+        applied = self.apply_pending_control()
+        frame, new_events = self.advance_world()
+        self.publish_bundle(self.read_bundle())
+        return ServerFrameResult(frame, new_events, applied)

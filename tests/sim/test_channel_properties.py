@@ -124,3 +124,149 @@ class TestTransformComposition:
         delivered = [p.payload for p in ch.poll(10_000)]
         assert delivered == [1, 3, 5, 7, 9]
         assert ch.stats.dropped == 5
+
+
+class _Duplicate(ChannelTransform):
+    """Deliver the original plus one copy ``extra`` frames later."""
+
+    def __init__(self, extra: int = 2):
+        self.extra = extra
+
+    def on_send(self, packet, deliver_frame):
+        return [(packet, deliver_frame), (packet, deliver_frame + self.extra)]
+
+
+class _DropEven(ChannelTransform):
+    def on_send(self, packet, deliver_frame):
+        if packet.payload % 2 == 0:
+            return None
+        return [(packet, deliver_frame)]
+
+
+class TestClearResetsReplayState:
+    def test_clear_resets_tiebreak_counter(self):
+        """A cleared channel must reproduce a fresh channel's internal
+        delivery schedule exactly — including the heap tiebreak values,
+        which participate in ordering whenever two packets share a
+        delivery frame (reordering faults, duplicates)."""
+        ch = Channel("c")
+        for i in range(5):
+            ch.send(Packet("k", i, i))
+        ch.poll(10_000)
+        ch.clear()
+        fresh = Channel("c")
+        for channel in (ch, fresh):
+            for i in range(3):
+                channel.send(Packet("k", 0, i))  # same frame: tiebreak decides
+        assert ch._heap == fresh._heap  # exact (frame, tiebreak, packet) tuples
+        assert ch.stats.sent == fresh.stats.sent == 3
+
+    def test_clear_resets_stats_heap_and_transforms(self):
+        class Counting(ChannelTransform):
+            def __init__(self):
+                self.seen = 0
+
+            def on_send(self, packet, deliver_frame):
+                self.seen += 1
+                return [(packet, deliver_frame)]
+
+            def reset(self):
+                self.seen = 0
+
+        counting = Counting()
+        ch = Channel("c")
+        ch.add_transform(counting)
+        for i in range(4):
+            ch.send(Packet("k", i, i))
+        assert ch.pending() == 4 and counting.seen == 4
+        ch.clear()
+        assert ch.pending() == 0
+        assert counting.seen == 0
+        assert (ch.stats.sent, ch.stats.delivered, ch.stats.dropped) == (0, 0, 0)
+
+
+class TestDuplicationDropChains:
+    def test_duplicate_then_drop_accounts_each_instance(self):
+        """Drop sits downstream of duplication: each duplicate passes the
+        drop filter independently, so both copies of an even payload
+        count as drops."""
+        ch = Channel("c")
+        ch.add_transform(_Duplicate(extra=2))
+        ch.add_transform(_DropEven())
+        for i in range(6):
+            ch.send(Packet("k", i, i))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert sorted(delivered) == [1, 1, 3, 3, 5, 5]
+        assert ch.stats.sent == 6
+        assert ch.stats.dropped == 6  # both copies of payloads 0, 2, 4
+        assert ch.stats.delivered == 6
+        assert ch.stats.delayed == 3  # the +2 copy of each surviving payload
+
+    def test_drop_then_duplicate_accounts_originals_only(self):
+        """Swapping the chain changes the accounting: evens are dropped
+        before duplication ever sees them."""
+        ch = Channel("c")
+        ch.add_transform(_DropEven())
+        ch.add_transform(_Duplicate(extra=2))
+        for i in range(6):
+            ch.send(Packet("k", i, i))
+        delivered = [p.payload for p in ch.poll(10_000)]
+        assert sorted(delivered) == [1, 1, 3, 3, 5, 5]
+        assert ch.stats.sent == 6
+        assert ch.stats.dropped == 3  # one drop per even original
+        assert ch.stats.delivered == 6
+        assert ch.stats.delayed == 3
+
+    def test_duplicates_same_frame_deliver_in_insertion_order(self):
+        ch = Channel("c")
+        ch.add_transform(_Duplicate(extra=0))  # copy lands on the same frame
+        for i in range(3):
+            ch.send(Packet("k", 0, i))
+        assert [p.payload for p in ch.poll(0)] == [0, 0, 1, 1, 2, 2]
+
+
+class TestDecoupledClockDelivery:
+    """Client and server tick clocks are independently steppable (the
+    jitter seam on :class:`repro.sim.server.SimulationServer`); the
+    channel layer must keep exact accounting whatever skew the client
+    clock runs at."""
+
+    @given(send_schedule(), st.integers(-3, 3), st.integers(0, 4))
+    @settings(max_examples=40)
+    def test_conservation_under_skewed_polling(self, schedule, skew, latency):
+        ch = Channel("sensor")
+        ch.add_transform(FixedLatency(latency))
+        got = []
+        for frame, payload in schedule:
+            ch.send(Packet("k", frame, payload))
+            got.extend(p.payload for p in ch.poll(frame + skew))
+        got.extend(p.payload for p in ch.poll(10_000))  # drain the tail
+        assert sorted(got) == [p for _, p in schedule]
+        assert ch.stats.delivered == ch.stats.sent == len(schedule)
+        assert ch.stats.dropped == 0
+
+    def test_lagging_clock_defers_but_never_loses(self):
+        """A client clock running ``skew`` frames behind the server sees
+        every packet ``skew`` polls late, in unchanged order."""
+        ch = Channel("sensor")
+        arrival = {}
+        for frame in range(10):
+            ch.send(Packet("k", frame, frame))
+            for p in ch.poll(frame - 2):  # client two frames behind
+                arrival[p.payload] = frame
+        for p in ch.poll(10_000):
+            arrival[p.payload] = 12
+        assert list(arrival) == sorted(arrival)  # order preserved
+        assert all(arrival[p] >= p + 2 for p in range(10))
+        assert ch.stats.delivered == 10
+
+    def test_leading_clock_is_lockstep_plus_nothing(self):
+        """A clock running ahead cannot deliver packets that do not exist
+        yet: same-frame sends still arrive exactly once."""
+        ch = Channel("sensor")
+        seen = []
+        for frame in range(8):
+            ch.send(Packet("k", frame, frame))
+            seen.extend(p.payload for p in ch.poll(frame + 3))
+        assert seen == list(range(8))
+        assert ch.stats.delivered == ch.stats.sent == 8
