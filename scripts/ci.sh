@@ -38,7 +38,8 @@ echo "== smoke: compound-fault campaign + streaming report =="
 # streaming `avfi report` computes interaction effects from the file.
 COMPOUND_DIR="$(mktemp -d)"
 CHAOS_DIR="$(mktemp -d)"
-trap 'rm -rf "$COMPOUND_DIR" "$CHAOS_DIR"' EXIT
+SERVICE_DIR="$(mktemp -d)"
+trap 'rm -rf "$COMPOUND_DIR" "$CHAOS_DIR" "$SERVICE_DIR"' EXIT
 python -m repro run examples/specs/compound.json --workers 1 \
     --checkpoint "$COMPOUND_DIR/results.jsonl" \
     --parquet "$COMPOUND_DIR/results.parquet"
@@ -108,6 +109,17 @@ python -m repro report "$CHAOS_DIR/broker/results.jsonl" | tee "$CHAOS_DIR/repor
 grep -q "quarantined episodes" "$CHAOS_DIR/report.txt"
 grep -q "chaos-crash" "$CHAOS_DIR/report.txt"
 grep -q "chaos-hang" "$CHAOS_DIR/report.txt"
+
+echo "== smoke: campaign as a service (avfi serve + TCP worker + HTTP submit) =="
+# The full network deployment, every role a real subprocess: `avfi serve`
+# (HTTP control plane + TCP broker), one `avfi worker` attached over
+# tcp://, an HTTP client submitting the smoke spec and polling to
+# settlement.  The script exits non-zero unless the streamed results are
+# byte-identical to a serial run; subprocesses are reaped through the
+# reap_process escalation ladder.
+python examples/service_campaign.py | tee "$SERVICE_DIR/service.txt"
+grep -q "done  {'ok': 3}" "$SERVICE_DIR/service.txt"
+grep -q "byte-identical to serial run: True" "$SERVICE_DIR/service.txt"
 
 if [[ "${1:-}" == "--slow" ]]; then
     echo "== slow tier: benchmarks (incl. sensor pipeline + multiplex gates) =="

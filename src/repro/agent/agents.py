@@ -50,6 +50,8 @@ __all__ = [
     "AGENT_REGISTRY",
     "register_agent",
     "make_agent_factory",
+    "model_weight_digest",
+    "nn_config_signature",
 ]
 
 
@@ -145,6 +147,33 @@ class AutopilotAgent:
 AgentFactory = Callable[[EpisodeHandles, Mission], "object"]
 
 
+def model_weight_digest(model: ILCNN) -> str:
+    """SHA-1 over the model's name-sorted weights — the semantic identity
+    of a trained network, independent of how (or whether) it was
+    serialised to disk.  This is both the hash inside
+    :meth:`NNAgentFactory.config_signature` and the content address under
+    which the artifact store ships weights to workers
+    (:mod:`repro.core.artifacts`) — one key, so a warm-started worker
+    provably runs the exact network the fingerprints claim."""
+    digest = hashlib.sha1()
+    params = model.named_parameters()
+    for name in sorted(params):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(params[name].data).tobytes())
+    return digest.hexdigest()
+
+
+def nn_config_signature(weight_digest: str, replan_tolerance: float) -> str:
+    """The canonical NN-agent signature string.  Shared by the eager
+    factory and the artifact-backed one — they must render identically
+    or the same campaign would fingerprint differently depending on how
+    the weights travelled."""
+    return (
+        f"NNAgentFactory(weights={weight_digest[:12]}, "
+        f"replan_tolerance={replan_tolerance!r})"
+    )
+
+
 class NNAgentFactory:
     """Factory adapting :class:`NNAgent` to the campaign protocol.
 
@@ -171,14 +200,8 @@ class NNAgentFactory:
         exactly — does not.  Recomputed on every call rather than cached:
         the model may be trained further between campaigns.
         """
-        digest = hashlib.sha1()
-        params = self.model.named_parameters()
-        for name in sorted(params):
-            digest.update(name.encode())
-            digest.update(np.ascontiguousarray(params[name].data).tobytes())
-        return (
-            f"NNAgentFactory(weights={digest.hexdigest()[:12]}, "
-            f"replan_tolerance={self.replan_tolerance!r})"
+        return nn_config_signature(
+            model_weight_digest(self.model), self.replan_tolerance
         )
 
 

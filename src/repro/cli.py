@@ -522,19 +522,17 @@ def cmd_worker(args) -> None:
 
 
 def cmd_queue_status(args) -> None:
-    import json
     import time
     from pathlib import Path
 
-    from .core.queue import FilesystemBroker
+    from .core.netqueue import is_broker_url, make_broker
 
-    root = Path(args.queue_dir)
-    if not root.is_dir():
+    if not is_broker_url(args.queue_dir) and not Path(args.queue_dir).is_dir():
         _fail("queue-status", f"no such queue directory: {args.queue_dir}")
-    broker = FilesystemBroker(root)
+    broker = make_broker(args.queue_dir)
     manifest = broker.manifest() or {}
     status = broker.status()
-    print(f"queue: {root}")
+    print(f"queue: {args.queue_dir}")
     if manifest:
         created = manifest.get("created_at")
         age = f", published {time.time() - created:.0f}s ago" if created else ""
@@ -553,22 +551,143 @@ def cmd_queue_status(args) -> None:
     stale_after = args.stale_after
     if stale_after is None:
         stale_after = float(manifest.get("lease_s") or 60.0)
-    worker_files = sorted(broker.workers_dir.glob("*.json")) if broker.workers_dir.is_dir() else []
-    print(f"workers: {len(worker_files)} seen")
-    now = time.time()
-    for path in worker_files:
-        try:
-            beat = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            print(f"  {path.stem}: unreadable heartbeat file")
+    # Heartbeat rows come from the broker (local directory or TCP); the
+    # broker already judged each age with its skew guard (fresher of the
+    # embedded timestamp and the file's mtime, on the *server's* clock).
+    rows = broker.workers()
+    print(f"workers: {len(rows)} seen")
+    for beat in rows:
+        age = beat.get("age_s")
+        if age is None:
+            print(f"  {beat.get('worker', '?')}: unreadable heartbeat file")
             continue
-        age = now - float(beat.get("heartbeat_at", 0.0))
         live = "live" if age <= stale_after else f"STALE (>{stale_after:.0f}s)"
         print(
-            f"  {beat.get('worker', path.stem)}: {live}, last beat "
+            f"  {beat.get('worker', '?')}: {live}, last beat "
             f"{age:.0f}s ago, {beat.get('episodes_done', 0)} episode(s) done "
             f"on {beat.get('host', '?')}"
         )
+
+
+def cmd_serve(args) -> None:
+    import json
+    from pathlib import Path
+
+    from .core.service import CampaignService
+
+    service = CampaignService(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        broker_port=args.broker_port,
+        lease_s=args.lease,
+        default_workers=args.local_workers,
+        stall_timeout=args.stall_timeout,
+    )
+    service.start()
+    print(f"control plane: {service.url}")
+    print(f"task broker:   {service.broker_address}")
+    print(f"attach workers with: avfi worker --queue-dir {service.broker_address}")
+    if args.ready_file:
+        # Scripts (CI, examples) wait for this file instead of parsing
+        # stdout: it appears only once both listeners are bound.
+        Path(args.ready_file).write_text(
+            json.dumps({"url": service.url, "broker": service.broker_address}) + "\n"
+        )
+    try:
+        service.wait()
+        print("shutdown requested; finishing up")
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down")
+    finally:
+        service.stop()
+
+
+def cmd_submit(args) -> None:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+    from pathlib import Path
+
+    from .core.spec import SpecError, load_spec
+
+    if not Path(args.spec).exists():
+        _fail("submit", f"no such spec file: {args.spec}")
+    try:
+        spec = load_spec(args.spec)  # validate locally: fail before the network
+    except SpecError as exc:
+        raise SystemExit(f"avfi submit: {exc}")
+    body: dict = {"spec": spec.to_dict()}
+    if args.workers is not None:
+        body["workers"] = args.workers
+    tolerance = _fault_tolerance_from_args(args, spec)
+    if tolerance is not None:
+        body["fault_tolerance"] = tolerance.to_dict()
+    url = args.url.rstrip("/")
+
+    def call(method: str, path: str, payload: bytes | None = None):
+        request = urllib.request.Request(url + path, data=payload, method=method)
+        if payload is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise SystemExit(f"avfi submit: {url}{path} -> {exc.code}: {detail}")
+        except urllib.error.URLError as exc:
+            raise SystemExit(f"avfi submit: cannot reach {url}: {exc.reason}")
+
+    summary = call("POST", "/campaigns", json.dumps(body).encode())
+    sub_id = summary["id"]
+    print(f"submitted {spec.name} as {sub_id} ({summary['state']})")
+    if not args.wait:
+        print(f"poll with: curl {url}/campaigns/{sub_id}")
+        return
+
+    last_line = ""
+    while True:
+        summary = call("GET", f"/campaigns/{sub_id}")
+        counts = summary.get("counts") or {}
+        line = f"{summary['state']}: " + ", ".join(
+            f"{key}={counts[key]}" for key in sorted(counts)
+        )
+        if line != last_line:
+            print(f"[{sub_id}] {line}")
+            last_line = line
+        if summary["state"] in ("done", "failed"):
+            break
+        time.sleep(args.poll)
+    if summary["state"] == "failed":
+        raise SystemExit(f"avfi submit: campaign failed: {summary.get('error', '?')}")
+
+    with urllib.request.urlopen(
+        url + f"/campaigns/{sub_id}/results", timeout=30
+    ) as response:
+        results = response.read()
+    if args.save:
+        Path(args.save).write_bytes(results)
+        print(f"results -> {args.save}")
+    from .core import format_table, metrics_by_injector
+    from .core.campaign import RunRecord
+
+    records = []
+    for line in results.decode().splitlines():
+        row = json.loads(line)
+        if "outcome" not in row:
+            records.append(RunRecord(**row))
+    metrics = metrics_by_injector(records)
+    rows = [
+        [n, m.n_runs, m.msr, m.vpk, m.apk, m.ttv_median_s if m.ttv_s else None]
+        for n, m in metrics.items()
+    ]
+    print()
+    print(format_table(["injector", "runs", "MSR_%", "VPK", "APK", "TTV_s"], rows))
 
 
 #: Hook points in fig. 1 order, with the seam each one corrupts.
@@ -745,7 +864,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--queue-dir", required=True,
         help="the campaign's shared broker directory (same path/NFS mount "
-        "the coordinator passed to --queue-dir)",
+        "the coordinator passed to --queue-dir), or a broker URL "
+        "(tcp://host:port — what `avfi serve` prints)",
     )
     p.add_argument("--worker-id", default=None, help="default: <hostname>-<pid>")
     p.add_argument(
@@ -771,13 +891,91 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
+        "serve",
+        help="run the campaign service: a task broker plus an HTTP "
+        "control plane for submitting and watching campaigns",
+    )
+    p.add_argument(
+        "--state-dir", required=True,
+        help="durable service state (the broker root lives at "
+        "<state-dir>/queue and survives restarts)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for both listeners; the service is "
+        "unauthenticated — bind to localhost or a trusted network only",
+    )
+    p.add_argument("--port", type=int, default=8265, help="HTTP control-plane port (0 = ephemeral)")
+    p.add_argument("--broker-port", type=int, default=0, help="task broker port (0 = ephemeral)")
+    p.add_argument(
+        "--lease", type=_positive_float, default=60.0,
+        help="default task lease for submitted campaigns (s)",
+    )
+    p.add_argument(
+        "--local-workers", type=_int_at_least(0), default=0, metavar="N",
+        help="fork N drain workers per campaign on this machine "
+        "(default 0: coordinate only, workers attach over TCP)",
+    )
+    p.add_argument(
+        "--stall-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="fail a campaign when no episode completes and no worker "
+        "holds a lease for this long (default: wait forever)",
+    )
+    p.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write a JSON line with the bound URLs once both listeners "
+        "are up (script/CI coordination)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign spec to a running `avfi serve` instance",
+    )
+    p.add_argument("spec", help="path to a campaign spec JSON file")
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8265",
+        help="the service's control-plane URL",
+    )
+    p.add_argument(
+        "--workers", type=_int_at_least(0), default=None,
+        help="ask the service to fork this many local drain workers "
+        "for this campaign (default: the service's --local-workers)",
+    )
+    p.add_argument(
+        "--max-attempts", type=_positive_int, default=None,
+        help="per-episode attempts before the episode is parked",
+    )
+    p.add_argument(
+        "--episode-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit",
+    )
+    p.add_argument(
+        "--failure-budget", type=_int_at_least(0), default=None, metavar="N",
+        help="quarantine up to N failed episodes before aborting",
+    )
+    p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the campaign settles, then print the metrics table",
+    )
+    p.add_argument(
+        "--poll", type=_positive_float, default=1.0,
+        help="poll interval while --wait'ing (s)",
+    )
+    p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="with --wait: write the result rows (JSONL) here",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
         "queue-status",
         help="one-shot health report for a queue campaign directory",
     )
     p.add_argument(
         "queue_dir",
         help="the campaign's shared broker directory (the coordinator's "
-        "--queue-dir)",
+        "--queue-dir), or a broker URL (tcp://host:port)",
     )
     p.add_argument(
         "--stale-after", type=_positive_float, default=None, metavar="SECONDS",

@@ -696,14 +696,18 @@ class Campaign:
         """Number of episodes the campaign will execute."""
         return len(self.scenarios) * len(self.injectors)
 
-    def run(self, workers: int | None = None) -> CampaignResult:
-        """Execute every (injector, scenario) episode.
+    def runner(self, workers: int | None = None):
+        """Build the :class:`~repro.core.runner.ParallelCampaignRunner`
+        this campaign would execute, without running it.
 
-        ``workers`` overrides the constructor setting for this run.
+        :meth:`run` is ``runner().run()``; the campaign service
+        (:mod:`repro.core.service`) holds the runner directly so it can
+        publish the grid, watch per-episode progress, and drive the run
+        from its own thread.
         """
         from .runner import ParallelCampaignRunner  # deferred: runner imports us
 
-        runner = ParallelCampaignRunner(
+        return ParallelCampaignRunner(
             self.scenarios,
             self.agent_factory,
             self.injectors,
@@ -721,7 +725,13 @@ class Campaign:
             verbose=self.verbose,
             label="campaign",
         )
-        return runner.run()
+
+    def run(self, workers: int | None = None) -> CampaignResult:
+        """Execute every (injector, scenario) episode.
+
+        ``workers`` overrides the constructor setting for this run.
+        """
+        return self.runner(workers).run()
 
 
 def standard_scenarios(

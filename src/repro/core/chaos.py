@@ -14,6 +14,13 @@ real fleet produces.  This module supplies the faults:
   is noise the at-least-once queue contract plus the exactly-once
   results fold must absorb: a chaos campaign must produce byte-identical
   records to a serial run.
+* :class:`NetworkChaos` — the transport-level counterpart for the TCP
+  broker (:class:`~repro.core.netqueue.TcpBroker`): seeded connection
+  drops before and after a request lands, torn half-frames, injected
+  delays (responses land reordered relative to other workers' traffic)
+  and post-response disconnects (reconnect storms).  Injected faults
+  travel the client's *real* transport-error paths, so surviving them
+  proves the reconnect/retry/at-least-once machinery, not a mock.
 * Episode fixtures — :class:`CrashFault` (raises), :class:`HangFault`
   (sleeps past any reasonable wall-clock budget) and :class:`FlakyFault`
   (fails the first N attempts, then succeeds) — implemented as
@@ -40,12 +47,110 @@ from .queue import Claim
 
 __all__ = [
     "ChaosBroker",
+    "NetworkChaos",
+    "apply_chaos",
     "InjectedCrash",
     "TransientEpisodeError",
     "CrashFault",
     "HangFault",
     "FlakyFault",
 ]
+
+
+class NetworkChaos:
+    """Seeded transport misbehaviour for :class:`~repro.core.netqueue.TcpBroker`.
+
+    The client consults :meth:`plan` once per request *attempt* and acts
+    on the verdicts inside its own send/receive path, so every injected
+    fault surfaces exactly like the real thing — a closed socket, a torn
+    frame — and is healed by the same reconnect-and-retry loop real
+    faults exercise.  Dials (each a probability in ``[0, 1]``):
+
+    ``delay_p``/``delay_s``
+        Sleep before sending — this worker's request lands *after*
+        traffic other workers issued later (reordering, slow links).
+    ``drop_before_p``
+        Drop the connection before the request is sent: pure retry, the
+        server never saw it.
+    ``drop_after_p``
+        Send the full request, then drop before reading the response:
+        the server *did* execute it, and the retry re-executes — the
+        at-least-once duplicate case (double claims, duplicate appended
+        rows) the results fold must absorb.
+    ``partial_frame_p``
+        Send half a frame and hang up: the server must discard the torn
+        request without executing anything.
+    ``reconnect_p``
+        Close the connection after a successful exchange, forcing the
+        next request onto a fresh connection (reconnect storm).
+
+    Picklable (one ``random.Random`` stream), so local drain workers can
+    rebuild it from a kwargs dict across ``fork`` exactly like
+    :class:`ChaosBroker` — see :func:`apply_chaos`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_p: float = 0.0,
+        delay_s: float = 0.02,
+        drop_before_p: float = 0.0,
+        drop_after_p: float = 0.0,
+        partial_frame_p: float = 0.0,
+        reconnect_p: float = 0.0,
+    ):
+        for name, p in (
+            ("delay_p", delay_p),
+            ("drop_before_p", drop_before_p),
+            ("drop_after_p", drop_after_p),
+            ("partial_frame_p", partial_frame_p),
+            ("reconnect_p", reconnect_p),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1] (got {p})")
+        self.seed = int(seed)
+        self.delay_p = float(delay_p)
+        self.delay_s = float(delay_s)
+        self.drop_before_p = float(drop_before_p)
+        self.drop_after_p = float(drop_after_p)
+        self.partial_frame_p = float(partial_frame_p)
+        self.reconnect_p = float(reconnect_p)
+        self.rng = random.Random(seed)
+
+    def plan(self) -> dict:
+        """One attempt's misfortunes.  At most one *failure* fires per
+        attempt (drop-before beats partial-frame beats drop-after) so a
+        single dial's probability reads directly as that failure's rate;
+        delay and post-success reconnect are independent."""
+        plan = {
+            "delay_s": self.delay_s if self.rng.random() < self.delay_p else 0.0,
+            "drop_before": False,
+            "partial_frame": False,
+            "drop_after": False,
+            "reconnect": self.rng.random() < self.reconnect_p,
+        }
+        if self.rng.random() < self.drop_before_p:
+            plan["drop_before"] = True
+        elif self.rng.random() < self.partial_frame_p:
+            plan["partial_frame"] = True
+        elif self.rng.random() < self.drop_after_p:
+            plan["drop_after"] = True
+        return plan
+
+
+def apply_chaos(broker, chaos: dict):
+    """Route a picklable chaos-kwargs dict to the wrapper that fits the
+    broker: transport chaos (:class:`NetworkChaos`) for a
+    :class:`~repro.core.netqueue.TcpBroker`, delivery chaos
+    (:class:`ChaosBroker`) for anything filesystem-compatible.  This is
+    what :func:`~repro.core.queue.run_worker` applies to the broker each
+    (possibly ``fork``-spawned) worker builds for itself."""
+    from .netqueue import TcpBroker  # deferred: netqueue imports queue
+
+    if isinstance(broker, TcpBroker):
+        broker.chaos = NetworkChaos(**chaos)
+        return broker
+    return ChaosBroker(broker, **chaos)
 
 
 class ChaosBroker:

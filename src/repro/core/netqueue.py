@@ -1,0 +1,771 @@
+"""Network-backed campaign queue: the filesystem broker served over TCP.
+
+:class:`~repro.core.queue.FilesystemBroker` scales campaigns across
+machines only as far as a shared mount does — the paper's
+"fault injection as a service" framing needs workers that attach over
+the *network*.  This module adds exactly that, without inventing a
+second queue implementation:
+
+* :class:`BrokerServer` — a stdlib :mod:`socketserver` TCP server
+  wrapping one ``FilesystemBroker`` state directory.  Every request is a
+  single length-prefixed JSON frame (4-byte big-endian length + UTF-8
+  JSON body; binary payloads travel base64-encoded inside the JSON);
+  every response is one frame back.  The server only ever moves opaque
+  blobs between the broker's directories via the blob-level primitives
+  (:meth:`~repro.core.queue.FilesystemBroker.publish_blobs`,
+  :meth:`~repro.core.queue.FilesystemBroker.claim_blob`, …) — it never
+  unpickles anything a client sent.
+* :class:`TcpBroker` — the client, implementing the same
+  :class:`~repro.core.queue.Broker` surface the filesystem broker
+  exposes, so :class:`~repro.core.queue.QueueExecutor`,
+  :func:`~repro.core.queue.run_worker` (``avfi worker``) and
+  ``avfi queue-status`` work unchanged against ``tcp://host:port``.
+* :func:`make_broker` — URL dispatch: a ``tcp://host:port`` string
+  selects a :class:`TcpBroker`, anything else is a filesystem path.
+
+Semantics are inherited, not re-implemented: claims stay atomic renames
+*on the server*, leases/heartbeats/requeues/quarantine run the exact
+code the conformance suite pins for the filesystem broker, and the
+results checkpoint stays the server's ``results.jsonl``.  One semantic
+actually improves: every lease and worker heartbeat is stamped with the
+*server's* clock at receipt, so worker clock skew cannot fake (or hide)
+an expiry.
+
+Delivery is at-least-once by design — a retried frame whose original
+did execute (response lost to the network) can claim twice or append a
+duplicate row, and the grid fold's identity dedupe absorbs it, exactly
+as it absorbs a lease that expired after its worker finished.  The
+:class:`~repro.core.chaos.NetworkChaos` wrapper exists to prove that
+under deliberately hostile transport the folded campaign is still
+byte-identical to a serial run.
+
+Security: the protocol is unauthenticated and coordinators/workers
+exchange pickles *through* the server (the server itself never loads
+them).  Run broker endpoints on trusted networks only — the same trust
+boundary a shared NFS queue directory already implies.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import socket
+import socketserver
+import struct
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Sequence
+from urllib.parse import urlsplit
+
+from .campaign import RunRecord
+from .outcomes import EpisodeFailure
+from .queue import Claim, FilesystemBroker
+from .runner import CampaignContext, EpisodeTask
+
+__all__ = [
+    "BrokerError",
+    "BrokerServer",
+    "FrameError",
+    "TcpBroker",
+    "is_broker_url",
+    "make_broker",
+]
+
+#: Wire protocol version, exchanged via the ``ping`` op.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame (a campaign context with NN weights is the
+#: largest legitimate payload); anything bigger is a corrupt length
+#: prefix and must not become a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ConnectionError):
+    """A frame could not be read: torn mid-transfer, or an implausible
+    length prefix (stream desync / corruption)."""
+
+
+class BrokerError(RuntimeError):
+    """The server executed the request and reported a failure — a real
+    application error, never retried (unlike transport errors)."""
+
+
+def encode_frame(obj: dict) -> bytes:
+    body = json.dumps(obj).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Exactly ``n`` bytes, ``None`` on clean EOF *before* the first
+    byte, :class:`FrameError` on EOF mid-way (a torn frame)."""
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(min(n - len(buf), 1 << 20))
+        if not chunk:
+            if not buf:
+                return None
+            raise FrameError(f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """One length-prefixed JSON frame, or ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("connection closed between frame header and body")
+    try:
+        return json.loads(body)
+    except ValueError as exc:  # JSONDecodeError, or invalid UTF-8
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+
+
+def _b64(blob: bytes) -> str:
+    return base64.b64encode(blob).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+# ----------------------------------------------------------------------
+# URL dispatch
+# ----------------------------------------------------------------------
+
+
+def is_broker_url(spec) -> bool:
+    """True when ``spec`` names a broker endpoint rather than a
+    directory (any ``scheme://`` string)."""
+    return isinstance(spec, str) and "://" in spec
+
+
+def parse_tcp_url(url: str) -> tuple[str, int]:
+    """``"tcp://host:port"`` → ``(host, port)``; raises ``ValueError``
+    on any other scheme or a missing port."""
+    parts = urlsplit(url)
+    if parts.scheme != "tcp":
+        raise ValueError(
+            f"unsupported broker URL {url!r} (only tcp://host:port is supported)"
+        )
+    if not parts.hostname or parts.port is None:
+        raise ValueError(f"broker URL {url!r} needs both a host and a port")
+    return parts.hostname, parts.port
+
+
+def make_broker(
+    spec: str | Path,
+    lease_s: float = 60.0,
+    timeout_s: float = 30.0,
+):
+    """Resolve a queue location to a broker: ``tcp://host:port`` gets a
+    :class:`TcpBroker`, anything else is a
+    :class:`~repro.core.queue.FilesystemBroker` directory.  This is the
+    single dispatch point behind ``--queue-dir`` everywhere
+    (:class:`~repro.core.queue.QueueExecutor`, ``avfi worker``,
+    ``avfi queue-status``)."""
+    if is_broker_url(spec):
+        host, port = parse_tcp_url(str(spec))
+        return TcpBroker(host, port, lease_s=lease_s, timeout_s=timeout_s)
+    return FilesystemBroker(spec, lease_s=lease_s)
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+
+
+class _BrokerRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: a loop of request frame → response frame.  A torn
+    frame or transport error drops the connection; the client retries on
+    a fresh one (at-least-once)."""
+
+    def handle(self) -> None:
+        sock = self.request
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except (FrameError, OSError):
+                return  # torn/corrupt frame: the request never happened
+            if frame is None:
+                return  # clean EOF
+            try:
+                result = self.server.dispatch(frame)
+                response = {"ok": True, "result": result}
+            except Exception as exc:  # noqa: BLE001 — relayed to the client
+                response = {
+                    "ok": False,
+                    "error": str(exc) or repr(exc),
+                    "error_type": type(exc).__name__,
+                }
+            try:
+                send_frame(sock, response)
+            except OSError:
+                return
+
+
+class BrokerServer(socketserver.ThreadingTCPServer):
+    """A :class:`~repro.core.queue.FilesystemBroker` served over TCP.
+
+    The state directory is authoritative and durable — stop the server,
+    restart it on the same ``root``, and every pending task, lease,
+    parked failure and checkpoint row is still there (workers reconnect
+    and carry on).  Concurrency needs no extra locking: request threads
+    call the same atomic file operations that already make the broker
+    safe for concurrent *processes*.
+
+    Usage::
+
+        server = BrokerServer(state_dir, port=0).start()
+        print(server.address)        # tcp://127.0.0.1:<port>
+        ...
+        server.stop()
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        root: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_s: float = 60.0,
+    ):
+        self.broker = FilesystemBroker(root, lease_s=lease_s)
+        self.broker.ensure_layout()
+        self.broker.repair_results()
+        self._serve_thread: threading.Thread | None = None
+        super().__init__((host, port), _BrokerRequestHandler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "BrokerServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"broker-server-{self.server_address[1]}",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, frame: dict) -> object:
+        op = frame.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise BrokerError(f"unknown broker op {op!r}")
+        return handler(self, frame.get("args") or {})
+
+    def _op_ping(self, args: dict) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }
+
+    def _op_publish(self, args: dict) -> None:
+        named = [(str(name), _unb64(blob)) for name, blob in args["tasks"]]
+        self.broker.publish_blobs(
+            _unb64(args["context"]), named, spec=args.get("spec")
+        )
+
+    def _op_context(self, args: dict) -> str | None:
+        blob = self.broker.context_blob()
+        return None if blob is None else _b64(blob)
+
+    def _op_claim(self, args: dict) -> dict | None:
+        claimed = self.broker.claim_blob(args["worker_id"], args.get("lease_s"))
+        if claimed is None:
+            return None
+        name, blob, lease_s = claimed
+        return {"name": name, "task": _b64(blob), "lease_s": lease_s}
+
+    def _op_heartbeat(self, args: dict) -> None:
+        # Server-stamped: the lease's heartbeat_at is written with this
+        # machine's clock, so worker skew cannot fake or hide an expiry.
+        self.broker._write_lease(
+            args["name"], args["worker_id"], float(args["lease_s"])
+        )
+
+    def _op_release(self, args: dict) -> bool:
+        return self.broker.release_raw(args["name"])
+
+    def _op_fail(self, args: dict) -> None:
+        self.broker.fail_raw(
+            args["name"],
+            args.get("worker_id", "?"),
+            error=args.get("error", ""),
+            traceback_text=args.get("traceback", ""),
+            failure=args.get("failure"),
+        )
+
+    def _op_requeue_expired(self, args: dict) -> list[str]:
+        return self.broker.requeue_expired()
+
+    def _op_requeue_failed(self, args: dict) -> list[str]:
+        return self.broker.requeue_failed()
+
+    def _op_quarantine(self, args: dict) -> None:
+        self.broker.quarantine(args["name"])
+
+    def _op_append_row(self, args: dict) -> None:
+        self.broker.append_row(args["row"])
+
+    def _op_read_results(self, args: dict) -> dict:
+        offset, records = self.broker.read_results(int(args.get("offset", 0)))
+        return {"offset": offset, "rows": [r.to_dict() for r in records]}
+
+    def _op_checkpoint_rows(self, args: dict) -> dict:
+        records, failures = self.broker.checkpoint_rows()
+        return {
+            "records": [r.to_dict() for r in records],
+            "failures": [f.to_dict() for f in failures],
+        }
+
+    def _op_repair_results(self, args: dict) -> int:
+        return self.broker.repair_results()
+
+    def _op_failures(self, args: dict) -> list[dict]:
+        return self.broker.failures()
+
+    def _op_manifest(self, args: dict) -> dict | None:
+        return self.broker.manifest()
+
+    def _op_status(self, args: dict) -> dict:
+        return self.broker.status()
+
+    def _op_heartbeat_worker(self, args: dict) -> None:
+        self.broker.heartbeat_worker(
+            args["worker_id"],
+            int(args.get("done", 0)),
+            host=args.get("host"),
+            pid=args.get("pid"),
+        )
+
+    def _op_workers(self, args: dict) -> list[dict]:
+        return self.broker.workers()
+
+    def _op_is_idle(self, args: dict) -> bool:
+        return self.broker.is_idle()
+
+    def _op_live_leases(self, args: dict) -> int:
+        return self.broker.live_leases()
+
+    def _op_claimed_names(self, args: dict) -> list[str]:
+        return self.broker.claimed_names()
+
+    def _op_artifact_put(self, args: dict) -> str:
+        return self.broker.artifact_put(args["sha"], _unb64(args["blob"]))
+
+    def _op_artifact_get(self, args: dict) -> str | None:
+        blob = self.broker.artifact_get(args["sha"])
+        return None if blob is None else _b64(blob)
+
+    def _op_artifact_has(self, args: dict) -> bool:
+        return self.broker.artifact_has(args["sha"])
+
+    _OPS = {
+        "ping": _op_ping,
+        "publish": _op_publish,
+        "context": _op_context,
+        "claim": _op_claim,
+        "heartbeat": _op_heartbeat,
+        "release": _op_release,
+        "fail": _op_fail,
+        "requeue_expired": _op_requeue_expired,
+        "requeue_failed": _op_requeue_failed,
+        "quarantine": _op_quarantine,
+        "append_row": _op_append_row,
+        "read_results": _op_read_results,
+        "checkpoint_rows": _op_checkpoint_rows,
+        "repair_results": _op_repair_results,
+        "failures": _op_failures,
+        "manifest": _op_manifest,
+        "status": _op_status,
+        "heartbeat_worker": _op_heartbeat_worker,
+        "workers": _op_workers,
+        "is_idle": _op_is_idle,
+        "live_leases": _op_live_leases,
+        "claimed_names": _op_claimed_names,
+        "artifact_put": _op_artifact_put,
+        "artifact_get": _op_artifact_get,
+        "artifact_has": _op_artifact_has,
+    }
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class TcpBroker:
+    """The network client side of the :class:`~repro.core.queue.Broker`
+    protocol: every method is one request/response frame against a
+    :class:`BrokerServer`.
+
+    Transport errors (dropped connection, torn frame, timeout) reconnect
+    and retry with exponential backoff — delivery is at-least-once, and
+    every operation tolerates re-execution: a duplicate claim expires
+    back, a duplicate append dedupes at the grid fold, a duplicate
+    release reports the claim already gone.  Application errors the
+    server reports (:class:`BrokerError`) are never retried.
+
+    One connection is held per broker instance, serialised by a lock —
+    the lease-keeper thread and the drain loop share it safely.  The
+    instance pickles (for ``fork``-spawned local drain workers) by
+    dropping the socket; the child reconnects on first use.
+
+    ``chaos`` accepts a seeded
+    :class:`~repro.core.chaos.NetworkChaos` whose injected drops,
+    partial frames, delays and reconnect storms travel the *same* error
+    paths as real network faults.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        lease_s: float = 60.0,
+        timeout_s: float = 30.0,
+        retries: int = 10,
+        retry_backoff_s: float = 0.05,
+        chaos=None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.lease_s = float(lease_s)
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.chaos = chaos
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        return f"TcpBroker({self.address!r}, lease_s={self.lease_s})"
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_sock"] = None
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._sock = None
+        self._lock = threading.Lock()
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def _call(self, op: str, args: dict | None = None):
+        frame = encode_frame({"op": op, "args": args or {}})
+        with self._lock:
+            last_error: Exception | None = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    # Deterministic backoff, capped at the timeout: a
+                    # reconnect storm against a briefly-unreachable
+                    # server must not busy-spin.
+                    time.sleep(
+                        min(self.retry_backoff_s * (2 ** (attempt - 1)), 2.0)
+                    )
+                chaos = self.chaos.plan() if self.chaos is not None else None
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    if chaos is not None:
+                        self._inject_pre_send(chaos, frame)
+                    self._sock.sendall(frame)
+                    if chaos is not None and chaos.get("drop_after"):
+                        # The request reached the server; losing the
+                        # response forces a duplicate execution on retry
+                        # — the at-least-once case.
+                        self._drop_connection()
+                        raise FrameError("chaos: connection dropped before response")
+                    response = recv_frame(self._sock)
+                    if response is None:
+                        raise FrameError("server closed the connection")
+                except (OSError, FrameError) as exc:
+                    last_error = exc
+                    self._drop_connection()
+                    continue
+                if chaos is not None and chaos.get("reconnect"):
+                    self._drop_connection()  # next call reconnects (storm)
+                if not response.get("ok"):
+                    raise BrokerError(
+                        f"broker op {op!r} failed on {self.address}: "
+                        f"{response.get('error_type', 'Error')}: "
+                        f"{response.get('error', '')}"
+                    )
+                return response.get("result")
+        raise ConnectionError(
+            f"broker {self.address} unreachable after {self.retries + 1} "
+            f"attempts: {last_error!r}"
+        )
+
+    def _inject_pre_send(self, chaos: dict, frame: bytes) -> None:
+        if chaos.get("delay_s"):
+            time.sleep(chaos["delay_s"])
+        if chaos.get("drop_before"):
+            self._drop_connection()
+            raise FrameError("chaos: connection dropped before send")
+        if chaos.get("partial_frame"):
+            # Half a frame, then a hangup: the server must discard the
+            # torn request without executing it.
+            try:
+                self._sock.sendall(frame[: max(1, len(frame) // 2)])
+            finally:
+                self._drop_connection()
+            raise FrameError("chaos: partial frame sent")
+
+    # -- Broker protocol: coordinator side -----------------------------
+
+    def publish(
+        self,
+        context: CampaignContext,
+        tasks: Sequence[EpisodeTask],
+        spec: dict | None = None,
+    ) -> None:
+        named = [
+            [FilesystemBroker._task_filename(task), _b64(pickle.dumps(task))]
+            for task in tasks
+        ]
+        self._call(
+            "publish",
+            {"context": _b64(pickle.dumps(context)), "tasks": named, "spec": spec},
+        )
+
+    def manifest(self) -> dict | None:
+        return self._call("manifest")
+
+    def status(self) -> dict:
+        return self._call("status")
+
+    def failures(self) -> list[dict]:
+        return self._call("failures")
+
+    def requeue_expired(self) -> list[str]:
+        return self._call("requeue_expired")
+
+    def requeue_failed(self) -> list[str]:
+        return self._call("requeue_failed")
+
+    # Backwards-compatible alias, mirroring FilesystemBroker.
+    recover_failed = requeue_failed
+
+    def quarantine(self, name: str) -> None:
+        self._call("quarantine", {"name": name})
+
+    def live_leases(self) -> int:
+        return self._call("live_leases")
+
+    def is_idle(self) -> bool:
+        return self._call("is_idle")
+
+    def claimed_names(self) -> list[str]:
+        return self._call("claimed_names")
+
+    def workers(self) -> list[dict]:
+        return self._call("workers")
+
+    # -- Broker protocol: worker side ----------------------------------
+
+    def ensure_layout(self) -> None:
+        """The server laid out its state directory at startup."""
+
+    def repair_results(self) -> int:
+        return self._call("repair_results")
+
+    def context_blob(self) -> bytes | None:
+        blob = self._call("context")
+        return None if blob is None else _unb64(blob)
+
+    def load_context(self, timeout_s: float = 0.0) -> CampaignContext | None:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            blob = self.context_blob()
+            if blob is not None:
+                return pickle.loads(blob)
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.1)
+
+    def claim(self, worker_id: str, lease_s: float | None = None) -> Claim | None:
+        result = self._call("claim", {"worker_id": worker_id, "lease_s": lease_s})
+        if result is None:
+            return None
+        return Claim(
+            name=result["name"],
+            task=pickle.loads(_unb64(result["task"])),
+            worker_id=worker_id,
+            lease_s=float(result["lease_s"]),
+        )
+
+    def heartbeat(self, claim: Claim) -> None:
+        self._call(
+            "heartbeat",
+            {
+                "name": claim.name,
+                "worker_id": claim.worker_id,
+                "lease_s": claim.lease_s,
+            },
+        )
+
+    def release(self, claim: Claim) -> bool:
+        return bool(self._call("release", {"name": claim.name}))
+
+    def fail(
+        self,
+        claim: Claim,
+        error: BaseException | None = None,
+        failure: EpisodeFailure | None = None,
+    ) -> None:
+        if error is None and failure is not None:
+            error = failure.exception
+        tb_text = failure.traceback_text if failure is not None else ""
+        self._call(
+            "fail",
+            {
+                "name": claim.name,
+                "worker_id": claim.worker_id,
+                "error": repr(error) if error is not None else (
+                    failure.error if failure is not None else ""
+                ),
+                # Rendered worker-side: the exception context lives here,
+                # not on the server.
+                "traceback": tb_text or traceback.format_exc(),
+                "failure": failure.to_dict() if failure is not None else None,
+            },
+        )
+
+    def heartbeat_worker(self, worker_id: str, done: int) -> None:
+        self._call(
+            "heartbeat_worker",
+            {
+                "worker_id": worker_id,
+                "done": int(done),
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+            },
+        )
+
+    # -- results -------------------------------------------------------
+
+    def append_result(self, record: RunRecord) -> None:
+        self._call("append_row", {"row": record.to_dict()})
+
+    def append_failure(self, failure: EpisodeFailure) -> None:
+        self._call("append_row", {"row": failure.to_dict()})
+
+    def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
+        result = self._call("read_results", {"offset": int(offset)})
+        records = []
+        for row in result["rows"]:
+            try:
+                records.append(RunRecord(**row))
+            except TypeError:
+                continue  # foreign schema from a different server build
+        return int(result["offset"]), records
+
+    def checkpoint_rows(self) -> tuple[list[RunRecord], list[EpisodeFailure]]:
+        result = self._call("checkpoint_rows")
+        records = []
+        for row in result["records"]:
+            try:
+                records.append(RunRecord(**row))
+            except TypeError:
+                continue
+        failures = []
+        for row in result["failures"]:
+            try:
+                failures.append(EpisodeFailure.from_dict(row))
+            except (TypeError, KeyError, ValueError):
+                continue
+        return records, failures
+
+    def result_identities(self) -> set[tuple[str, str, int, str]]:
+        """Settled identities — records and quarantine rows alike,
+        mirroring :meth:`FilesystemBroker.result_identities`."""
+        from .runner import record_identity
+
+        records, failures = self.checkpoint_rows()
+        return {record_identity(r) for r in records} | {
+            record_identity(f) for f in failures
+        }
+
+    # -- artifacts -----------------------------------------------------
+
+    def artifact_put(self, sha: str, blob: bytes) -> str:
+        return self._call("artifact_put", {"sha": sha, "blob": _b64(blob)})
+
+    def artifact_get(self, sha: str) -> bytes | None:
+        blob = self._call("artifact_get", {"sha": sha})
+        return None if blob is None else _unb64(blob)
+
+    def artifact_has(self, sha: str) -> bool:
+        return bool(self._call("artifact_has", {"sha": sha}))

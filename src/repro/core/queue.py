@@ -52,7 +52,22 @@ first — the queue only has to guarantee at-least-once delivery.
 Clock caveat: lease expiry compares worker heartbeat timestamps against
 the local clock, so machines sharing a broker directory should be
 NTP-synchronised to well under the lease duration (the 60 s default
-leaves a comfortable margin).
+leaves a comfortable margin).  As a guard against a worker whose clock
+lags (it would stamp heartbeats "in the past" and look instantly
+expired), expiry judges each lease by the *fresher* of its embedded
+timestamp and the lease file's mtime — on typical shared mounts the
+mtime is stamped server-side, one clock for everyone.  The
+:class:`~repro.core.netqueue.TcpBroker` removes the caveat entirely:
+the broker server stamps every heartbeat with its own clock.
+
+Brokers other than the filesystem one are resolved by
+:func:`~repro.core.netqueue.make_broker` — ``"tcp://host:port"``
+selects a :class:`~repro.core.netqueue.TcpBroker` speaking
+length-prefixed JSON frames to an ``avfi serve`` (or
+:class:`~repro.core.netqueue.BrokerServer`) endpoint, and everything in
+this module (:func:`run_worker`, :class:`QueueExecutor`,
+``avfi queue-status``) accepts such a URL wherever it accepts a queue
+directory.
 """
 
 from __future__ import annotations
@@ -249,6 +264,29 @@ class FilesystemBroker:
         serves, portable across repro versions in a way the pickle is
         not.
         """
+        self.publish_blobs(
+            pickle.dumps(context),
+            [(self._task_filename(task), pickle.dumps(task)) for task in tasks],
+            spec=spec,
+        )
+
+    def publish_blobs(
+        self,
+        context_blob: bytes,
+        named_tasks: Sequence[tuple[str, bytes]],
+        spec: dict | None = None,
+    ) -> None:
+        """The serialisation-free half of :meth:`publish`: tasks arrive
+        already pickled, each paired with its :meth:`_task_filename`.
+
+        This is the surface the :class:`~repro.core.netqueue.BrokerServer`
+        calls — the server moves opaque blobs between directories and
+        never unpickles anything a client sent, so a broker endpoint can
+        serve coordinators/workers running a different repro build (and
+        an attacker-controlled frame cannot make the *server* execute a
+        pickle; workers only ever unpickle what their coordinator
+        published, which is the same trust the filesystem broker needs).
+        """
         self.ensure_layout()
         if spec is not None:
             _write_atomic(
@@ -266,13 +304,12 @@ class FilesystemBroker:
         # files follow within milliseconds); a worker claiming a stale
         # task with the new context produces a foreign-fingerprint row
         # the grid fold ignores.
-        context_blob = pickle.dumps(context)
         _write_atomic(self.context_path, context_blob)
         _write_atomic(
             self.manifest_path,
             json.dumps(
                 {
-                    "n_tasks": len(tasks),
+                    "n_tasks": len(named_tasks),
                     "lease_s": self.lease_s,
                     "created_at": time.time(),
                     "coordinator": f"{socket.gethostname()}:{os.getpid()}",
@@ -283,7 +320,7 @@ class FilesystemBroker:
             ).encode(),
         )
         self.requeue_failed()
-        wanted = {self._task_filename(task): task for task in tasks}
+        wanted = dict(named_tasks)
         existing = set(self._list(self.tasks_dir))
         claimed = set(self._list(self.claimed_dir))
         for name in existing - wanted.keys():
@@ -293,10 +330,10 @@ class FilesystemBroker:
             # simply reports the claim lost; a duplicate record dedupes.
             self._lease_path(name).unlink(missing_ok=True)
             (self.claimed_dir / name).unlink(missing_ok=True)
-        for name, task in wanted.items():
+        for name, blob in wanted.items():
             if name in existing or name in claimed:
                 continue
-            _write_atomic(self.tasks_dir / name, pickle.dumps(task))
+            _write_atomic(self.tasks_dir / name, blob)
 
     def manifest(self) -> dict | None:
         """The published campaign manifest, or ``None`` before publish."""
@@ -369,17 +406,32 @@ class FilesystemBroker:
 
     # -- worker side ---------------------------------------------------
 
+    def context_blob(self) -> bytes | None:
+        """The published context, still pickled (``None`` before publish).
+        Servers relay this blob verbatim; only workers unpickle it."""
+        try:
+            return self.context_path.read_bytes()
+        except FileNotFoundError:
+            return None
+
     def load_context(self, timeout_s: float = 0.0) -> CampaignContext | None:
         deadline = time.monotonic() + timeout_s
         while True:
-            try:
-                return pickle.loads(self.context_path.read_bytes())
-            except FileNotFoundError:
-                if time.monotonic() >= deadline:
-                    return None
-                time.sleep(0.1)
+            blob = self.context_blob()
+            if blob is not None:
+                return pickle.loads(blob)
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.1)
 
-    def claim(self, worker_id: str, lease_s: float | None = None) -> Claim | None:
+    def claim_blob(
+        self, worker_id: str, lease_s: float | None = None
+    ) -> tuple[str, bytes, float] | None:
+        """The serialisation-free half of :meth:`claim`: atomically take
+        one pending task and return ``(name, task_blob, lease_s)`` with
+        the lease already written — the blob stays opaque, so the
+        :class:`~repro.core.netqueue.BrokerServer` can relay it to a
+        remote worker without unpickling anything."""
         lease_s = float(lease_s if lease_s is not None else self.lease_s)
         for name in self._list(self.tasks_dir):
             claimed = self.claimed_dir / name
@@ -404,35 +456,48 @@ class FilesystemBroker:
                 # covers the age window within milliseconds anyway.
                 pass
             try:
-                task = pickle.loads(claimed.read_bytes())
+                blob = claimed.read_bytes()
             except FileNotFoundError:
                 continue  # stolen before our lease landed; move on
-            claim = Claim(name=name, task=task, worker_id=worker_id, lease_s=lease_s)
-            self.heartbeat(claim)
-            return claim
+            self._write_lease(name, worker_id, lease_s)
+            return name, blob, lease_s
         return None
+
+    def claim(self, worker_id: str, lease_s: float | None = None) -> Claim | None:
+        claimed = self.claim_blob(worker_id, lease_s)
+        if claimed is None:
+            return None
+        name, blob, lease_s = claimed
+        return Claim(
+            name=name, task=pickle.loads(blob), worker_id=worker_id, lease_s=lease_s
+        )
 
     def _lease_path(self, name: str) -> Path:
         return self.leases_dir / f"{Path(name).stem}.json"
 
     def heartbeat(self, claim: Claim) -> None:
-        now = time.time()
+        self._write_lease(claim.name, claim.worker_id, claim.lease_s)
+
+    def _write_lease(self, name: str, worker_id: str, lease_s: float) -> None:
         _write_atomic(
-            self._lease_path(claim.name),
+            self._lease_path(name),
             json.dumps(
                 {
-                    "task": claim.name,
-                    "worker": claim.worker_id,
-                    "heartbeat_at": now,
-                    "lease_s": claim.lease_s,
+                    "task": name,
+                    "worker": worker_id,
+                    "heartbeat_at": time.time(),
+                    "lease_s": lease_s,
                 }
             ).encode(),
         )
 
     def release(self, claim: Claim) -> bool:
-        self._lease_path(claim.name).unlink(missing_ok=True)
+        return self.release_raw(claim.name)
+
+    def release_raw(self, name: str) -> bool:
+        self._lease_path(name).unlink(missing_ok=True)
         try:
-            os.unlink(self.claimed_dir / claim.name)
+            os.unlink(self.claimed_dir / name)
             return True
         except FileNotFoundError:
             # The lease expired and someone requeued the task while we
@@ -453,56 +518,140 @@ class FilesystemBroker:
         marks an infrastructure fault (context unloadable, broker I/O),
         which always aborts the campaign.
         """
-        self._lease_path(claim.name).unlink(missing_ok=True)
-        try:
-            os.rename(self.claimed_dir / claim.name, self.failed_dir / claim.name)
-        except FileNotFoundError:
-            return  # requeued from under us; let the retry speak for itself
         if error is None and failure is not None:
             error = failure.exception
         tb_text = failure.traceback_text if failure is not None else ""
+        self.fail_raw(
+            claim.name,
+            claim.worker_id,
+            error=repr(error) if error is not None else (
+                failure.error if failure is not None else ""
+            ),
+            traceback_text=tb_text or traceback.format_exc(),
+            failure=failure.to_dict() if failure is not None else None,
+        )
+
+    def fail_raw(
+        self,
+        name: str,
+        worker_id: str,
+        error: str,
+        traceback_text: str,
+        failure: dict | None = None,
+    ) -> None:
+        """:meth:`fail` with the report already flattened to strings and
+        a dict — the wire-facing half (the broker server parks what a
+        remote worker reports without reconstructing exceptions)."""
+        self._lease_path(name).unlink(missing_ok=True)
+        try:
+            os.rename(self.claimed_dir / name, self.failed_dir / name)
+        except FileNotFoundError:
+            return  # requeued from under us; let the retry speak for itself
         _write_atomic(
-            self.failed_dir / f"{claim.name}.error.json",
+            self.failed_dir / f"{name}.error.json",
             json.dumps(
                 {
-                    "task": claim.name,
-                    "worker": claim.worker_id,
-                    "error": repr(error) if error is not None else (
-                        failure.error if failure is not None else ""
-                    ),
-                    "traceback": tb_text or traceback.format_exc(),
+                    "task": name,
+                    "worker": worker_id,
+                    "error": error,
+                    "traceback": traceback_text,
                     "failed_at": time.time(),
-                    "failure": failure.to_dict() if failure is not None else None,
+                    "failure": failure,
                 }
             ).encode(),
         )
 
-    def heartbeat_worker(self, worker_id: str, done: int) -> None:
+    def heartbeat_worker(
+        self,
+        worker_id: str,
+        done: int,
+        host: str | None = None,
+        pid: int | None = None,
+    ) -> None:
         """Per-worker liveness file (observability, not correctness).
 
         Callers are expected to have run :meth:`ensure_layout` once at
         attach — no per-beat mkdir chatter against a shared mount.
+        ``host``/``pid`` override the local process identity — the broker
+        server beats on behalf of remote TCP workers and must report
+        *their* location, not its own.
         """
         _write_atomic(
             self.workers_dir / f"{worker_id}.json",
             json.dumps(
                 {
                     "worker": worker_id,
-                    "host": socket.gethostname(),
-                    "pid": os.getpid(),
+                    "host": host if host is not None else socket.gethostname(),
+                    "pid": pid if pid is not None else os.getpid(),
                     "heartbeat_at": time.time(),
                     "episodes_done": done,
                 }
             ).encode(),
         )
 
+    def workers(self) -> list[dict]:
+        """Per-worker liveness rows (observability, not correctness).
+
+        Each row is the worker's own heartbeat payload plus ``age_s``:
+        seconds since the *fresher* of the embedded ``heartbeat_at`` and
+        the heartbeat file's mtime, clamped non-negative.  Judging by the
+        embedded timestamp alone turns clock skew into a lie — a worker
+        whose clock lags by minutes would be reported stale (and a worker
+        whose clock leads would look alive long after dying), even while
+        it rewrites its heartbeat file every few seconds.  The mtime is
+        stamped when the file lands (server-side on typical shared
+        mounts), so a freshly-rewritten heartbeat always reads as fresh
+        regardless of what clock the worker carries.
+        """
+        now = time.time()
+        rows: list[dict] = []
+        try:
+            names = sorted(os.listdir(self.workers_dir))
+        except FileNotFoundError:
+            return rows
+        for fname in names:
+            if not fname.endswith(".json"):
+                continue
+            path = self.workers_dir / fname
+            try:
+                beat = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                rows.append(
+                    {"worker": fname[:-5], "age_s": None, "error": "unreadable heartbeat"}
+                )
+                continue
+            stamps = []
+            heartbeat_at = beat.get("heartbeat_at")
+            if isinstance(heartbeat_at, (int, float)):
+                stamps.append(float(heartbeat_at))
+            try:
+                stamps.append(path.stat().st_mtime)
+            except OSError:
+                pass
+            row = dict(beat) if isinstance(beat, dict) else {"worker": fname[:-5]}
+            row["age_s"] = max(0.0, now - max(stamps)) if stamps else None
+            rows.append(row)
+        return rows
+
     # -- lease expiry --------------------------------------------------
 
     def _lease_expired(self, name: str, now: float) -> bool:
         try:
             lease = json.loads(self._lease_path(name).read_text())
-            return lease["heartbeat_at"] + lease["lease_s"] < now
-        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError):
+            heartbeat_at = float(lease["heartbeat_at"]) + 0.0  # TypeError on junk
+            lease_s = float(lease["lease_s"])
+            # Same skew guard as workers(): a claimer whose clock lags
+            # writes heartbeats stamped "in the past"; trusting the
+            # embedded time alone would expire its lease the instant it
+            # lands and requeue a task that is actively running (a
+            # duplicate-execution storm).  The lease file is rewritten
+            # every heartbeat, so its mtime tracks real freshness.
+            try:
+                heartbeat_at = max(heartbeat_at, self._lease_path(name).stat().st_mtime)
+            except OSError:
+                pass
+            return heartbeat_at + lease_s < now
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError, ValueError):
             # Claim without a readable lease: the claimer crashed between
             # rename and lease write (or tore the file); judge by the
             # claimed file's age with the default lease as grace.
@@ -533,6 +682,14 @@ class FilesystemBroker:
             if not self._lease_expired(name, now)
         )
 
+    def claimed_names(self) -> list[str]:
+        """Task names currently in ``claimed/`` — the in-flight episodes.
+
+        Names start with the 5-digit grid index
+        (see :meth:`_task_filename`), which is how the campaign service
+        maps a claim back to "episode N is running"."""
+        return self._list(self.claimed_dir)
+
     def is_idle(self) -> bool:
         """No pending and no claimed tasks — nothing left to drain."""
         return not self._list(self.tasks_dir) and not self._list(self.claimed_dir)
@@ -545,14 +702,29 @@ class FilesystemBroker:
         return repair_jsonl_tail(self.results_path)
 
     def append_result(self, record: RunRecord) -> None:
-        append_jsonl_line(self.results_path, record.to_dict())
+        self.append_row(record.to_dict())
 
     def append_failure(self, failure: EpisodeFailure) -> None:
         """Quarantine rows live in the same checkpoint as records — the
         ``outcome`` key is the discriminator, and
         :func:`~repro.core.runner.load_checkpoint_rows` folds both back
         (so a resumed campaign never re-runs a quarantined episode)."""
-        append_jsonl_line(self.results_path, failure.to_dict())
+        self.append_row(failure.to_dict())
+
+    def append_row(self, row: dict) -> None:
+        """Durably append one already-serialised checkpoint row (the
+        wire-facing half of the two appends above)."""
+        append_jsonl_line(self.results_path, row)
+
+    def checkpoint_rows(self) -> tuple[list[RunRecord], list[EpisodeFailure]]:
+        """The full checkpoint, parsed — what a resuming coordinator
+        folds to decide which episodes are still pending.  Local
+        coordinators read the JSONL file directly; this method exists so
+        a coordinator whose only access is a broker connection (the TCP
+        client) can resume from the server-side checkpoint too."""
+        from .runner import load_checkpoint_rows
+
+        return load_checkpoint_rows(self.results_path)
 
     def read_results(self, offset: int) -> tuple[int, list[RunRecord]]:
         """Complete lines past ``offset``; a trailing partial line (an
@@ -579,8 +751,33 @@ class FilesystemBroker:
         return offset + end + 1, records
 
     def result_identities(self) -> set[tuple[str, str, int, str]]:
-        _, records = self.read_results(0)
-        return {record_identity(r) for r in records}
+        """Identities of every *settled* episode — completed records and
+        quarantine rows alike (both mean "never run this again")."""
+        records, failures = self.checkpoint_rows()
+        return {record_identity(r) for r in records} | {
+            record_identity(f) for f in failures
+        }
+
+    # -- artifacts (content-addressed warm-start blobs) ----------------
+
+    @property
+    def artifacts(self):
+        """Content-addressed blob store under ``<root>/artifacts/`` —
+        how NN agent weights ship *once per worker* instead of once per
+        context pickle (see :mod:`repro.core.artifacts`).  Lazy so
+        queue-only deployments never touch the directory."""
+        from .artifacts import ArtifactStore
+
+        return ArtifactStore(self.root / "artifacts")
+
+    def artifact_put(self, sha: str, blob: bytes) -> str:
+        return self.artifacts.put(blob, sha=sha)
+
+    def artifact_get(self, sha: str) -> bytes | None:
+        return self.artifacts.get(sha)
+
+    def artifact_has(self, sha: str) -> bool:
+        return self.artifacts.has(sha)
 
 
 # ----------------------------------------------------------------------
@@ -646,10 +843,18 @@ def run_worker(
     decides quarantine-vs-abort (workers cannot see each other's
     failures, so the campaign-level budget cannot live here).
 
+    ``queue_dir`` may also be a broker URL (``tcp://host:port``) — the
+    worker then drains a remote :class:`~repro.core.netqueue.BrokerServer`
+    instead of a shared directory (see
+    :func:`~repro.core.netqueue.make_broker`).
+
     ``broker`` substitutes a pre-built broker (chaos tests wrap the
-    filesystem one); ``chaos`` is a picklable kwargs dict for
-    :class:`~repro.core.chaos.ChaosBroker`, applied to this worker's own
-    broker — the form local drain processes can receive across ``fork``.
+    filesystem one); ``chaos`` is a picklable kwargs dict — for
+    :class:`~repro.core.chaos.ChaosBroker` on a filesystem broker, for
+    :class:`~repro.core.chaos.NetworkChaos` on a TCP one (see
+    :func:`~repro.core.chaos.apply_chaos`) — applied to this worker's
+    own broker: the form local drain processes can receive across
+    ``fork``.
 
     When the published campaign multiplexes
     (``context.episodes_per_slot > 1``, or an explicit
@@ -667,11 +872,13 @@ def run_worker(
     """
     worker_id = worker_id or default_worker_id()
     if broker is None:
-        broker = FilesystemBroker(queue_dir, lease_s=lease_s)
-    if chaos:
-        from .chaos import ChaosBroker  # deferred: chaos imports this module
+        from .netqueue import make_broker  # deferred: netqueue imports this module
 
-        broker = ChaosBroker(broker, **chaos)
+        broker = make_broker(queue_dir, lease_s=lease_s)
+    if chaos:
+        from .chaos import apply_chaos  # deferred: chaos imports this module
+
+        broker = apply_chaos(broker, chaos)
     # QueueExecutor shuts local drain workers down with SIGTERM; turn it
     # into a normal SystemExit so ``finally`` blocks run — in particular
     # attempt_task's sandbox reap, which otherwise orphans a hung episode
@@ -884,8 +1091,13 @@ class QueueExecutor:
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0 (got {workers})")
-        self.broker = FilesystemBroker(queue_dir, lease_s=lease_s)
-        self.queue_dir = Path(queue_dir)
+        from .netqueue import is_broker_url, make_broker  # deferred: imports us
+
+        self.broker = make_broker(queue_dir, lease_s=lease_s)
+        # Keep broker URLs as strings: Path("tcp://h:p") collapses the
+        # double slash, corrupting what _spawn_local_workers hands back
+        # to run_worker.
+        self.queue_dir = queue_dir if is_broker_url(queue_dir) else Path(queue_dir)
         self.workers = workers
         self.lease_s = float(lease_s)
         self.poll_s = float(poll_s)
@@ -905,9 +1117,18 @@ class QueueExecutor:
         self._spec = spec
 
     @property
-    def checkpoint_path(self) -> Path:
-        """The shared JSONL checkpoint workers append to."""
-        return self.broker.results_path
+    def checkpoint_path(self) -> Path | None:
+        """The shared JSONL checkpoint workers append to — ``None`` when
+        the broker is remote (TCP): the checkpoint then lives on the
+        server, reachable through :meth:`resume_rows` instead of as a
+        local file the runner could adopt."""
+        return getattr(self.broker, "results_path", None)
+
+    def resume_rows(self):
+        """``(records, failures)`` already in the broker's checkpoint —
+        what the runner folds as completed work when it has no local
+        checkpoint file to read (the remote-broker case)."""
+        return self.broker.checkpoint_rows()
 
     def _spawn_local_workers(self) -> list:
         import multiprocessing

@@ -884,11 +884,19 @@ class ParallelCampaignRunner:
         #: one attempt, no timeout, abort on first failure).
         self.policy = policy
         # Explicit resume_records are authoritative (the caller already
-        # loaded or owns them); otherwise read the checkpoint file.
+        # loaded or owns them); otherwise read the checkpoint file.  With
+        # neither, an executor may still hold completed work we cannot
+        # see as a file — a queue executor on a *remote* (TCP) broker
+        # keeps its checkpoint server-side — so ask it (resume_rows) to
+        # keep resume semantics identical to the shared-directory case.
         if resume_records is not None:
             self._checkpoint_records: list[RunRecord] = list(resume_records)
             self._checkpoint_failures: list[EpisodeFailure] = (
                 list(resume_failures) if resume_failures is not None else []
+            )
+        elif self.checkpoint_path is None and hasattr(self.executor, "resume_rows"):
+            self._checkpoint_records, self._checkpoint_failures = (
+                self.executor.resume_rows()
             )
         else:
             self._checkpoint_records, self._checkpoint_failures = load_checkpoint_rows(

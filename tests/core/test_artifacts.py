@@ -1,0 +1,147 @@
+"""Tests for the content-addressed artifact store (repro.core.artifacts).
+
+The warm-start invariant: an NN campaign whose weights travel through
+the artifact store is indistinguishable from one whose context carried
+them inline — same ``config_signature`` (hence same episode
+fingerprints), same model arrays — while the factory itself pickles at
+bytes, not megabytes, and each worker process fetches the blob once.
+"""
+
+import pickle
+
+import pytest
+
+import repro.core.artifacts as artifacts
+from repro.agent.agents import NNAgentFactory, model_weight_digest
+from repro.agent.ilcnn import ILCNN, ILCNNConfig
+from repro.core.artifacts import (
+    ArtifactNNAgentFactory,
+    ArtifactStore,
+    internalize_nn_factory,
+    local_artifact_cache_dir,
+)
+from repro.core.netqueue import BrokerServer, make_broker
+from repro.core.queue import FilesystemBroker
+
+#: Deliberately non-default architecture: the .npz holds only arrays, so
+#: round-tripping this config through the factory is what the tests pin.
+TINY = ILCNNConfig(
+    input_hw=(16, 24),
+    conv_channels=(4, 8, 8),
+    trunk_dim=16,
+    speed_dim=8,
+    branch_hidden=8,
+    seed=7,
+)
+
+
+@pytest.fixture
+def fresh_caches(tmp_path, monkeypatch):
+    """An empty process cache and a private on-disk cache — every fetch
+    in the test starts cold."""
+    monkeypatch.setattr(artifacts, "_MODEL_CACHE", {})
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "local-cache"))
+
+
+@pytest.fixture(scope="module")
+def eager_factory():
+    return NNAgentFactory(ILCNN(TINY), replan_tolerance=12.0)
+
+
+class TestArtifactStore:
+    def test_put_get_has_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        sha = "ab" * 20
+        assert store.has(sha) is False
+        assert store.get(sha) is None
+        assert store.put(b"payload", sha) == sha
+        assert store.has(sha) is True
+        assert store.get(sha) == b"payload"
+        # Sharded layout: root/<sha[:2]>/<sha>.
+        assert store.path(sha) == tmp_path / "store" / "ab" / sha
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        sha = "cd" * 20
+        store.put(b"first", sha)
+        store.put(b"ignored", sha)  # same key = same bytes, by contract
+        assert store.get(sha) == b"first"
+
+    @pytest.mark.parametrize(
+        "bad", ["../../etc/passwd", "ABCDEF123456", "short", "", "a" * 65, 42]
+    )
+    def test_non_hex_digests_are_rejected(self, tmp_path, bad):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="invalid artifact digest"):
+            store.path(bad)
+
+    def test_local_cache_dir_honours_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "mine"))
+        assert local_artifact_cache_dir() == tmp_path / "mine"
+
+
+class TestInternalize:
+    def test_non_nn_factory_passes_through(self, tmp_path):
+        from repro.agent import autopilot_agent_factory
+
+        factory = autopilot_agent_factory()
+        broker = FilesystemBroker(tmp_path / "q")
+        assert internalize_nn_factory(factory, broker, str(tmp_path / "q")) is factory
+
+    def test_signature_identical_and_pickle_small(self, tmp_path, eager_factory):
+        """Fingerprints must not depend on how weights travel."""
+        broker = FilesystemBroker(tmp_path / "q")
+        replica = internalize_nn_factory(eager_factory, broker, str(tmp_path / "q"))
+        assert isinstance(replica, ArtifactNNAgentFactory)
+        assert replica.config_signature() == eager_factory.config_signature()
+        assert replica.sha == model_weight_digest(eager_factory.model)
+        assert broker.artifact_has(replica.sha)
+        assert len(pickle.dumps(replica)) < 2_000
+        assert len(pickle.dumps(eager_factory)) > 10_000  # the weights
+        # Idempotent: an already-internalized factory passes through.
+        assert internalize_nn_factory(replica, broker, "x") is replica
+
+    def test_worker_fetches_over_tcp_once(
+        self, tmp_path, eager_factory, fresh_caches
+    ):
+        """The worker side, cold: the model comes over the wire with its
+        architecture intact, lands in the process cache, and repeated
+        access (context reloads, multiplexed slots) reuses the object."""
+        server = BrokerServer(tmp_path / "q", port=0).start()
+        try:
+            replica = internalize_nn_factory(
+                eager_factory, make_broker(server.address), server.address
+            )
+            # Simulate the worker process: nothing cached yet.
+            artifacts._MODEL_CACHE.clear()
+            fetched = replica.model
+            assert model_weight_digest(fetched) == replica.sha
+            assert fetched.config == TINY
+            assert replica.model is fetched  # process cache hit
+            # A clone from the coordinator's pickle shares the cache too.
+            clone = pickle.loads(pickle.dumps(replica))
+            assert clone.config == TINY
+            assert clone.model is fetched
+        finally:
+            server.stop()
+
+    def test_fetch_prefers_local_disk_cache(
+        self, tmp_path, eager_factory, fresh_caches
+    ):
+        """Once the blob is on the worker's disk, a restarted process
+        (empty in-memory cache) must not touch the broker at all — the
+        source may even be unreachable."""
+        broker = FilesystemBroker(tmp_path / "q")
+        replica = internalize_nn_factory(eager_factory, broker, "tcp://127.0.0.1:1")
+        ArtifactStore(local_artifact_cache_dir()).put(
+            broker.artifact_get(replica.sha), replica.sha
+        )
+        artifacts._MODEL_CACHE.clear()
+        assert model_weight_digest(replica.model) == replica.sha
+
+    def test_missing_artifact_is_a_clear_error(self, tmp_path, fresh_caches):
+        broker = FilesystemBroker(tmp_path / "q")
+        broker.ensure_layout()
+        orphan = ArtifactNNAgentFactory("ee" * 20, str(tmp_path / "q"), config=TINY)
+        with pytest.raises(RuntimeError, match="not found at broker"):
+            orphan.model

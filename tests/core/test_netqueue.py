@@ -1,0 +1,360 @@
+"""Tests for the network broker (repro.core.netqueue).
+
+The generic Broker semantics are pinned by the conformance suite
+(``test_broker_conformance.py``); this module covers what is specific to
+the *transport*: the length-prefixed frame protocol, the reconnecting
+client, and the hard acceptance invariants — a TCP campaign (with a
+worker SIGKILLed mid-episode, and under seeded network chaos) produces a
+``CampaignResult`` byte-identical to a serial run.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.agent import autopilot_agent_factory
+from repro.core import (
+    FilesystemBroker,
+    ParallelCampaignRunner,
+    QueueExecutor,
+    run_worker,
+    standard_scenarios,
+)
+from repro.core.faults import OutputDelay
+from repro.core.netqueue import (
+    BrokerError,
+    BrokerServer,
+    FrameError,
+    TcpBroker,
+    encode_frame,
+    is_broker_url,
+    make_broker,
+    parse_tcp_url,
+    recv_frame,
+    send_frame,
+)
+from repro.sim.builders import SimulationBuilder
+from repro.sim.render import CameraModel
+from repro.sim.town import GridTownConfig
+
+TOWN = GridTownConfig(rows=2, cols=3)
+INJECTORS = {"none": [], "delay": [OutputDelay(8)]}
+
+#: Every chaos dial lit at once: reordering delays, pre-send drops,
+#: torn frames, lost responses (at-least-once duplicates), and
+#: post-success reconnect storms.
+CHAOS = dict(
+    seed=1234,
+    delay_p=0.2,
+    delay_s=0.01,
+    drop_before_p=0.1,
+    drop_after_p=0.1,
+    partial_frame_p=0.1,
+    reconnect_p=0.2,
+)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return SimulationBuilder(camera=CameraModel(width=24, height=16), with_lidar=False)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return standard_scenarios(2, seed=9, town_config=TOWN, min_distance=60, max_distance=160)
+
+
+def _runner(builder, scenarios, injectors=INJECTORS, **kw):
+    return ParallelCampaignRunner(
+        scenarios, autopilot_agent_factory(), injectors, builder=builder, **kw
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_dicts(builder, scenarios):
+    """The serial ground truth every acceptance test compares against."""
+    return [r.to_dict() for r in _runner(builder, scenarios).run().records]
+
+
+def _queue_executor(address, **kw):
+    kw.setdefault("lease_s", 10.0)
+    kw.setdefault("poll_s", 0.05)
+    kw.setdefault("stall_timeout", 120.0)
+    return QueueExecutor(address, **kw)
+
+
+def _dicts(result):
+    return [r.to_dict() for r in result.records]
+
+
+def _spawn_worker(address, worker_id, lease_s=1.5, idle_timeout=1.0, chaos=None):
+    proc = multiprocessing.Process(
+        target=run_worker,
+        kwargs=dict(
+            queue_dir=str(address),
+            worker_id=worker_id,
+            lease_s=lease_s,
+            poll_s=0.02,
+            idle_timeout=idle_timeout,
+            chaos=chaos,
+        ),
+        daemon=True,
+    )
+    proc.start()
+    return proc
+
+
+def _wait_for(predicate, timeout=60.0, interval=0.002, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class _CoordinatorThread(threading.Thread):
+    def __init__(self, runner):
+        super().__init__(daemon=True)
+        self.runner = runner
+        self.result = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.result = self.runner.run()
+        except BaseException as exc:  # noqa: BLE001 — surfaced in the test
+            self.error = exc
+
+    def finish(self, timeout=120.0):
+        self.join(timeout)
+        assert not self.is_alive(), "coordinator did not finish"
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = BrokerServer(tmp_path / "queue", host="127.0.0.1", port=0).start()
+    yield server
+    server.stop()
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+
+
+class TestFrames:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        payload = {"op": "claim", "args": {"worker_id": "w1", "n": 3}}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close(), b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = self._pair()
+        a.close()
+        assert recv_frame(b) is None
+        b.close()
+
+    def test_torn_body_raises(self):
+        a, b = self._pair()
+        frame = encode_frame({"op": "status"})
+        a.sendall(frame[:-3])  # header + partial body, then hangup
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+        b.close()
+
+    def test_torn_header_raises(self):
+        a, b = self._pair()
+        a.sendall(b"\x00\x00")
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    def test_implausible_length_rejected_before_allocation(self):
+        a, b = self._pair()
+        a.sendall(struct.pack(">I", 2**32 - 1))
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_non_json_body_raises(self):
+        a, b = self._pair()
+        a.sendall(struct.pack(">I", 4) + b"\x80ick")
+        with pytest.raises(FrameError, match="JSON"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_parse_tcp_url(self):
+        assert parse_tcp_url("tcp://10.0.0.5:8266") == ("10.0.0.5", 8266)
+        with pytest.raises(ValueError, match="scheme|supported"):
+            parse_tcp_url("http://host:1")
+        with pytest.raises(ValueError, match="port"):
+            parse_tcp_url("tcp://host")
+
+    def test_make_broker_dispatch(self, tmp_path):
+        assert is_broker_url("tcp://h:1") is True
+        assert is_broker_url(str(tmp_path)) is False
+        assert is_broker_url(tmp_path) is False
+        assert isinstance(make_broker("tcp://127.0.0.1:1"), TcpBroker)
+        assert isinstance(make_broker(tmp_path / "q"), FilesystemBroker)
+
+
+# ----------------------------------------------------------------------
+# Client plumbing
+# ----------------------------------------------------------------------
+
+
+class TestTcpBrokerPlumbing:
+    def test_ping_reports_protocol_and_server_identity(self, server):
+        info = make_broker(server.address).ping()
+        assert info["protocol"] == 1
+        assert info["pid"] == os.getpid()  # served from this process
+
+    def test_application_error_raises_broker_error(self, server):
+        broker = make_broker(server.address)
+        with pytest.raises(BrokerError, match="unknown broker op"):
+            broker._call("no-such-op")
+        # A server-side exception relays type and message.
+        with pytest.raises(BrokerError, match="ValueError"):
+            broker.artifact_put("../escape", b"x")
+
+    def test_pickles_and_reconnects(self, server):
+        """fork-spawned drain workers receive the broker by pickle; the
+        clone drops the socket and reconnects on first use."""
+        broker = make_broker(server.address)
+        broker.ping()  # holds a live connection now
+        clone = pickle.loads(pickle.dumps(broker))
+        assert clone.address == broker.address
+        assert clone._sock is None
+        assert clone.status()["pending"] == 0
+
+    def test_unreachable_server_raises_connection_error(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        broker = TcpBroker(
+            "127.0.0.1", port, timeout_s=0.5, retries=2, retry_backoff_s=0.01
+        )
+        with pytest.raises(ConnectionError, match="unreachable after 3 attempts"):
+            broker.ping()
+
+    def test_state_survives_server_restart(self, builder, scenarios, tmp_path):
+        """The state directory is authoritative: stop the server, serve
+        the same root again, and the published queue is still there."""
+        root = tmp_path / "queue"
+        runner = _runner(builder, scenarios)
+        first = BrokerServer(root, port=0).start()
+        try:
+            make_broker(first.address).publish(
+                runner.context(), runner.tasks()
+            )
+        finally:
+            first.stop()
+        second = BrokerServer(root, port=0).start()
+        try:
+            broker = make_broker(second.address)
+            assert broker.status()["pending"] == len(runner.tasks())
+            claim = broker.claim("survivor")
+            assert claim is not None and broker.release(claim) is True
+        finally:
+            second.stop()
+
+
+# ----------------------------------------------------------------------
+# Acceptance: byte-identity with a serial run
+# ----------------------------------------------------------------------
+
+
+class TestTcpAcceptance:
+    def test_tcp_campaign_with_killed_worker_matches_serial(
+        self, builder, scenarios, serial_dicts, server
+    ):
+        """The FilesystemBroker acceptance invariant, over the network:
+        ≥2 TCP workers, one SIGKILLed mid-episode; its lease expires
+        server-side, the task requeues, and the folded result is
+        identical to a serial run."""
+        coordinator = _CoordinatorThread(
+            _runner(
+                builder, scenarios,
+                executor=_queue_executor(server.address, lease_s=1.5),
+            )
+        )
+        coordinator.start()
+        fs = server.broker
+        _wait_for(lambda: fs._list(fs.tasks_dir), message="tasks published")
+
+        # The victim is the only worker, so it must be the one claiming.
+        victim = _spawn_worker(server.address, "victim", lease_s=1.5, idle_timeout=30.0)
+        _wait_for(lambda: any(fs.leases_dir.glob("*.json")), message="victim's lease")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+
+        healthy = [_spawn_worker(server.address, f"healthy-{i}") for i in range(2)]
+        result = coordinator.finish()
+        for proc in healthy:
+            proc.join(timeout=60)
+
+        assert _dicts(result) == serial_dicts
+
+        # Resume purely from the server-side checkpoint: nothing pending.
+        resumed = _runner(
+            builder, scenarios,
+            checkpoint_path=fs.root / "results.jsonl",
+        )
+        assert resumed.pending() == []
+        assert _dicts(resumed.run()) == serial_dicts
+
+    def test_chaotic_tcp_campaign_matches_serial(
+        self, builder, scenarios, serial_dicts, server
+    ):
+        """Every chaos dial lit on every worker's transport — delays,
+        drops before and after the server executed (at-least-once
+        duplicates), torn frames, reconnect storms — and the folded
+        campaign is still byte-identical to the serial run."""
+        executor = _queue_executor(server.address, workers=2, chaos=CHAOS)
+        result = _runner(builder, scenarios, executor=executor).run()
+        assert _dicts(result) == serial_dicts
+
+    def test_chaotic_external_workers_match_serial(
+        self, builder, scenarios, serial_dicts, server
+    ):
+        """Same invariant with `avfi worker`-style external drains, each
+        carrying its own decorrelated chaos seed."""
+        coordinator = _CoordinatorThread(
+            _runner(builder, scenarios, executor=_queue_executor(server.address))
+        )
+        coordinator.start()
+        fs = server.broker
+        _wait_for(lambda: fs._list(fs.tasks_dir), message="tasks published")
+        workers = [
+            _spawn_worker(
+                server.address, f"chaotic-{i}", lease_s=10.0, idle_timeout=1.0,
+                chaos=dict(CHAOS, seed=CHAOS["seed"] + i),
+            )
+            for i in range(2)
+        ]
+        result = coordinator.finish()
+        for proc in workers:
+            proc.join(timeout=60)
+        assert _dicts(result) == serial_dicts

@@ -7,6 +7,7 @@ content and grid order to the same campaign run through
 ``SerialExecutor``, resuming purely from the shared JSONL checkpoint.
 """
 
+import json
 import multiprocessing
 import os
 import signal
@@ -164,44 +165,17 @@ class TestQueueAcceptance:
 
 
 class TestLeases:
+    """Filesystem-specific lease mechanics (mtime fallbacks, lease files,
+    republish pruning).  The *generic* lease semantics — forced expiry,
+    heartbeat keep-alive, the finish-after-expiry race — live in the
+    Broker conformance suite (tests/core/broker_conformance.py), which
+    runs them against the filesystem AND TCP brokers."""
+
     def _published_broker(self, builder, scenarios, qdir):
         runner = _runner(builder, scenarios)
         broker = FilesystemBroker(qdir, lease_s=0.5)
         broker.publish(runner.context(), runner.tasks())
         return broker, runner
-
-    def test_forced_expiry_requeues(self, builder, scenarios, tmp_path):
-        broker, _ = self._published_broker(builder, scenarios, tmp_path / "q")
-        before = broker._list(broker.tasks_dir)
-        claim = broker.claim("ghost", lease_s=0.15)
-        assert claim is not None
-        assert claim.name not in broker._list(broker.tasks_dir)
-        assert broker.live_leases() == 1
-        assert broker.requeue_expired() == []  # still live
-        time.sleep(0.3)
-        assert broker.live_leases() == 0
-        assert broker.requeue_expired() == [claim.name]
-        assert broker._list(broker.tasks_dir) == before
-        assert not broker._lease_path(claim.name).exists()
-
-    def test_heartbeat_keeps_lease_alive(self, builder, scenarios, tmp_path):
-        broker, _ = self._published_broker(builder, scenarios, tmp_path / "q")
-        claim = broker.claim("keeper", lease_s=0.3)
-        for _ in range(3):
-            time.sleep(0.15)
-            broker.heartbeat(claim)
-            assert broker.requeue_expired() == []
-        time.sleep(0.5)
-        assert broker.requeue_expired() == [claim.name]
-
-    def test_release_after_requeue_reports_loss(self, builder, scenarios, tmp_path):
-        """The 'lease expired after the worker actually finished' race:
-        release() tells the worker its claim was already requeued."""
-        broker, _ = self._published_broker(builder, scenarios, tmp_path / "q")
-        claim = broker.claim("slow", lease_s=0.1)
-        time.sleep(0.25)
-        assert broker.requeue_expired() == [claim.name]
-        assert broker.release(claim) is False
 
     def test_claiming_stale_pending_task_is_not_stolen(self, builder, scenarios, tmp_path):
         """A task pending longer than the lease keeps its publish-time
@@ -220,6 +194,46 @@ class TestLeases:
         assert broker.requeue_expired() == [], "fresh claim must not be stolen"
         broker.heartbeat(claim)
         assert broker.live_leases() == 1
+
+    def test_lagging_clock_heartbeat_does_not_expire_lease(
+        self, builder, scenarios, tmp_path
+    ):
+        """Regression: a worker whose clock lags stamps heartbeats 'in
+        the past'.  Judged by the embedded timestamp alone its lease
+        would expire the instant it lands and the running task would be
+        requeued (duplicate execution); expiry must trust the fresher of
+        the embedded time and the lease file's mtime."""
+        broker, _ = self._published_broker(builder, scenarios, tmp_path / "q")
+        claim = broker.claim("lagger", lease_s=5.0)
+        lease_path = broker._lease_path(claim.name)
+        lease = json.loads(lease_path.read_text())
+        lease["heartbeat_at"] -= 600.0  # ten minutes of clock lag
+        lease_path.write_text(json.dumps(lease))  # rewrite => fresh mtime
+        assert broker.requeue_expired() == [], "skewed-but-fresh lease stolen"
+        assert broker.live_leases() == 1
+        # A lease that is *actually* stale — old embedded time AND old
+        # mtime — must still expire; the guard is not an immortality pass.
+        old = time.time() - 600.0
+        os.utime(lease_path, (old, old))
+        assert broker.requeue_expired() == [claim.name]
+
+    def test_worker_liveness_survives_clock_skew(self, builder, scenarios, tmp_path):
+        """Same guard for observability: a lagging worker rewriting its
+        heartbeat file every few seconds must read as alive in
+        ``workers()``, and a genuinely dead one as stale."""
+        broker, _ = self._published_broker(builder, scenarios, tmp_path / "q")
+        broker.heartbeat_worker("lagger", 2)
+        path = broker.workers_dir / "lagger.json"
+        beat = json.loads(path.read_text())
+        beat["heartbeat_at"] -= 600.0
+        path.write_text(json.dumps(beat))  # fresh mtime, skewed stamp
+        (row,) = [r for r in broker.workers() if r.get("worker") == "lagger"]
+        assert row["episodes_done"] == 2
+        assert row["age_s"] < 30.0, "skew misread as staleness"
+        old = time.time() - 600.0
+        os.utime(path, (old, old))  # now both signals agree: dead
+        (row,) = [r for r in broker.workers() if r.get("worker") == "lagger"]
+        assert row["age_s"] > 500.0
 
     def test_claim_without_lease_file_requeues_by_age(self, builder, scenarios, tmp_path):
         """A claimer that died between rename and lease write leaves a

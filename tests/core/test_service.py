@@ -1,0 +1,254 @@
+"""Tests for the HTTP control plane (repro.core.service).
+
+Everything here goes through a real socket — urllib against a live
+:class:`~repro.core.service.CampaignService` — because the satellite
+invariant is end-to-end: submit ``examples/specs/smoke.json`` over HTTP,
+poll until settled, and the streamed JSONL results are byte-identical to
+what a serial ``avfi run`` of the same spec produces.
+"""
+
+import hashlib
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.service import CampaignService
+from repro.core.spec import CampaignSpec
+
+SMOKE = Path(__file__).resolve().parents[2] / "examples" / "specs" / "smoke.json"
+
+
+def _request(url, method="GET", payload=None, body=None):
+    """(status, parsed-or-raw body, content-type); 4xx/5xx don't raise."""
+    data = body
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            raw, status = resp.read(), resp.status
+            ctype = resp.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as err:
+        raw, status = err.read(), err.code
+        ctype = err.headers.get("Content-Type", "")
+    if ctype.startswith("application/json"):
+        return status, json.loads(raw), ctype
+    return status, raw, ctype
+
+
+def _poll_settled(url, sub_id, timeout=180.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, summary, _ = _request(f"{url}/campaigns/{sub_id}")
+        assert status == 200
+        if summary["state"] in ("done", "failed"):
+            return summary
+        time.sleep(0.1)
+    raise AssertionError(f"campaign {sub_id} never settled: {summary}")
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return json.loads(SMOKE.read_text())
+
+
+@pytest.fixture(scope="module")
+def expected_jsonl(smoke_payload):
+    """What a local `avfi run` of the same spec yields, rendered exactly
+    like the service streams it."""
+    records = Campaign.from_spec(CampaignSpec.from_dict(smoke_payload)).run().records
+    return "".join(json.dumps(r.to_dict()) + "\n" for r in records).encode()
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    service = CampaignService(
+        tmp_path_factory.mktemp("service"),
+        port=0,
+        default_workers=1,
+        stall_timeout=120.0,
+        poll_s=0.05,
+    ).start()
+    yield service
+    service.stop()
+
+
+@pytest.fixture(scope="module")
+def settled_id(service, smoke_payload):
+    """The smoke spec, submitted over HTTP and polled to completion —
+    the shared subject of the happy-path assertions."""
+    status, summary, _ = _request(
+        f"{service.url}/campaigns", method="POST", payload=smoke_payload
+    )
+    assert status == 201, summary
+    assert summary["state"] in ("queued", "running")
+    final = _poll_settled(service.url, summary["id"])
+    assert final["state"] == "done", final
+    return summary["id"]
+
+
+class TestHappyPath:
+    def test_root_reports_service_and_broker(self, service):
+        status, info, _ = _request(service.url)
+        assert status == 200
+        assert info["service"] == "avfi-campaigns"
+        assert info["broker"].startswith("tcp://")
+
+    def test_summary_counts_every_episode_ok(self, service, settled_id):
+        status, summary, _ = _request(f"{service.url}/campaigns/{settled_id}")
+        assert status == 200
+        assert summary["name"] == "smoke"
+        assert summary["total"] == 3  # 1 scenario x 3 injectors
+        assert summary["counts"] == {"ok": 3}
+
+    def test_streamed_results_byte_identical_to_serial_run(
+        self, service, settled_id, expected_jsonl
+    ):
+        status, body, ctype = _request(f"{service.url}/campaigns/{settled_id}/results")
+        assert status == 200
+        assert ctype == "application/x-ndjson"
+        assert body == expected_jsonl
+
+    def test_episode_rows_in_grid_order(self, service, settled_id, smoke_payload):
+        status, payload, _ = _request(
+            f"{service.url}/campaigns/{settled_id}/episodes"
+        )
+        assert status == 200
+        episodes = payload["episodes"]
+        assert [e["index"] for e in episodes] == [0, 1, 2]
+        assert [e["injector"] for e in episodes] == list(smoke_payload["injectors"])
+        assert all(e["outcome"] == "ok" for e in episodes)
+        assert all(isinstance(e["success"], bool) for e in episodes)
+
+    def test_resubmission_resumes_from_result_cache(
+        self, service, settled_id, smoke_payload, expected_jsonl
+    ):
+        """The shared checkpoint is a service-wide result cache: the same
+        spec resubmitted with *zero* workers still settles (instantly) —
+        every row folds back from the first run."""
+        status, summary, _ = _request(
+            f"{service.url}/campaigns",
+            method="POST",
+            payload={"spec": smoke_payload, "workers": 0},
+        )
+        assert status == 201
+        assert summary["id"] != settled_id
+        final = _poll_settled(service.url, summary["id"], timeout=60.0)
+        assert final["state"] == "done"
+        _, body, _ = _request(f"{service.url}/campaigns/{summary['id']}/results")
+        assert body == expected_jsonl
+
+    def test_campaign_listing_shows_all_submissions(self, service, settled_id):
+        status, payload, _ = _request(f"{service.url}/campaigns")
+        assert status == 200
+        ids = [c["id"] for c in payload["campaigns"]]
+        assert settled_id in ids
+
+
+class TestRejection:
+    """Malformed input is a 4xx with a path-anchored SpecError body —
+    never a stack trace, never a submission."""
+
+    def test_malformed_spec_is_400_with_spec_error_path(self, service, smoke_payload):
+        broken = dict(smoke_payload)
+        del broken["injectors"]
+        status, body, _ = _request(
+            f"{service.url}/campaigns", method="POST", payload=broken
+        )
+        assert status == 400
+        assert body["error"] == "invalid campaign spec at spec.injectors: missing"
+        assert body["path"] == "spec.injectors"
+        bad_fault = json.loads(json.dumps(smoke_payload))
+        bad_fault["injectors"]["gaussian"][0]["fault"] = "no-such-fault"
+        status, body, _ = _request(
+            f"{service.url}/campaigns", method="POST", payload=bad_fault
+        )
+        assert status == 400
+        assert body["path"] == "spec.injectors['gaussian'][0]"
+
+    def test_unknown_envelope_key_is_400(self, service, smoke_payload):
+        status, body, _ = _request(
+            f"{service.url}/campaigns",
+            method="POST",
+            payload={"spec": smoke_payload, "wrokers": 2},
+        )
+        assert status == 400
+        assert "unknown envelope key" in body["error"]
+        assert "wrokers" in body["error"]
+
+    def test_bad_override_types_are_400_with_request_path(self, service, smoke_payload):
+        for field, bad in (
+            ("workers", -1),
+            ("lease_s", 0),
+            ("episodes_per_slot", 0),
+            ("fault_tolerance", {"max_attempts": "lots"}),
+        ):
+            status, body, _ = _request(
+                f"{service.url}/campaigns",
+                method="POST",
+                payload={"spec": smoke_payload, field: bad},
+            )
+            assert status == 400, (field, body)
+            assert body["path"] == f"request.{field}"
+
+    def test_non_json_body_is_400(self, service):
+        status, body, _ = _request(
+            f"{service.url}/campaigns", method="POST", body=b"not json {"
+        )
+        assert status == 400
+        assert "not JSON" in body["error"]
+
+    def test_unknown_campaign_and_endpoint_are_404(self, service):
+        status, body, _ = _request(f"{service.url}/campaigns/c9999")
+        assert status == 404
+        assert "no such campaign" in body["error"]
+        status, body, _ = _request(f"{service.url}/nope")
+        assert status == 404
+
+
+class TestArtifacts:
+    """The content-addressed store, over HTTP (workers use the broker's
+    TCP ops; these endpoints serve humans and CI)."""
+
+    def test_put_get_roundtrip(self, service):
+        blob = b"weights-bytes"
+        sha = hashlib.sha1(blob).hexdigest()
+        status, body, _ = _request(
+            f"{service.url}/artifacts/{sha}", method="PUT", body=blob
+        )
+        assert status == 200 and body["sha"] == sha
+        status, fetched, ctype = _request(f"{service.url}/artifacts/{sha}")
+        assert status == 200
+        assert ctype == "application/octet-stream"
+        assert fetched == blob
+
+    def test_missing_artifact_is_404_and_bad_sha_is_400(self, service):
+        status, _, _ = _request(f"{service.url}/artifacts/{'0' * 40}")
+        assert status == 404
+        status, body, _ = _request(f"{service.url}/artifacts/..%2Fescape")
+        assert status == 400
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_unblocks_wait_and_refuses_new_work(
+        self, tmp_path, smoke_payload
+    ):
+        service = CampaignService(tmp_path / "svc", port=0).start()
+        try:
+            status, body, _ = _request(f"{service.url}/shutdown", method="POST")
+            assert status == 200 and body["ok"] is True
+            service.wait()  # returns promptly once the trigger lands
+            status, body, _ = _request(
+                f"{service.url}/campaigns", method="POST", payload=smoke_payload
+            )
+            assert status == 503
+            assert "shutting down" in body["error"]
+        finally:
+            service.stop()
