@@ -106,11 +106,21 @@ def local_artifact_cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-artifacts-{uid}"
 
 
-#: Process-local models by weight digest: the "once per worker" in
-#: warm start.  Unpickling the factory for every context reload (or
-#: slot) must not re-fetch or re-deserialise megabytes of weights.
-_MODEL_CACHE: dict[str, object] = {}
+#: Process-local models by (weight digest, config): the "once per
+#: worker" in warm start.  Unpickling the factory for every context
+#: reload (or slot) must not re-fetch or re-deserialise megabytes of
+#: weights.  The config rides in the key because the same weights can
+#: be loaded under different architectures — two factories sharing a
+#: digest must not silently share whichever config loaded first.
+_MODEL_CACHE: dict[tuple[str, str], object] = {}
 _MODEL_CACHE_LOCK = threading.Lock()
+
+
+def _cache_key(sha: str, config) -> tuple[str, str]:
+    # ILCNNConfig is a frozen dataclass, so repr is a stable identity;
+    # None (default config) keys separately, which at worst costs one
+    # redundant load.
+    return (sha, repr(config))
 
 
 def _fetch_model(sha: str, source: str, config=None):
@@ -119,12 +129,15 @@ def _fetch_model(sha: str, source: str, config=None):
     :class:`~repro.agent.ilcnn.ILCNNConfig` the weights were trained
     under — the ``.npz`` holds only arrays, so architecture must travel
     with the factory (``None`` = default config)."""
+    key = _cache_key(sha, config)
     with _MODEL_CACHE_LOCK:
-        model = _MODEL_CACHE.get(sha)
+        model = _MODEL_CACHE.get(key)
     if model is not None:
         return model
 
-    from ..agent.ilcnn import ILCNN  # deferred: keep core importable without agent
+    # Deferred: keep core importable without agent.
+    from ..agent.agents import model_weight_digest
+    from ..agent.ilcnn import ILCNN
 
     cache = ArtifactStore(local_artifact_cache_dir())
     path = cache.path(sha)
@@ -141,8 +154,19 @@ def _fetch_model(sha: str, source: str, config=None):
         cache.put(blob, sha)
     model = ILCNN.load(path, config)
     model.set_training(False)
+    # The store cannot check the content address itself (the sha digests
+    # the *loaded weights*, not the blob), so the worker must: a wrong
+    # blob under a known digest would otherwise run different weights
+    # while every fingerprint still claims the right ones.
+    loaded = model_weight_digest(model)
+    if loaded != sha:
+        path.unlink(missing_ok=True)  # evict: never trust this file again
+        raise RuntimeError(
+            f"artifact {sha} from {source!r} loaded with weight digest "
+            f"{loaded} — store corrupted or poisoned; cached copy evicted"
+        )
     with _MODEL_CACHE_LOCK:
-        _MODEL_CACHE.setdefault(sha, model)
+        _MODEL_CACHE.setdefault(key, model)
     return model
 
 
@@ -213,12 +237,12 @@ def internalize_nn_factory(factory, broker, source: str):
             factory.model.save(path)
             blob = path.read_bytes()
         broker.artifact_put(sha, blob)
+    config = getattr(factory.model, "config", None)
     replica = ArtifactNNAgentFactory(
-        sha, source, factory.replan_tolerance,
-        config=getattr(factory.model, "config", None),
+        sha, source, factory.replan_tolerance, config=config
     )
     # Seed the local process cache: the coordinator already holds the
     # loaded model, no reason for *it* to round-trip through the store.
     with _MODEL_CACHE_LOCK:
-        _MODEL_CACHE.setdefault(sha, factory.model)
+        _MODEL_CACHE.setdefault(_cache_key(sha, config), factory.model)
     return replica

@@ -51,6 +51,7 @@ import base64
 import json
 import os
 import pickle
+import re
 import socket
 import socketserver
 import struct
@@ -94,6 +95,34 @@ class FrameError(ConnectionError):
 class BrokerError(RuntimeError):
     """The server executed the request and reported a failure — a real
     application error, never retried (unlike transport errors)."""
+
+
+#: The exact shape :meth:`FilesystemBroker._task_filename` mints.
+_TASK_NAME_RE = re.compile(r"^\d{5}_[0-9a-f]{12}\.task$")
+_WORKER_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]{0,127}$")
+
+
+def _check_task_name(name) -> str:
+    """Wire-supplied task names become path components under the broker
+    root (``tasks/<name>``, ``claimed/<name>``, ``leases/<stem>.json``,
+    ``failed/<name>.error.json``) — accept only names the broker itself
+    mints (:meth:`FilesystemBroker._task_filename`), so a hostile frame
+    cannot smuggle ``../`` traversal into a server-side write or unlink,
+    the same guard :func:`~repro.core.artifacts._check_sha` applies to
+    artifact digests."""
+    if not isinstance(name, str) or not _TASK_NAME_RE.fullmatch(name):
+        raise BrokerError(
+            f"invalid task name {name!r} (want NNNNN_<12 hex chars>.task)"
+        )
+    return name
+
+
+def _check_worker_id(worker_id) -> str:
+    """Worker ids name liveness files (``workers/<id>.json``) — same
+    path-component exposure as task names, same server-side rejection."""
+    if not isinstance(worker_id, str) or not _WORKER_ID_RE.fullmatch(worker_id):
+        raise BrokerError(f"invalid worker id {worker_id!r}")
+    return worker_id
 
 
 def encode_frame(obj: dict) -> bytes:
@@ -299,7 +328,9 @@ class BrokerServer(socketserver.ThreadingTCPServer):
         }
 
     def _op_publish(self, args: dict) -> None:
-        named = [(str(name), _unb64(blob)) for name, blob in args["tasks"]]
+        named = [
+            (_check_task_name(name), _unb64(blob)) for name, blob in args["tasks"]
+        ]
         self.broker.publish_blobs(
             _unb64(args["context"]), named, spec=args.get("spec")
         )
@@ -309,7 +340,9 @@ class BrokerServer(socketserver.ThreadingTCPServer):
         return None if blob is None else _b64(blob)
 
     def _op_claim(self, args: dict) -> dict | None:
-        claimed = self.broker.claim_blob(args["worker_id"], args.get("lease_s"))
+        claimed = self.broker.claim_blob(
+            _check_worker_id(args["worker_id"]), args.get("lease_s")
+        )
         if claimed is None:
             return None
         name, blob, lease_s = claimed
@@ -319,15 +352,17 @@ class BrokerServer(socketserver.ThreadingTCPServer):
         # Server-stamped: the lease's heartbeat_at is written with this
         # machine's clock, so worker skew cannot fake or hide an expiry.
         self.broker._write_lease(
-            args["name"], args["worker_id"], float(args["lease_s"])
+            _check_task_name(args["name"]),
+            args["worker_id"],
+            float(args["lease_s"]),
         )
 
     def _op_release(self, args: dict) -> bool:
-        return self.broker.release_raw(args["name"])
+        return self.broker.release_raw(_check_task_name(args["name"]))
 
     def _op_fail(self, args: dict) -> None:
         self.broker.fail_raw(
-            args["name"],
+            _check_task_name(args["name"]),
             args.get("worker_id", "?"),
             error=args.get("error", ""),
             traceback_text=args.get("traceback", ""),
@@ -341,7 +376,7 @@ class BrokerServer(socketserver.ThreadingTCPServer):
         return self.broker.requeue_failed()
 
     def _op_quarantine(self, args: dict) -> None:
-        self.broker.quarantine(args["name"])
+        self.broker.quarantine(_check_task_name(args["name"]))
 
     def _op_append_row(self, args: dict) -> None:
         self.broker.append_row(args["row"])
@@ -371,7 +406,7 @@ class BrokerServer(socketserver.ThreadingTCPServer):
 
     def _op_heartbeat_worker(self, args: dict) -> None:
         self.broker.heartbeat_worker(
-            args["worker_id"],
+            _check_worker_id(args["worker_id"]),
             int(args.get("done", 0)),
             host=args.get("host"),
             pid=args.get("pid"),

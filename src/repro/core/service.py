@@ -67,6 +67,21 @@ __all__ = ["CampaignService", "Submission"]
 #: Envelope keys ``POST /campaigns`` understands around a bare spec.
 _ENVELOPE_KEYS = {"spec", "workers", "lease_s", "fault_tolerance", "episodes_per_slot"}
 
+#: Hard ceiling on one HTTP request body.  Artifact PUTs carry NN
+#: weights (megabytes), so the cap is generous — but an arbitrary
+#: Content-Length must not become an arbitrary server-side allocation,
+#: even on the trusted network the service is documented for.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _BodyTooLarge(Exception):
+    """Request body exceeds :data:`MAX_BODY_BYTES` — rendered as 413."""
+
+    def __init__(self, length: int):
+        super().__init__(
+            f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+        )
+
 
 class Submission:
     """One submitted campaign and everything the API reports about it.
@@ -217,11 +232,24 @@ class CampaignService:
         leases on its tasks); set a ``stall_timeout`` if unattended
         campaigns must not wait forever for workers.
         """
-        self._stopping.set()
-        self._queue.put(None)
+        with self._lock:
+            self._stopping.set()
+            self._queue.put(None)
         if self._run_thread is not None:
             self._run_thread.join()
             self._run_thread = None
+        # Settle anything still queued (nothing will run it now) so a
+        # `--wait` poller sees a terminal state instead of hanging.
+        while True:
+            try:
+                sub_id = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            sub = self.get(sub_id) if sub_id is not None else None
+            if sub is not None and not sub.is_settled():
+                sub.state = "failed"
+                sub.error = "service shut down before this campaign ran"
+                sub.settled.set()
         self._http.shutdown()
         self._http.server_close()
         if self._http_thread is not None:
@@ -243,13 +271,18 @@ class CampaignService:
     def submit(self, payload) -> Submission:
         """Validate and enqueue a submission (raises :class:`SpecError`)."""
         spec, overrides = _parse_submission_payload(payload)
-        if self._stopping.is_set():
-            raise RuntimeError("service is shutting down")
         with self._lock:
+            # Checked and enqueued under the same lock :meth:`stop` takes
+            # to set the flag and post its sentinel — a racing submission
+            # either lands *before* the sentinel (and runs) or sees the
+            # flag (and is refused); it can never slip in after the run
+            # loop has been told to exit and sit "queued" forever.
+            if self._stopping.is_set():
+                raise RuntimeError("service is shutting down")
             sub = Submission(f"c{len(self._order) + 1:04d}", spec, overrides)
             self._submissions[sub.id] = sub
             self._order.append(sub.id)
-        self._queue.put(sub.id)
+            self._queue.put(sub.id)
         return sub
 
     def get(self, sub_id: str) -> Submission | None:
@@ -447,8 +480,30 @@ class _ControlPlaneHandler(BaseHTTPRequestHandler):
         self._send(code, body, "application/json")
 
     def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
-        return self.rfile.read(length) if length else b""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            return b""
+        if length > MAX_BODY_BYTES:
+            raise _BodyTooLarge(length)
+        # Bounded chunks: one read call must not be asked for the whole
+        # (client-claimed) length at once.
+        chunks, remaining = [], length
+        while remaining:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _reject_too_large(self, exc: _BodyTooLarge) -> None:
+        # The unread body still sits on the socket; don't let keep-alive
+        # reinterpret it as the next request.
+        self.close_connection = True
+        self._send_json(413, {"error": str(exc)})
 
     def _submission_or_404(self, sub_id: str):
         sub = self.server.service.get(sub_id)
@@ -517,6 +572,9 @@ class _ControlPlaneHandler(BaseHTTPRequestHandler):
         if parts == ["campaigns"]:
             try:
                 payload = json.loads(self._read_body() or b"null")
+            except _BodyTooLarge as exc:
+                self._reject_too_large(exc)
+                return
             except json.JSONDecodeError as exc:
                 self._send_json(400, {"error": f"request body is not JSON: {exc}"})
                 return
@@ -543,6 +601,9 @@ class _ControlPlaneHandler(BaseHTTPRequestHandler):
                 sha = service.broker_server.broker.artifact_put(
                     parts[1], self._read_body()
                 )
+            except _BodyTooLarge as exc:
+                self._reject_too_large(exc)
+                return
             except ValueError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return

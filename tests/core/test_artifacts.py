@@ -145,3 +145,42 @@ class TestInternalize:
         orphan = ArtifactNNAgentFactory("ee" * 20, str(tmp_path / "q"), config=TINY)
         with pytest.raises(RuntimeError, match="not found at broker"):
             orphan.model
+
+    def test_poisoned_artifact_is_rejected_on_load(
+        self, tmp_path, eager_factory, fresh_caches
+    ):
+        """The store cannot verify a weights digest itself (it hashes the
+        loaded arrays, not the blob) — the worker must: a wrong blob under
+        a known sha raises instead of silently running different weights
+        behind correct-looking fingerprints."""
+        import dataclasses
+
+        broker = FilesystemBroker(tmp_path / "q")
+        replica = internalize_nn_factory(eager_factory, broker, str(tmp_path / "q"))
+        # Poison the store: same architecture, different weights (seed),
+        # written straight over the real blob.
+        imposter = ILCNN(dataclasses.replace(TINY, seed=TINY.seed + 1))
+        evil = tmp_path / "evil.npz"
+        imposter.save(evil)
+        broker.artifacts.path(replica.sha).write_bytes(evil.read_bytes())
+        artifacts._MODEL_CACHE.clear()
+        with pytest.raises(RuntimeError, match="weight digest"):
+            replica.model
+        # The local disk copy was evicted — a fixed store heals on retry.
+        assert not ArtifactStore(local_artifact_cache_dir()).has(replica.sha)
+
+    def test_process_cache_keys_by_config(self, tmp_path, eager_factory, fresh_caches):
+        """Two factories sharing weights but not configs must not share
+        whichever model loaded first."""
+        import dataclasses
+
+        broker = FilesystemBroker(tmp_path / "q")
+        replica = internalize_nn_factory(eager_factory, broker, str(tmp_path / "q"))
+        artifacts._MODEL_CACHE.clear()
+        # dropout changes behaviour, not weights: same digest, other config.
+        twin_cfg = dataclasses.replace(TINY, dropout=0.5)
+        twin = ArtifactNNAgentFactory(replica.sha, replica.source, config=twin_cfg)
+        assert replica.model is not twin.model
+        assert replica.model.config == TINY
+        assert twin.model.config == twin_cfg
+        assert twin.model is twin.model  # each key still caches

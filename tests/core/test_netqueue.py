@@ -220,6 +220,68 @@ class TestFrames:
 
 
 # ----------------------------------------------------------------------
+# Server-side name validation
+# ----------------------------------------------------------------------
+
+
+class TestWireNameValidation:
+    """Wire-supplied task names and worker ids become path components
+    under the broker root; the server refuses anything it didn't mint
+    itself before touching the filesystem — an unauthenticated frame
+    must not become an arbitrary write or unlink via ``../``."""
+
+    EVIL_NAMES = ["../../../../tmp/pwned", "..", "a/b.task", "00000_cafecafecafe.task/.."]
+
+    def test_publish_rejects_traversal_task_names(self, server):
+        import base64
+
+        broker = make_broker(server.address)
+        for evil in self.EVIL_NAMES:
+            with pytest.raises(BrokerError, match="invalid task name"):
+                broker._call(
+                    "publish",
+                    {
+                        "context": base64.b64encode(b"ctx").decode(),
+                        "tasks": [[evil, base64.b64encode(b"task").decode()]],
+                    },
+                )
+        # Rejected before anything was written: no context, no tasks.
+        assert server.broker.status()["pending"] == 0
+        assert server.broker.context_blob() is None
+
+    def test_name_taking_ops_reject_traversal(self, server):
+        broker = make_broker(server.address)
+        for op, args in (
+            ("release", {"name": "../escape"}),
+            ("quarantine", {"name": "../escape"}),
+            (
+                "fail",
+                {"name": "../escape", "worker_id": "w", "error": "", "traceback": ""},
+            ),
+            ("heartbeat", {"name": "../escape", "worker_id": "w", "lease_s": 5.0}),
+        ):
+            with pytest.raises(BrokerError, match="invalid task name"):
+                broker._call(op, args)
+
+    def test_worker_id_ops_reject_traversal(self, server):
+        broker = make_broker(server.address)
+        for op, args in (
+            ("claim", {"worker_id": "../../w"}),
+            ("heartbeat_worker", {"worker_id": "../../w", "done": 0}),
+        ):
+            with pytest.raises(BrokerError, match="invalid worker id"):
+                broker._call(op, args)
+
+    def test_minted_names_and_default_worker_ids_pass(self):
+        from repro.core.netqueue import _TASK_NAME_RE, _WORKER_ID_RE
+        from repro.core.queue import default_worker_id
+
+        assert _TASK_NAME_RE.fullmatch("00042_0123456789ab.task")
+        assert _WORKER_ID_RE.fullmatch(default_worker_id())
+        assert _WORKER_ID_RE.fullmatch(f"local-{os.getpid()}-3")
+
+
+# ----------------------------------------------------------------------
 # Client plumbing
 # ----------------------------------------------------------------------
 

@@ -16,8 +16,9 @@ from pathlib import Path
 
 import pytest
 
+import repro.core.service as service_module
 from repro.core.campaign import Campaign
-from repro.core.service import CampaignService
+from repro.core.service import CampaignService, Submission
 from repro.core.spec import CampaignSpec
 
 SMOKE = Path(__file__).resolve().parents[2] / "examples" / "specs" / "smoke.json"
@@ -236,6 +237,28 @@ class TestArtifacts:
         assert status == 400
 
 
+class TestBodyLimit:
+    """Content-Length is client-controlled on an unauthenticated socket;
+    past the cap it is a 413, never a server-side allocation."""
+
+    def test_oversized_bodies_are_413(self, service, monkeypatch):
+        monkeypatch.setattr(service_module, "MAX_BODY_BYTES", 1024)
+        blob = b"x" * 4096
+        sha = hashlib.sha1(blob).hexdigest()
+        status, body, _ = _request(
+            f"{service.url}/artifacts/{sha}", method="PUT", body=blob
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+        status, body, _ = _request(
+            f"{service.url}/campaigns", method="POST", body=b"{}" + b" " * 4096
+        )
+        assert status == 413
+        # The service is still healthy afterwards.
+        status, _, _ = _request(service.url)
+        assert status == 200
+
+
 class TestShutdown:
     def test_shutdown_endpoint_unblocks_wait_and_refuses_new_work(
         self, tmp_path, smoke_payload
@@ -252,3 +275,27 @@ class TestShutdown:
             assert "shutting down" in body["error"]
         finally:
             service.stop()
+
+    def test_stop_settles_submissions_the_run_loop_never_saw(
+        self, tmp_path, smoke_payload
+    ):
+        """The submit/stop race, made deterministic: a submission sitting
+        in the queue after the run loop exited must be settled as failed
+        by stop() — a ``--wait`` poller sees a terminal state, not
+        'queued' forever."""
+        service = CampaignService(tmp_path / "svc", port=0).start()
+        # Kill the run loop directly (as stop()'s sentinel would).
+        service._queue.put(None)
+        service._run_thread.join(timeout=10)
+        assert not service._run_thread.is_alive()
+        # Re-create the pre-fix race: a submission enqueued behind the
+        # sentinel, which no run loop will ever pick up.
+        sub = Submission("c9999", CampaignSpec.from_dict(smoke_payload), {})
+        with service._lock:
+            service._submissions[sub.id] = sub
+            service._order.append(sub.id)
+            service._queue.put(sub.id)
+        service.stop()
+        assert sub.state == "failed"
+        assert "shut down" in sub.error
+        assert sub.settled.is_set()
