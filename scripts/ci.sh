@@ -110,6 +110,18 @@ grep -q "quarantined episodes" "$CHAOS_DIR/report.txt"
 grep -q "chaos-crash" "$CHAOS_DIR/report.txt"
 grep -q "chaos-hang" "$CHAOS_DIR/report.txt"
 
+echo "== smoke: generative grammar campaign (expand + serial-vs-queue identity) =="
+# The grammar suite form end-to-end: `avfi spec expand` renders the
+# golden generative spec's concrete suite (and must show the scripted
+# junction-conflict NPC), then the example expands it twice, runs it on
+# the serial and queue backends (queue workers re-expand the grammar
+# from the archived spec in their own processes) and re-drives a
+# conflict episode asserting the NPC behavior state machine interrupted.
+python -m repro spec expand examples/specs/generated.json \
+    | tee "$COMPOUND_DIR/expand.txt"
+grep -q "behavior run_junction (LEFT)" "$COMPOUND_DIR/expand.txt"
+python examples/generated_campaign.py --workers 1
+
 echo "== smoke: campaign as a service (avfi serve + TCP worker + HTTP submit) =="
 # The full network deployment, every role a real subprocess: `avfi serve`
 # (HTTP control plane + TCP broker), one `avfi worker` attached over

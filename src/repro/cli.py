@@ -345,6 +345,49 @@ def cmd_spec_validate(args) -> None:
     )
 
 
+def cmd_spec_expand(args) -> None:
+    from .core.spec import SpecError, load_spec, parse_spec
+    from .sim.scenario import town_config_to_dict
+
+    try:
+        if args.spec == "-":
+            spec = parse_spec(sys.stdin.read(), source="<stdin>")
+        else:
+            spec = load_spec(args.spec)
+        scenarios = spec.scenarios.build()
+    except SpecError as exc:
+        raise SystemExit(f"avfi spec expand: {exc}")
+    if args.json:
+        print(json.dumps([s.to_dict() for s in scenarios], indent=2))
+        return
+    print(f"{spec.name!r} (hash {spec.hash()}) expands to {len(scenarios)} scenario(s):")
+    for s in scenarios:
+        town = town_config_to_dict(s.town_config)
+        kind = town.get("kind", "grid")
+        town_desc = f"{kind} {town['rows']}x{town['cols']}"
+        if kind == "procedural":
+            town_desc += f" seed={town['seed']}"
+        line = (
+            f"  {s.name}: mission {s.mission.name!r} "
+            f"({s.mission.straight_line_distance():.0f} m crow-flies, "
+            f"limit {s.mission.time_limit_s:.0f} s), town {town_desc}, "
+            f"{s.weather}, {s.n_npc_vehicles} npc / {s.n_pedestrians} ped, "
+            f"seed {s.seed}"
+        )
+        print(line)
+        for npc in s.npcs:
+            behavior = "none"
+            if npc.behavior is not None:
+                behavior = npc.behavior.name
+                if npc.behavior.turn is not None:
+                    behavior += f" ({npc.behavior.turn})"
+            print(
+                f"    npc: road {npc.road_id} dir {npc.direction:+d} "
+                f"station {npc.station:.1f} m, {npc.target_speed:.1f} m/s, "
+                f"behavior {behavior}"
+            )
+
+
 def cmd_report(args) -> None:
     from pathlib import Path
 
@@ -807,7 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("spec", help="emit / validate campaign specs")
+    p = sub.add_parser("spec", help="emit / validate / expand campaign specs")
     spec_sub = p.add_subparsers(dest="spec_command", required=True)
     p_emit = spec_sub.add_parser(
         "emit",
@@ -836,6 +879,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = spec_sub.add_parser("validate", help="load a spec and report its hash")
     p_val.add_argument("spec", help="spec file path, or '-' for stdin")
     p_val.set_defaults(func=cmd_spec_validate)
+    p_exp = spec_sub.add_parser(
+        "expand",
+        help="print the concrete scenario suite a spec builds, without running it",
+    )
+    p_exp.add_argument("spec", help="spec file path, or '-' for stdin")
+    p_exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the expanded suite as a JSON scenario array",
+    )
+    p_exp.set_defaults(func=cmd_spec_expand)
 
     p = sub.add_parser("demo", help="two quick episodes: clean vs. faulted")
     p.add_argument("--seed", type=int, default=3)

@@ -29,7 +29,7 @@ from ..sim.channel import Channel
 from ..sim.client import AgentClient
 from ..sim.scenario import Scenario, make_scenarios
 from ..sim.server import SimulationServer
-from ..sim.town import GridTownConfig, build_grid_town
+from ..sim.town import GridTownConfig, ProceduralTownConfig, build_town
 from ..sim.violations import ViolationEvent
 from .faults.base import FaultModel
 from .injector import InjectionHarness
@@ -111,19 +111,21 @@ def episode_fingerprint(
             component_signature(agent_factory) if agent_factory is not None else None,
             component_signature(builder) if builder is not None else None,
         )
-    key = repr(
-        (
-            scenario.mission,
-            scenario.town_config,
-            scenario.weather,
-            scenario.n_npc_vehicles,
-            scenario.n_pedestrians,
-            scenario.seed,
-            [fault_config(fault) for fault in faults],
-            tuple(component_key),
-        )
+    key_parts = (
+        scenario.mission,
+        scenario.town_config,
+        scenario.weather,
+        scenario.n_npc_vehicles,
+        scenario.n_pedestrians,
+        scenario.seed,
+        [fault_config(fault) for fault in faults],
+        tuple(component_key),
     )
-    return hashlib.sha1(key.encode()).hexdigest()[:12]
+    # Scripted NPCs fold in only when present, so fingerprints of plain
+    # scenarios are unchanged (existing checkpoints stay resumable).
+    if scenario.npcs:
+        key_parts = key_parts + (scenario.npcs,)
+    return hashlib.sha1(repr(key_parts).encode()).hexdigest()[:12]
 
 
 @dataclass
@@ -737,7 +739,7 @@ class Campaign:
 def standard_scenarios(
     n: int,
     seed: int = 0,
-    town_config: GridTownConfig | None = None,
+    town_config: GridTownConfig | ProceduralTownConfig | None = None,
     weather: str = "ClearNoon",
     n_npc_vehicles: int = 0,
     n_pedestrians: int = 0,
@@ -751,7 +753,7 @@ def standard_scenarios(
     variant campaign code should normally use.
     """
     cfg = town_config or GridTownConfig()
-    town = build_grid_town(cfg)
+    town = build_town(cfg)
     planner = RoutePlanner(town)
 
     def route_length(start, goal):

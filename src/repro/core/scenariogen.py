@@ -1,0 +1,815 @@
+"""Generative scenario grammar: Scenic-style scenario *distributions* as data.
+
+The declarative spec layer (:mod:`repro.core.spec`) can enumerate fixed
+suites or replay explicit lists; this module makes the suite itself a
+**seeded distribution**, in the spirit of Scenic (Fremont et al., PLDI
+2019): every scenario parameter — weather, traffic counts, distance bands,
+town geometry — may be a *distribution node* instead of a literal, and the
+whole grammar expands deterministically into a concrete
+:class:`~repro.sim.scenario.Scenario` list.
+
+Four pieces:
+
+* **Distribution nodes** — ``{"uniform": [lo, hi]}``, ``{"choice": [...]}``,
+  ``{"normal": {"mean": .., "std": .., "low": .., "high": ..}}`` and
+  ``{"range": {"start": .., "stop": .., "step": ..}}`` JSON forms, parsed
+  by :func:`parse_node` and resolved against a seeded
+  :class:`numpy.random.Generator`;
+* **Seed tree** — :meth:`ScenarioGrammar.expand` spawns one
+  :class:`numpy.random.SeedSequence` child per scenario from the grammar
+  seed, so the same spec + seed always expands to the byte-identical
+  suite in any process, and inserting a scenario never reshuffles the
+  others' draws;
+* **Procedural towns** — the grammar's ``town`` entry samples
+  :class:`~repro.sim.town.GridTownConfig` or
+  :class:`~repro.sim.town.ProceduralTownConfig` fields per scenario, so a
+  suite can sweep road networks, not just missions;
+* **Maneuver-conflict sampling** — :class:`ConflictGrammar` picks a
+  junction, routes the ego straight through it and a scripted NPC onto a
+  crossing turn (left, by default) with a reactive
+  :class:`~repro.sim.actors.BehaviorSpec` (``run_junction`` interrupt),
+  concentrating generated suites on the interaction cases fault campaigns
+  care about.
+
+Expanded suites are plain ``Scenario`` lists, so they compose with every
+execution backend and with compound faults; checkpoint fingerprints cover
+the sampled towns and scripted NPCs (see
+:func:`~repro.core.campaign.episode_fingerprint`).
+
+This module deliberately does **not** import :mod:`repro.core.spec` (spec
+imports us); validation errors are raised as :class:`GrammarError` with
+the same path-anchored shape, and the spec layer re-wraps them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.actors import BEHAVIOR_NAMES, BehaviorSpec
+from ..sim.geometry import Transform
+from ..sim.scenario import (
+    NOMINAL_SPEED,
+    Mission,
+    NPCSpec,
+    Scenario,
+    generate_missions,
+)
+from ..sim.town import GridTownConfig, Lane, ProceduralTownConfig, Town
+from ..sim.weather import PRESETS
+
+__all__ = [
+    "GrammarError",
+    "Distribution",
+    "Uniform",
+    "Choice",
+    "Normal",
+    "Range",
+    "parse_node",
+    "node_to_json",
+    "resolve_float",
+    "resolve_int",
+    "resolve_str",
+    "resolve_bool",
+    "TownGrammar",
+    "ConflictGrammar",
+    "ScenarioGrammar",
+    "enumerate_conflicts",
+]
+
+
+class GrammarError(ValueError):
+    """A scenario grammar failed validation or expansion.
+
+    Mirrors :class:`repro.core.spec.SpecError`'s ``(path, message)``
+    shape so the spec layer can re-anchor grammar errors in the JSON
+    document without importing us circularly.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+        super().__init__(f"invalid scenario grammar at {path}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Distribution nodes
+# ----------------------------------------------------------------------
+class Distribution:
+    """Base class of all sampled nodes.  Literals are *not* distributions."""
+
+    def sample_float(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_int(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def sample_value(self, rng: np.random.Generator):
+        """The raw sampled value (choice nodes can hold any scalar)."""
+        return self.sample_float(rng)
+
+    def to_json(self) -> dict:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """``{"uniform": [lo, hi]}`` — continuous on floats, inclusive on ints.
+
+    In an integer position (NPC counts, say) the node draws uniformly
+    from the *inclusive* integer interval ``[lo, hi]`` — ``[0, 3]`` gives
+    each of 0..3 equal probability — rather than rounding a continuous
+    draw (which would halve the endpoint probabilities).
+    """
+
+    low: float
+    high: float
+
+    def sample_float(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_int(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(int(self.low), int(self.high) + 1))
+
+    def to_json(self) -> dict:
+        return {"uniform": [self.low, self.high]}
+
+
+@dataclass(frozen=True)
+class Choice(Distribution):
+    """``{"choice": [a, b, ...]}`` — uniform over an explicit option list."""
+
+    options: tuple
+
+    def sample_value(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(len(self.options)))]
+
+    def sample_float(self, rng: np.random.Generator) -> float:
+        return float(self.sample_value(rng))
+
+    def sample_int(self, rng: np.random.Generator) -> int:
+        return int(self.sample_value(rng))
+
+    def to_json(self) -> dict:
+        return {"choice": list(self.options)}
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    """``{"normal": {"mean", "std", "low", "high"}}`` — optionally clamped."""
+
+    mean: float
+    std: float
+    low: float | None = None
+    high: float | None = None
+
+    def sample_float(self, rng: np.random.Generator) -> float:
+        value = float(rng.normal(self.mean, self.std))
+        if self.low is not None:
+            value = max(value, self.low)
+        if self.high is not None:
+            value = min(value, self.high)
+        return value
+
+    def sample_int(self, rng: np.random.Generator) -> int:
+        return int(round(self.sample_float(rng)))
+
+    def to_json(self) -> dict:
+        body = {"mean": self.mean, "std": self.std}
+        if self.low is not None:
+            body["low"] = self.low
+        if self.high is not None:
+            body["high"] = self.high
+        return {"normal": body}
+
+
+@dataclass(frozen=True)
+class Range(Distribution):
+    """``{"range": {"start", "stop", "step"}}`` — uniform over a lattice.
+
+    Values are ``start, start + step, ...`` strictly below ``stop``
+    (Python ``range`` semantics, extended to floats).
+    """
+
+    start: float
+    stop: float
+    step: float = 1.0
+
+    def values(self) -> list[float]:
+        count = int(math.ceil((self.stop - self.start) / self.step - 1e-9))
+        return [self.start + k * self.step for k in range(count)]
+
+    def sample_value(self, rng: np.random.Generator):
+        values = self.values()
+        return values[int(rng.integers(len(values)))]
+
+    def sample_float(self, rng: np.random.Generator) -> float:
+        return float(self.sample_value(rng))
+
+    def sample_int(self, rng: np.random.Generator) -> int:
+        return int(round(self.sample_float(rng)))
+
+    def to_json(self) -> dict:
+        body = {"start": self.start, "stop": self.stop}
+        if self.step != 1.0 or isinstance(self.step, float):
+            body["step"] = self.step
+        return {"range": body}
+
+
+_NODE_KEYS = ("uniform", "choice", "normal", "range")
+
+
+def _expect_number(value, path: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise GrammarError(path, f"expected a number, got {value!r}")
+    return value
+
+
+def parse_node(data, path: str):
+    """Parse a JSON value into a literal or a :class:`Distribution`.
+
+    Objects must be exactly one of the four node forms; anything else
+    (numbers, strings, booleans) passes through as a literal, to be
+    validated by the typed resolver at sampling time.
+    """
+    if not isinstance(data, dict):
+        return data
+    keys = [k for k in data if k in _NODE_KEYS]
+    if len(keys) != 1 or len(data) != 1:
+        raise GrammarError(
+            path,
+            f"a distribution node needs exactly one of "
+            f"{list(_NODE_KEYS)}, got keys {sorted(data)}",
+        )
+    kind = keys[0]
+    body = data[kind]
+    if kind == "uniform":
+        if not isinstance(body, list) or len(body) != 2:
+            raise GrammarError(f"{path}.uniform", "expected [low, high]")
+        low = _expect_number(body[0], f"{path}.uniform[0]")
+        high = _expect_number(body[1], f"{path}.uniform[1]")
+        if low > high:
+            raise GrammarError(f"{path}.uniform", f"low {low!r} exceeds high {high!r}")
+        return Uniform(low, high)
+    if kind == "choice":
+        if not isinstance(body, list) or not body:
+            raise GrammarError(f"{path}.choice", "expected a non-empty array of options")
+        for i, option in enumerate(body):
+            if isinstance(option, (dict, list)):
+                raise GrammarError(
+                    f"{path}.choice[{i}]", "options must be scalars, not nested nodes"
+                )
+        return Choice(tuple(body))
+    if kind == "normal":
+        if not isinstance(body, dict):
+            raise GrammarError(f"{path}.normal", "expected an object with mean/std")
+        unknown = set(body) - {"mean", "std", "low", "high"}
+        if unknown:
+            raise GrammarError(f"{path}.normal", f"unknown keys {sorted(unknown)}")
+        if "mean" not in body or "std" not in body:
+            raise GrammarError(f"{path}.normal", "needs 'mean' and 'std'")
+        mean = _expect_number(body["mean"], f"{path}.normal.mean")
+        std = _expect_number(body["std"], f"{path}.normal.std")
+        if std < 0:
+            raise GrammarError(f"{path}.normal.std", "must be >= 0")
+        low = body.get("low")
+        high = body.get("high")
+        if low is not None:
+            low = _expect_number(low, f"{path}.normal.low")
+        if high is not None:
+            high = _expect_number(high, f"{path}.normal.high")
+        if low is not None and high is not None and low > high:
+            raise GrammarError(f"{path}.normal", f"low {low!r} exceeds high {high!r}")
+        return Normal(mean, std, low, high)
+    # range
+    if not isinstance(body, dict):
+        raise GrammarError(f"{path}.range", "expected an object with start/stop")
+    unknown = set(body) - {"start", "stop", "step"}
+    if unknown:
+        raise GrammarError(f"{path}.range", f"unknown keys {sorted(unknown)}")
+    if "start" not in body or "stop" not in body:
+        raise GrammarError(f"{path}.range", "needs 'start' and 'stop'")
+    start = _expect_number(body["start"], f"{path}.range.start")
+    stop = _expect_number(body["stop"], f"{path}.range.stop")
+    step = body.get("step", 1)
+    step = _expect_number(step, f"{path}.range.step")
+    if step <= 0:
+        raise GrammarError(f"{path}.range.step", "must be > 0")
+    node = Range(start, stop, step)
+    if not node.values():
+        raise GrammarError(f"{path}.range", "produces no values (stop <= start)")
+    return node
+
+
+def node_to_json(node):
+    """Serialise a literal-or-node back to its JSON form."""
+    return node.to_json() if isinstance(node, Distribution) else node
+
+
+def resolve_float(node, rng: np.random.Generator, path: str = "value") -> float:
+    """Sample (or pass through) a float-valued node."""
+    if isinstance(node, Distribution):
+        return node.sample_float(rng)
+    return float(_expect_number(node, path))
+
+
+def resolve_int(node, rng: np.random.Generator, path: str = "value") -> int:
+    """Sample (or pass through) an int-valued node."""
+    if isinstance(node, Distribution):
+        return node.sample_int(rng)
+    if not isinstance(node, int) or isinstance(node, bool):
+        raise GrammarError(path, f"expected an integer, got {node!r}")
+    return node
+
+
+def resolve_str(node, rng: np.random.Generator, path: str = "value") -> str:
+    """Sample (or pass through) a string-valued node (choice only)."""
+    if isinstance(node, Choice):
+        value = node.sample_value(rng)
+    elif isinstance(node, Distribution):
+        raise GrammarError(path, "string positions only support 'choice' nodes")
+    else:
+        value = node
+    if not isinstance(value, str):
+        raise GrammarError(path, f"expected a string, got {value!r}")
+    return value
+
+
+def resolve_bool(node, rng: np.random.Generator, path: str = "value") -> bool:
+    """Sample (or pass through) a bool-valued node (choice only)."""
+    if isinstance(node, Choice):
+        value = node.sample_value(rng)
+    elif isinstance(node, Distribution):
+        raise GrammarError(path, "boolean positions only support 'choice' nodes")
+    else:
+        value = node
+    if not isinstance(value, bool):
+        raise GrammarError(path, f"expected a boolean, got {value!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Town grammar
+# ----------------------------------------------------------------------
+#: Per-field resolvers of the two town kinds; iteration order is the
+#: *sampling* order, so every spec draws town fields identically.
+_GRID_FIELDS = {
+    "rows": resolve_int,
+    "cols": resolve_int,
+    "block_size": resolve_float,
+    "lane_width": resolve_float,
+    "sidewalk_width": resolve_float,
+    "with_buildings": resolve_bool,
+    "building_height": resolve_float,
+    "name": resolve_str,
+}
+_PROCEDURAL_FIELDS = {
+    "rows": resolve_int,
+    "cols": resolve_int,
+    "block_size": resolve_float,
+    "lane_width": resolve_float,
+    "sidewalk_width": resolve_float,
+    "road_density": resolve_float,
+    "building_density": resolve_float,
+    "building_height": resolve_float,
+    "seed": resolve_int,
+    "name": resolve_str,
+}
+
+
+@dataclass
+class TownGrammar:
+    """The grammar's town entry: a town *kind* plus sampled fields.
+
+    JSON form is ``{"grid": {...}}`` or ``{"procedural": {...}}``, where
+    any field of the corresponding config may be a literal or a
+    distribution node.  A procedural town with no explicit ``seed`` draws
+    one per scenario, so every expanded scenario gets its own road
+    network.
+    """
+
+    kind: str = "grid"
+    fields: dict = field(default_factory=dict)
+
+    def sample(self, rng: np.random.Generator, path: str = "town"):
+        """A concrete town config sampled from this grammar."""
+        resolvers = _GRID_FIELDS if self.kind == "grid" else _PROCEDURAL_FIELDS
+        values = {}
+        for name, resolver in resolvers.items():
+            if name in self.fields:
+                values[name] = resolver(self.fields[name], rng, f"{path}.{self.kind}.{name}")
+        if self.kind == "procedural" and "seed" not in values:
+            values["seed"] = int(rng.integers(2**31))
+        try:
+            if self.kind == "grid":
+                return GridTownConfig(**values)
+            return ProceduralTownConfig(**values)
+        except (TypeError, ValueError) as exc:
+            raise GrammarError(f"{path}.{self.kind}", str(exc)) from None
+
+    def to_dict(self) -> dict:
+        """JSON form, re-emitting nodes exactly as parsed."""
+        return {self.kind: {name: node_to_json(v) for name, v in self.fields.items()}}
+
+    @classmethod
+    def from_dict(cls, data, path: str = "town") -> "TownGrammar":
+        """Parse and validate a town grammar entry."""
+        if not isinstance(data, dict):
+            raise GrammarError(path, f"expected an object, got {type(data).__name__}")
+        kinds = [k for k in data if k in ("grid", "procedural")]
+        if len(kinds) != 1 or len(data) != 1:
+            raise GrammarError(
+                path, f"needs exactly one of 'grid' or 'procedural', got keys {sorted(data)}"
+            )
+        kind = kinds[0]
+        body = data[kind]
+        if not isinstance(body, dict):
+            raise GrammarError(
+                f"{path}.{kind}", f"expected an object, got {type(body).__name__}"
+            )
+        allowed = _GRID_FIELDS if kind == "grid" else _PROCEDURAL_FIELDS
+        unknown = set(body) - set(allowed)
+        if unknown:
+            raise GrammarError(
+                f"{path}.{kind}",
+                f"unknown keys {sorted(unknown)} (allowed: {sorted(allowed)})",
+            )
+        fields = {
+            name: parse_node(value, f"{path}.{kind}.{name}")
+            for name, value in body.items()
+        }
+        return cls(kind=kind, fields=fields)
+
+
+# ----------------------------------------------------------------------
+# Maneuver-conflict sampling
+# ----------------------------------------------------------------------
+def _curve_points(town: Town, incoming: Lane, outgoing: Lane) -> np.ndarray:
+    curve = town.connection_curve(incoming, outgoing)
+    return np.array([[p.x, p.y] for p in curve.points])
+
+
+def _curves_conflict(a: np.ndarray, b: np.ndarray, threshold: float) -> bool:
+    """Whether two junction connector curves pass within ``threshold``."""
+    d2 = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+    return bool(d2.min() <= threshold * threshold)
+
+
+def enumerate_conflicts(town: Town, npc_turn: str = "LEFT") -> list[tuple[Lane, Lane, Lane, Lane]]:
+    """All ``(ego_in, ego_out, npc_in, npc_out)`` junction conflicts.
+
+    The ego goes STRAIGHT through a junction; the NPC approaches the same
+    junction on a different road and takes an ``npc_turn`` manoeuvre
+    whose connector curve passes within half a lane width of the ego's —
+    the straight-vs-left (by default) crossing case.  Enumeration order
+    is deterministic (sorted junctions, stable lane order), so a seeded
+    pick from the list is reproducible everywhere.
+    """
+    incoming: dict[int, list[Lane]] = {}
+    for lane in town.iter_lanes():
+        incoming.setdefault(lane.end_intersection, []).append(lane)
+    threshold = 0.5 * town.lane_width
+    out: list[tuple[Lane, Lane, Lane, Lane]] = []
+    for junction_id in sorted(incoming):
+        lanes_in = incoming[junction_id]
+        for ego_in in lanes_in:
+            for ego_out in town.lane_successors(ego_in):
+                if town.turn_direction(ego_in, ego_out) != "STRAIGHT":
+                    continue
+                ego_pts = _curve_points(town, ego_in, ego_out)
+                for npc_in in lanes_in:
+                    if npc_in.road.id == ego_in.road.id:
+                        continue
+                    for npc_out in town.lane_successors(npc_in):
+                        if npc_out.ref == ego_out.ref:
+                            continue
+                        if town.turn_direction(npc_in, npc_out) != npc_turn:
+                            continue
+                        npc_pts = _curve_points(town, npc_in, npc_out)
+                        if _curves_conflict(ego_pts, npc_pts, threshold):
+                            out.append((ego_in, ego_out, npc_in, npc_out))
+    return out
+
+
+@dataclass
+class ConflictGrammar:
+    """Maneuver-conflict sampling parameters (all literal-or-node).
+
+    Expansion picks one junction conflict from
+    :func:`enumerate_conflicts`, starts the ego ``ego_approach_m`` metres
+    before the junction with a goal ``ego_exit_m`` past it, and places a
+    scripted NPC ``npc_approach_m`` up its own approach lane with a
+    reactive behavior (``run_junction`` by default) whose forced ``turn``
+    routes it across the ego's path.
+    """
+
+    ego_approach_m: object = field(default_factory=lambda: Uniform(30.0, 50.0))
+    ego_exit_m: object = field(default_factory=lambda: Uniform(25.0, 45.0))
+    npc_approach_m: object = field(default_factory=lambda: Uniform(18.0, 36.0))
+    npc_speed: object = field(default_factory=lambda: Uniform(5.0, 8.0))
+    behavior: str = "run_junction"
+    turn: str = "LEFT"
+    trigger_distance: object = 30.0
+    duration_s: object = 5.0
+    speed_scale: object = 1.0
+    lateral_m: object = 1.8
+
+    _FIELDS = (
+        "ego_approach_m",
+        "ego_exit_m",
+        "npc_approach_m",
+        "npc_speed",
+        "behavior",
+        "turn",
+        "trigger_distance",
+        "duration_s",
+        "speed_scale",
+        "lateral_m",
+    )
+
+    def sample(
+        self,
+        town: Town,
+        rng: np.random.Generator,
+        time_factor: float,
+        path: str = "conflict",
+    ) -> tuple[Mission, tuple[NPCSpec, ...]]:
+        """One sampled junction-conflict mission + its scripted NPC."""
+        candidates = enumerate_conflicts(town, self.turn)
+        if not candidates:
+            raise GrammarError(
+                path,
+                f"town {town.name!r} has no straight-vs-{self.turn} junction "
+                f"conflicts; use a town with at least one 3-way junction",
+            )
+        ego_in, ego_out, npc_in, npc_out = candidates[int(rng.integers(len(candidates)))]
+        approach = resolve_float(self.ego_approach_m, rng, f"{path}.ego_approach_m")
+        exit_m = resolve_float(self.ego_exit_m, rng, f"{path}.ego_exit_m")
+        npc_approach = resolve_float(self.npc_approach_m, rng, f"{path}.npc_approach_m")
+        npc_speed = resolve_float(self.npc_speed, rng, f"{path}.npc_speed")
+        trigger = resolve_float(self.trigger_distance, rng, f"{path}.trigger_distance")
+        duration = resolve_float(self.duration_s, rng, f"{path}.duration_s")
+        speed_scale = resolve_float(self.speed_scale, rng, f"{path}.speed_scale")
+        lateral = resolve_float(self.lateral_m, rng, f"{path}.lateral_m")
+
+        start_station = max(2.0, ego_in.length - approach)
+        exit_station = min(max(exit_m, 4.0), max(ego_out.length - 2.0, 4.0))
+        start_wp = ego_in.waypoint_at(start_station)
+        goal = ego_out.waypoint_at(exit_station).position
+        connector = town.connection_curve(ego_in, ego_out)
+        route_len = (ego_in.length - start_station) + connector.length + exit_station
+        time_limit = route_len / NOMINAL_SPEED * time_factor + 15.0
+        mission = Mission(
+            start=Transform(start_wp.position, start_wp.yaw),
+            goal=goal,
+            time_limit_s=time_limit,
+            name=f"conflict-j{ego_in.end_intersection}",
+        )
+        try:
+            behavior = BehaviorSpec(
+                name=self.behavior,
+                trigger_distance=trigger,
+                duration_s=duration,
+                turn=self.turn,
+                speed_scale=speed_scale,
+                lateral_m=lateral,
+            )
+            npc = NPCSpec(
+                road_id=npc_in.ref.road_id,
+                direction=npc_in.ref.direction,
+                station=max(2.0, npc_in.length - npc_approach),
+                target_speed=npc_speed,
+                behavior=behavior,
+            )
+        except ValueError as exc:
+            raise GrammarError(path, str(exc)) from None
+        return mission, (npc,)
+
+    def to_dict(self) -> dict:
+        """JSON form, re-emitting nodes exactly as parsed."""
+        return {
+            "ego_approach_m": node_to_json(self.ego_approach_m),
+            "ego_exit_m": node_to_json(self.ego_exit_m),
+            "npc_approach_m": node_to_json(self.npc_approach_m),
+            "npc_speed": node_to_json(self.npc_speed),
+            "behavior": str(self.behavior),
+            "turn": str(self.turn),
+            "trigger_distance": node_to_json(self.trigger_distance),
+            "duration_s": node_to_json(self.duration_s),
+            "speed_scale": node_to_json(self.speed_scale),
+            "lateral_m": node_to_json(self.lateral_m),
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "conflict") -> "ConflictGrammar":
+        """Parse and validate a conflict grammar entry."""
+        if not isinstance(data, dict):
+            raise GrammarError(path, f"expected an object, got {type(data).__name__}")
+        unknown = set(data) - set(cls._FIELDS)
+        if unknown:
+            raise GrammarError(
+                path, f"unknown keys {sorted(unknown)} (allowed: {sorted(cls._FIELDS)})"
+            )
+        behavior = data.get("behavior", "run_junction")
+        if behavior not in BEHAVIOR_NAMES:
+            raise GrammarError(
+                f"{path}.behavior",
+                f"unknown behavior {behavior!r} (expected one of {', '.join(BEHAVIOR_NAMES)})",
+            )
+        turn = data.get("turn", "LEFT")
+        if turn not in ("LEFT", "RIGHT", "STRAIGHT"):
+            raise GrammarError(
+                f"{path}.turn", f"expected LEFT, RIGHT or STRAIGHT, got {turn!r}"
+            )
+        kwargs = {"behavior": behavior, "turn": turn}
+        for name in cls._FIELDS:
+            if name in ("behavior", "turn") or name not in data:
+                continue
+            kwargs[name] = parse_node(data[name], f"{path}.{name}")
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The grammar itself
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioGrammar:
+    """A declarative scenario distribution: the ``grammar`` suite form.
+
+    ``expand()`` deterministically materialises ``n`` concrete
+    scenarios: the grammar ``seed`` roots a
+    :class:`numpy.random.SeedSequence` tree with one spawned child per
+    scenario, and every sampled parameter (town geometry, weather,
+    traffic, mission or junction conflict, episode seed) draws from that
+    scenario's own generator — same spec + seed, same suite, in any
+    process.
+    """
+
+    n: int = 4
+    seed: int = 0
+    name: str = "gen"
+    town: TownGrammar = field(default_factory=TownGrammar)
+    weather: object = "ClearNoon"
+    n_npc_vehicles: object = 0
+    n_pedestrians: object = 0
+    min_distance: object = 100.0
+    max_distance: object = 400.0
+    time_factor: object = 1.8
+    conflict: ConflictGrammar | None = None
+
+    _FIELDS = (
+        "n",
+        "seed",
+        "name",
+        "town",
+        "weather",
+        "n_npc_vehicles",
+        "n_pedestrians",
+        "min_distance",
+        "max_distance",
+        "time_factor",
+        "conflict",
+    )
+
+    def expand(self, path: str = "grammar") -> list[Scenario]:
+        """Materialise the concrete scenario suite (deterministic)."""
+        from ..agent.planner import PlanningError, RoutePlanner  # deferred: heavy
+        from ..sim.builders import process_scene_cache  # deferred: import cycle
+
+        cache = process_scene_cache()
+        planners: dict[str, RoutePlanner] = {}
+        children = np.random.SeedSequence(self.seed).spawn(self.n)
+        scenarios: list[Scenario] = []
+        for i, child in enumerate(children):
+            rng = np.random.default_rng(child)
+            town_config = self.town.sample(rng, path=f"{path}.town")
+            try:
+                town = cache.town(town_config)
+            except ValueError as exc:
+                raise GrammarError(f"{path}.town", str(exc)) from None
+            weather = resolve_str(self.weather, rng, f"{path}.weather")
+            if weather not in PRESETS:
+                raise GrammarError(
+                    f"{path}.weather",
+                    f"unknown weather preset {weather!r} "
+                    f"(known: {', '.join(sorted(PRESETS))})",
+                )
+            n_vehicles = resolve_int(self.n_npc_vehicles, rng, f"{path}.n_npc_vehicles")
+            n_pedestrians = resolve_int(self.n_pedestrians, rng, f"{path}.n_pedestrians")
+            if n_vehicles < 0 or n_pedestrians < 0:
+                raise GrammarError(path, "traffic counts must be non-negative")
+            episode_seed = int(rng.integers(2**62))
+            if self.conflict is not None:
+                time_factor = resolve_float(self.time_factor, rng, f"{path}.time_factor")
+                mission, npcs = self.conflict.sample(
+                    town, rng, time_factor, path=f"{path}.conflict"
+                )
+            else:
+                key = town.name
+                if key not in planners:
+                    planners[key] = RoutePlanner(town)
+                planner = planners[key]
+
+                def route_length(start, goal):
+                    try:
+                        return planner.plan(start.position, goal, start_yaw=start.yaw).length
+                    except PlanningError:
+                        return None
+
+                min_d = resolve_float(self.min_distance, rng, f"{path}.min_distance")
+                max_d = resolve_float(self.max_distance, rng, f"{path}.max_distance")
+                time_factor = resolve_float(self.time_factor, rng, f"{path}.time_factor")
+                if min_d >= max_d:
+                    raise GrammarError(
+                        f"{path}.min_distance", "must be below max_distance"
+                    )
+                try:
+                    mission = generate_missions(
+                        town,
+                        1,
+                        rng,
+                        min_distance=min_d,
+                        max_distance=max_d,
+                        time_factor=time_factor,
+                        route_length_fn=route_length,
+                    )[0]
+                except RuntimeError as exc:
+                    raise GrammarError(f"{path}.min_distance", str(exc)) from None
+                npcs = ()
+            scenarios.append(
+                Scenario(
+                    mission=mission,
+                    town_config=town_config,
+                    weather=weather,
+                    n_npc_vehicles=n_vehicles,
+                    n_pedestrians=n_pedestrians,
+                    seed=episode_seed,
+                    name=f"{self.name}-{i}",
+                    npcs=npcs,
+                )
+            )
+        return scenarios
+
+    def to_dict(self) -> dict:
+        """JSON form — stable under ``from_dict(to_dict())``."""
+        return {
+            "n": int(self.n),
+            "seed": int(self.seed),
+            "name": str(self.name),
+            "town": self.town.to_dict(),
+            "weather": node_to_json(self.weather),
+            "n_npc_vehicles": node_to_json(self.n_npc_vehicles),
+            "n_pedestrians": node_to_json(self.n_pedestrians),
+            "min_distance": node_to_json(self.min_distance),
+            "max_distance": node_to_json(self.max_distance),
+            "time_factor": node_to_json(self.time_factor),
+            "conflict": self.conflict.to_dict() if self.conflict is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "grammar") -> "ScenarioGrammar":
+        """Parse and validate a grammar suite entry."""
+        if not isinstance(data, dict):
+            raise GrammarError(path, f"expected an object, got {type(data).__name__}")
+        unknown = set(data) - set(cls._FIELDS)
+        if unknown:
+            raise GrammarError(
+                path, f"unknown keys {sorted(unknown)} (allowed: {sorted(cls._FIELDS)})"
+            )
+        n = data.get("n", 4)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise GrammarError(f"{path}.n", f"expected a positive integer, got {n!r}")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise GrammarError(
+                f"{path}.seed", f"expected a non-negative integer, got {seed!r}"
+            )
+        name = data.get("name", "gen")
+        if not isinstance(name, str) or not name:
+            raise GrammarError(f"{path}.name", "expected a non-empty string")
+        town_data = data.get("town")
+        town = (
+            TownGrammar.from_dict(town_data, f"{path}.town")
+            if town_data is not None
+            else TownGrammar()
+        )
+        conflict_data = data.get("conflict")
+        conflict = (
+            ConflictGrammar.from_dict(conflict_data, f"{path}.conflict")
+            if conflict_data is not None
+            else None
+        )
+        kwargs = {"n": n, "seed": seed, "name": name, "town": town, "conflict": conflict}
+        for key in (
+            "weather",
+            "n_npc_vehicles",
+            "n_pedestrians",
+            "min_distance",
+            "max_distance",
+            "time_factor",
+        ):
+            if key in data:
+                kwargs[key] = parse_node(data[key], f"{path}.{key}")
+        return cls(**kwargs)

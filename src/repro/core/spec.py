@@ -12,9 +12,11 @@ turns an experiment definition into **data**:
   :meth:`CampaignSpec.from_dict` and :func:`load_spec` /
   :func:`save_spec`, with schema-version checking and validation errors
   that name the JSON path they refer to;
-* :class:`ScenarioSuiteSpec` — either a generator configuration (the
-  :func:`~repro.core.campaign.standard_scenarios` parameters) or an
-  explicit scenario list;
+* :class:`ScenarioSuiteSpec` — a generator configuration (the
+  :func:`~repro.core.campaign.standard_scenarios` parameters), an
+  explicit scenario list, or a **grammar** — a seeded scenario
+  *distribution* (:mod:`repro.core.scenariogen`) expanded
+  deterministically at build time;
 * :class:`AgentSpec` — a name from the agent registry
   (:data:`~repro.agent.agents.AGENT_REGISTRY`) plus builder params;
 * :class:`ExecutionSpec` — workers/backend/queue/checkpoint/parquet
@@ -56,6 +58,7 @@ from ..sim.town import GridTownConfig
 from .campaign import standard_scenarios
 from .faults.base import FaultModel
 from .outcomes import FaultTolerancePolicy
+from .scenariogen import GrammarError, ScenarioGrammar
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
@@ -109,14 +112,19 @@ def _reject_unknown(data: dict, allowed: set[str], path: str) -> None:
 class ScenarioSuiteSpec:
     """The scenario suite, as data.
 
-    Two forms:
+    Three forms:
 
     * **generate** (the default): the
       :func:`~repro.core.campaign.standard_scenarios` parameters —
       planner-accurate time limits, reproducible from the suite seed;
     * **explicit**: a literal scenario list (``scenarios`` non-``None``),
       for suites produced by external tooling or replayed from another
-      spec.
+      spec;
+    * **grammar**: a seeded scenario *distribution*
+      (:class:`~repro.core.scenariogen.ScenarioGrammar`) — distribution
+      nodes over weather, traffic, town geometry and junction conflicts,
+      expanded deterministically at build time (same spec + seed, same
+      concrete suite, in any process).
     """
 
     n: int = 4
@@ -129,11 +137,18 @@ class ScenarioSuiteSpec:
     town: GridTownConfig = field(default_factory=GridTownConfig)
     #: Explicit suite; overrides the generator parameters when set.
     scenarios: list[Scenario] | None = None
+    #: Generative grammar; overrides the generator parameters when set.
+    grammar: ScenarioGrammar | None = None
 
     def build(self) -> list[Scenario]:
         """Materialise the suite (deterministic for a given spec)."""
         if self.scenarios is not None:
             return list(self.scenarios)
+        if self.grammar is not None:
+            try:
+                return self.grammar.expand(path="spec.scenarios.grammar")
+            except GrammarError as exc:
+                raise SpecError(exc.path, exc.message) from None
         return standard_scenarios(
             self.n,
             seed=self.seed,
@@ -146,9 +161,11 @@ class ScenarioSuiteSpec:
         )
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (one of ``generate``/``explicit``)."""
+        """JSON form (one of ``generate``/``explicit``/``grammar``)."""
         if self.scenarios is not None:
             return {"explicit": [s.to_dict() for s in self.scenarios]}
+        if self.grammar is not None:
+            return {"grammar": self.grammar.to_dict()}
         # Numeric fields are coerced to their canonical JSON type (60 and
         # 60.0 compare equal but serialise differently), so equal suites
         # always emit identical JSON and CampaignSpec.hash() is stable.
@@ -169,11 +186,20 @@ class ScenarioSuiteSpec:
     def from_dict(cls, data, path: str = "spec.scenarios") -> "ScenarioSuiteSpec":
         """Parse and validate a suite spec."""
         data = _expect_object(data, path)
-        _reject_unknown(data, {"generate", "explicit"}, path)
-        if ("generate" in data) == ("explicit" in data):
+        _reject_unknown(data, {"generate", "explicit", "grammar"}, path)
+        present = [k for k in ("generate", "explicit", "grammar") if k in data]
+        if len(present) != 1:
             raise SpecError(
-                path, "needs exactly one of 'generate' or 'explicit'"
+                path, "needs exactly one of 'generate', 'explicit' or 'grammar'"
             )
+        if "grammar" in data:
+            try:
+                grammar = ScenarioGrammar.from_dict(
+                    data["grammar"], f"{path}.grammar"
+                )
+            except GrammarError as exc:
+                raise SpecError(exc.path, exc.message) from None
+            return cls(grammar=grammar)
         if "explicit" in data:
             rows = data["explicit"]
             if not isinstance(rows, list) or not rows:

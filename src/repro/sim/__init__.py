@@ -5,13 +5,31 @@ examples need: towns, the world, actors, sensors, channels, the
 server/client pair, scenarios and violation monitoring.
 """
 
-from .actors import Actor, NPCVehicle, Pedestrian, Vehicle
+from .actors import (
+    BEHAVIOR_NAMES,
+    Actor,
+    BehaviorSpec,
+    NPCBehavior,
+    NPCVehicle,
+    Pedestrian,
+    Vehicle,
+    make_behavior,
+)
 from .channel import Channel, ChannelTransform, Packet
 from .client import Agent, AgentClient
 from .geometry import OrientedBox, Polyline, Transform, Vec2, wrap_angle
 from .physics import BicycleModel, VehicleControl, VehicleSpec, VehicleState
 from .render import CameraModel, Renderer, TownTexture
-from .scenario import Mission, Scenario, generate_missions, make_scenarios
+from .scenario import (
+    Mission,
+    NPCSpec,
+    Scenario,
+    derive_scenario_seed,
+    generate_missions,
+    make_scenarios,
+    town_config_from_dict,
+    town_config_to_dict,
+)
 from .render import SemanticClass
 from .sensors import (
     GPS,
@@ -29,9 +47,12 @@ from .town import (
     GridTownConfig,
     Lane,
     LaneRef,
+    ProceduralTownConfig,
     SurfaceType,
     Town,
     build_grid_town,
+    build_procedural_town,
+    build_town,
 )
 from .violations import ACCIDENT_TYPES, ViolationEvent, ViolationMonitor, ViolationType
 from .weather import PRESETS, Weather, get_preset
@@ -39,9 +60,13 @@ from .world import DEFAULT_FPS, World
 
 __all__ = [
     "Actor",
+    "BEHAVIOR_NAMES",
+    "BehaviorSpec",
+    "NPCBehavior",
     "NPCVehicle",
     "Pedestrian",
     "Vehicle",
+    "make_behavior",
     "Channel",
     "ChannelTransform",
     "Packet",
@@ -60,9 +85,13 @@ __all__ = [
     "Renderer",
     "TownTexture",
     "Mission",
+    "NPCSpec",
     "Scenario",
+    "derive_scenario_seed",
     "generate_missions",
     "make_scenarios",
+    "town_config_from_dict",
+    "town_config_to_dict",
     "GPS",
     "Camera",
     "DepthCamera",
@@ -80,9 +109,12 @@ __all__ = [
     "GridTownConfig",
     "Lane",
     "LaneRef",
+    "ProceduralTownConfig",
     "SurfaceType",
     "Town",
     "build_grid_town",
+    "build_procedural_town",
+    "build_town",
     "ACCIDENT_TYPES",
     "ViolationEvent",
     "ViolationMonitor",

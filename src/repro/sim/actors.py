@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -25,7 +26,17 @@ from .town import Lane, Town
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .world import World
 
-__all__ = ["Actor", "Vehicle", "Pedestrian", "NPCVehicle", "PEDESTRIAN_SPEC"]
+__all__ = [
+    "Actor",
+    "Vehicle",
+    "Pedestrian",
+    "NPCVehicle",
+    "PEDESTRIAN_SPEC",
+    "BEHAVIOR_NAMES",
+    "BehaviorSpec",
+    "NPCBehavior",
+    "make_behavior",
+]
 
 _actor_ids = itertools.count(1)
 
@@ -187,6 +198,194 @@ class Pedestrian(Actor):
         self.transform = Transform(new_pos, direction.heading())
 
 
+#: Declarative NPC behaviors a scenario can attach to a scripted vehicle.
+BEHAVIOR_NAMES = ("cut_in", "brake_on_proximity", "run_junction")
+
+_TURNS = (None, "LEFT", "RIGHT", "STRAIGHT")
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """A declarative reactive behavior for a scripted NPC vehicle.
+
+    The behavior is a three-state machine compiled onto the NPC's pursuit
+    controller by :func:`make_behavior`: the vehicle *cruises* normally
+    until the ego comes within ``trigger_distance`` (the interrupt
+    condition), runs its *maneuver* for ``duration_s`` seconds, then is
+    *done* and reverts to plain lane following.
+
+    * ``cut_in`` — during the maneuver the pursuit target is biased
+      ``lateral_m`` metres to the vehicle's left, swerving it toward the
+      adjacent lane;
+    * ``brake_on_proximity`` — the maneuver is a full brake (a suddenly
+      stopping lead vehicle);
+    * ``run_junction`` — the maneuver disables the hazard-yield check, so
+      the vehicle drives through the junction without giving way.
+
+    ``turn`` (LEFT/RIGHT/STRAIGHT) additionally forces the vehicle's first
+    junction choice instead of drawing it from the episode RNG — how
+    maneuver-conflict scenarios route an NPC onto a crossing left turn.
+    ``speed_scale`` multiplies the target speed while the maneuver runs.
+    """
+
+    name: str
+    trigger_distance: float = 25.0
+    duration_s: float = 4.0
+    turn: str | None = None
+    speed_scale: float = 1.0
+    lateral_m: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.name not in BEHAVIOR_NAMES:
+            raise ValueError(
+                f"unknown behavior {self.name!r} (expected one of {', '.join(BEHAVIOR_NAMES)})"
+            )
+        if self.trigger_distance <= 0.0:
+            raise ValueError("trigger_distance must be positive")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+        if self.turn not in _TURNS:
+            raise ValueError(
+                f"unknown turn {self.turn!r} (expected LEFT, RIGHT, STRAIGHT or null)"
+            )
+        if self.speed_scale <= 0.0:
+            raise ValueError("speed_scale must be positive")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (scenario serialisation)."""
+        return {
+            "name": str(self.name),
+            "trigger_distance": float(self.trigger_distance),
+            "duration_s": float(self.duration_s),
+            "turn": str(self.turn) if self.turn is not None else None,
+            "speed_scale": float(self.speed_scale),
+            "lateral_m": float(self.lateral_m),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BehaviorSpec":
+        """Rebuild a behavior written by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise TypeError(f"behavior must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "name",
+            "trigger_distance",
+            "duration_s",
+            "turn",
+            "speed_scale",
+            "lateral_m",
+        }
+        if unknown:
+            raise ValueError(f"behavior has unknown keys {sorted(unknown)}")
+        if "name" not in data:
+            raise ValueError("behavior needs a 'name'")
+        turn = data.get("turn")
+        return cls(
+            name=str(data["name"]),
+            trigger_distance=float(data.get("trigger_distance", 25.0)),
+            duration_s=float(data.get("duration_s", 4.0)),
+            turn=str(turn) if turn is not None else None,
+            speed_scale=float(data.get("speed_scale", 1.0)),
+            lateral_m=float(data.get("lateral_m", 1.8)),
+        )
+
+
+class NPCBehavior:
+    """The runtime state machine compiled from a :class:`BehaviorSpec`.
+
+    States run ``cruise`` → ``maneuver`` → ``done``; every transition is
+    recorded in ``transitions`` as ``(from_state, to_state, frame)`` so
+    tests (and campaign assertions) can prove the interrupt actually
+    fired.  The machine never draws from the episode RNG — all its
+    decisions are functions of world state — so attaching a behavior
+    leaves every other actor's random stream untouched.
+    """
+
+    CRUISE = "cruise"
+    MANEUVER = "maneuver"
+    DONE = "done"
+
+    def __init__(self, spec: BehaviorSpec):
+        self.spec = spec
+        self.state = self.CRUISE
+        self.transitions: list[tuple[str, str, int]] = []
+        self._maneuver_elapsed_s = 0.0
+        self._forced_turn_pending = spec.turn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NPCBehavior({self.spec.name}, state={self.state})"
+
+    def _transition(self, new_state: str, frame: int) -> None:
+        self.transitions.append((self.state, new_state, int(frame)))
+        self.state = new_state
+
+    def update(self, npc: "NPCVehicle", world: "World", dt: float) -> None:
+        """Advance the state machine one frame (called before control)."""
+        if self.state == self.CRUISE:
+            ego = world.ego
+            if (
+                ego is not None
+                and ego.id != npc.id
+                and ego.position.distance_to(npc.position) <= self.spec.trigger_distance
+            ):
+                self._transition(self.MANEUVER, world.frame)
+        elif self.state == self.MANEUVER:
+            self._maneuver_elapsed_s += dt
+            if self._maneuver_elapsed_s >= self.spec.duration_s:
+                self._transition(self.DONE, world.frame)
+
+    @property
+    def active(self) -> bool:
+        """Whether the maneuver is currently running."""
+        return self.state == self.MANEUVER
+
+    def interrupted(self) -> bool:
+        """Whether the interrupt condition ever fired."""
+        return any(t[1] == self.MANEUVER for t in self.transitions)
+
+    # ------------------------------------------------------------------
+    # Directives read by NPCVehicle's controller
+    # ------------------------------------------------------------------
+    def ignore_hazards(self) -> bool:
+        """Suppress the hazard-yield check (``run_junction`` maneuver)."""
+        return self.active and self.spec.name == "run_junction"
+
+    def brake_now(self) -> bool:
+        """Force a full brake (``brake_on_proximity`` maneuver)."""
+        return self.active and self.spec.name == "brake_on_proximity"
+
+    def speed_scale(self) -> float:
+        """Target-speed multiplier for the current state."""
+        return self.spec.speed_scale if self.active else 1.0
+
+    def lateral_offset(self) -> float:
+        """Leftward pursuit-target bias, metres (``cut_in`` maneuver)."""
+        if self.active and self.spec.name == "cut_in":
+            return self.spec.lateral_m
+        return 0.0
+
+    def pick_successor(self, town: Town, lane: Lane, options: list[Lane]) -> Lane | None:
+        """The forced junction choice, or ``None`` to draw from the RNG.
+
+        The forced ``turn`` applies to the first junction the vehicle
+        reaches; afterwards routing reverts to random draws.  Returns
+        ``None`` (and keeps the force pending) when no option matches,
+        e.g. a junction with no left turn.
+        """
+        if not self._forced_turn_pending:
+            return None
+        for option in options:
+            if town.turn_direction(lane, option) == self.spec.turn:
+                self._forced_turn_pending = False
+                return option
+        return None
+
+
+def make_behavior(spec: BehaviorSpec | None) -> NPCBehavior | None:
+    """Compile a behavior spec into its runtime state machine."""
+    return NPCBehavior(spec) if spec is not None else None
+
+
 class NPCVehicle(Vehicle):
     """A background vehicle that follows lanes autonomously.
 
@@ -194,6 +393,10 @@ class NPCVehicle(Vehicle):
     intersection connector curves; a proportional speed controller tracks
     ``target_speed`` and a hazard check brakes for actors ahead.  Turns at
     junctions are drawn from the seeded generator handed to ``tick``.
+
+    An optional :class:`NPCBehavior` overlays a scripted maneuver on the
+    controller (see :class:`BehaviorSpec`); without one, behaviour is
+    bit-identical to the plain lane follower.
     """
 
     role = "npc_vehicle"
@@ -206,11 +409,13 @@ class NPCVehicle(Vehicle):
         town: Town,
         target_speed: float = 6.0,
         spec: VehicleSpec | None = None,
+        behavior: NPCBehavior | None = None,
     ):
         wp = lane.waypoint_at(station)
         super().__init__(Transform(wp.position, wp.yaw), spec)
         self.town = town
         self.target_speed = target_speed
+        self.behavior = behavior
         self._lane = lane
         self._station = station
         self._path: list[Vec2] = []
@@ -254,9 +459,14 @@ class NPCVehicle(Vehicle):
                     s += 2.0
                 self._station = step_end
                 continue
-            # At the lane end: pick the next lane through the junction.
+            # At the lane end: pick the next lane through the junction —
+            # a behavior's forced turn wins, otherwise draw from the RNG.
             options = self.town.lane_successors(self._lane)
-            next_lane = options[int(rng.integers(len(options)))]
+            next_lane = None
+            if self.behavior is not None:
+                next_lane = self.behavior.pick_successor(self.town, self._lane, options)
+            if next_lane is None:
+                next_lane = options[int(rng.integers(len(options)))]
             connector = self.town.connection_curve(self._lane, next_lane)
             self._path.extend(connector.points[1:])
             self._lane = next_lane
@@ -342,19 +552,32 @@ class NPCVehicle(Vehicle):
                 break
         # Inline Transform.to_local + norm (same expressions, no Vec2s).
         yaw = self.transform.yaw
+        behavior = self.behavior
+        tgt_x, tgt_y = target.x, target.y
+        if behavior is not None:
+            # A cut-in maneuver biases the pursuit target to the left of
+            # the vehicle's heading, swerving it off its lane.
+            lat = behavior.lateral_offset()
+            if lat != 0.0:
+                tgt_x -= math.sin(yaw) * lat
+                tgt_y += math.cos(yaw) * lat
         c, s = math.cos(-yaw), math.sin(-yaw)
-        tx = target.x - pos.x
-        ty = target.y - pos.y
+        tx = tgt_x - pos.x
+        ty = tgt_y - pos.y
         local_y = s * tx + c * ty
         dist = max(math.hypot(c * tx - s * ty, local_y), 1e-3)
         curvature = 2.0 * local_y / (dist * dist)
         steer_angle = math.atan(curvature * self.spec.wheelbase)
         steer = steer_angle / self.spec.max_steer_angle
 
+        if behavior is not None and behavior.brake_now():
+            return VehicleControl(steer=steer, brake=1.0)
         speed_target = self.target_speed * world.weather.friction
+        if behavior is not None:
+            speed_target *= behavior.speed_scale()
         # Slow for curvature so turns stay on the connector curve.
         speed_target = min(speed_target, max(2.0, 8.0 / (1.0 + 25.0 * abs(curvature))))
-        if self._hazard_ahead(world):
+        if (behavior is None or not behavior.ignore_hazards()) and self._hazard_ahead(world):
             return VehicleControl(steer=steer, brake=1.0)
         err = speed_target - self.state.speed
         if err >= 0.0:
@@ -362,6 +585,8 @@ class NPCVehicle(Vehicle):
         return VehicleControl(steer=steer, brake=min(1.0, -0.4 * err))
 
     def tick(self, world: "World", dt: float, rng: np.random.Generator) -> None:
+        if self.behavior is not None:
+            self.behavior.update(self, world, dt)
         self._extend_path(rng)
         self.apply_control(self._pursuit_control(world))
         super().tick(world, dt, rng)

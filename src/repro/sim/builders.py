@@ -20,10 +20,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
+from .actors import NPCVehicle, make_behavior
 from .render import CameraModel, Renderer
 from .scenario import Scenario
 from .sensors import GPS, Camera, Lidar2D, SensorSuite, Speedometer
-from .town import GridTownConfig, Town, build_grid_town
+from .town import GridTownConfig, LaneRef, ProceduralTownConfig, Town, build_town
 from .world import World
 
 __all__ = [
@@ -83,14 +84,17 @@ class SceneCache:
             self.misses += 1
         return value
 
-    def town(self, config: GridTownConfig) -> Town:
-        """The (cached) town for a configuration."""
+    def town(self, config: GridTownConfig | ProceduralTownConfig) -> Town:
+        """The (cached) town for a configuration (grid or procedural)."""
         return self._get(
-            self._towns, scene_fingerprint(config), lambda: build_grid_town(config)
+            self._towns, scene_fingerprint(config), lambda: build_town(config)
         )
 
     def renderer(
-        self, config: GridTownConfig, camera: CameraModel, texture_resolution: float
+        self,
+        config: GridTownConfig | ProceduralTownConfig,
+        camera: CameraModel,
+        texture_resolution: float,
     ) -> Renderer:
         """The (cached) renderer for a town + camera configuration."""
         return self._get(
@@ -228,24 +232,44 @@ class SimulationBuilder:
             gps_noise_std=config.get("gps_noise_std", 0.4),
         )
 
-    def town_for(self, config: GridTownConfig) -> Town:
+    def town_for(self, config: GridTownConfig | ProceduralTownConfig) -> Town:
         """The (cached) town for a configuration."""
         return self.scene_cache.town(config)
 
-    def renderer_for(self, config: GridTownConfig) -> Renderer:
+    def renderer_for(self, config: GridTownConfig | ProceduralTownConfig) -> Renderer:
         """The (cached) renderer for a configuration."""
         return self.scene_cache.renderer(config, self.camera, self.texture_resolution)
 
     def build_episode(self, scenario: Scenario) -> EpisodeHandles:
         """A fresh world + sensor suite realising ``scenario``.
 
-        The ego spawns at the mission start; NPC traffic and pedestrians
-        are placed from the scenario seed with a clearance zone around the
-        ego.
+        The ego spawns at the mission start; scripted NPCs
+        (``scenario.npcs``) spawn at their exact lane stations (consuming
+        no episode RNG, so adding one never perturbs the rest of the
+        world); background NPC traffic and pedestrians are then placed
+        from the scenario seed with a clearance zone around the ego.
         """
         town = self.town_for(scenario.town_config)
         world = World(town, weather=scenario.weather, seed=scenario.seed)
         world.spawn_ego(scenario.mission.start)
+        for npc in scenario.npcs:
+            ref = LaneRef(npc.road_id, npc.direction)
+            try:
+                lane = town.lanes[ref]
+            except KeyError:
+                raise ValueError(
+                    f"scenario {scenario.name!r}: scripted npc references lane "
+                    f"{ref} absent from town {town.name!r}"
+                ) from None
+            world.add_actor(
+                NPCVehicle(
+                    lane,
+                    min(npc.station, lane.length),
+                    town,
+                    target_speed=npc.target_speed,
+                    behavior=make_behavior(npc.behavior),
+                )
+            )
         world.populate(
             scenario.n_npc_vehicles,
             scenario.n_pedestrians,

@@ -13,30 +13,51 @@ fault-injector configuration is evaluated across the *same* missions.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .actors import BehaviorSpec
 from .geometry import Transform, Vec2
-from .town import GridTownConfig, Town, Waypoint
+from .town import GridTownConfig, ProceduralTownConfig, Town, Waypoint
 
 __all__ = [
     "Mission",
+    "NPCSpec",
     "Scenario",
+    "derive_scenario_seed",
     "generate_missions",
     "make_scenarios",
+    "town_config_from_dict",
     "town_config_to_dict",
 ]
 
-
-def town_config_to_dict(config: GridTownConfig) -> dict:
+def town_config_to_dict(config: GridTownConfig | ProceduralTownConfig) -> dict:
     """Canonical JSON form of a town config.
 
     Numeric fields coerce to their canonical JSON type (80 and 80.0 are
     dataclass-equal but serialise differently), so equal configs always
     emit identical JSON — campaign-spec hashes are content hashes.
+    Procedural configs carry a ``"kind": "procedural"`` discriminator;
+    grid configs keep the historical key set, so existing specs hash
+    identically.
     """
+    if isinstance(config, ProceduralTownConfig):
+        return {
+            "kind": "procedural",
+            "rows": int(config.rows),
+            "cols": int(config.cols),
+            "block_size": float(config.block_size),
+            "lane_width": float(config.lane_width),
+            "sidewalk_width": float(config.sidewalk_width),
+            "road_density": float(config.road_density),
+            "building_density": float(config.building_density),
+            "building_height": float(config.building_height),
+            "seed": int(config.seed),
+            "name": str(config.name),
+        }
     return {
         "rows": int(config.rows),
         "cols": int(config.cols),
@@ -47,6 +68,39 @@ def town_config_to_dict(config: GridTownConfig) -> dict:
         "building_height": float(config.building_height),
         "name": str(config.name),
     }
+
+
+def town_config_from_dict(data: dict) -> GridTownConfig | ProceduralTownConfig:
+    """Rebuild a town config written by :func:`town_config_to_dict`.
+
+    Dispatches on the ``"kind"`` discriminator: absent (or ``"grid"``)
+    parses as :class:`GridTownConfig`, ``"procedural"`` as
+    :class:`ProceduralTownConfig`.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"town config must be an object, got {type(data).__name__}")
+    kind = data.get("kind", "grid")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    if kind == "procedural":
+        return ProceduralTownConfig(**fields)
+    if kind == "grid":
+        return GridTownConfig(**fields)
+    raise ValueError(f"unknown town config kind {kind!r} (expected 'grid' or 'procedural')")
+
+
+def derive_scenario_seed(suite_seed: int, index: int) -> int:
+    """A collision-free per-scenario episode seed.
+
+    Hashes ``(suite_seed, index)`` through SHA-256 and keeps 63 bits, so
+    seeds from different suites can never collide the way the old
+    ``suite_seed * 1000 + index`` formula did once a suite grew past 1000
+    scenarios (or two suites used adjacent seeds).  A cryptographic hash
+    (rather than :class:`numpy.random.SeedSequence` internals) keeps the
+    derivation identical across numpy versions, which checkpoint
+    fingerprints and cross-process suite expansion both rely on.
+    """
+    digest = hashlib.sha256(f"scenario-seed:{suite_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 #: Nominal urban cruise speed used to derive mission time limits, m/s.
 NOMINAL_SPEED = 5.0
@@ -125,24 +179,85 @@ class Mission:
 
 
 @dataclass(frozen=True)
+class NPCSpec:
+    """A scripted NPC vehicle placed at an exact lane position.
+
+    Unlike the seed-scattered background traffic (``n_npc_vehicles``), a
+    scripted NPC spawns deterministically at ``station`` metres along the
+    lane ``(road_id, direction)`` — how maneuver-conflict scenarios put an
+    adversary on a specific junction approach.  ``behavior`` optionally
+    attaches a reactive :class:`~repro.sim.actors.BehaviorSpec`.
+    """
+
+    road_id: int
+    direction: int
+    station: float
+    target_speed: float = 6.0
+    behavior: BehaviorSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 1):
+            raise ValueError("direction must be +1 or -1")
+        if self.station < 0.0:
+            raise ValueError("station must be non-negative")
+        if self.target_speed <= 0.0:
+            raise ValueError("target_speed must be positive")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form."""
+        return {
+            "road_id": int(self.road_id),
+            "direction": int(self.direction),
+            "station": float(self.station),
+            "target_speed": float(self.target_speed),
+            "behavior": self.behavior.to_dict() if self.behavior is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NPCSpec":
+        """Rebuild a scripted NPC written by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise TypeError(f"npc must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"road_id", "direction", "station", "target_speed", "behavior"}
+        if unknown:
+            raise ValueError(f"npc has unknown keys {sorted(unknown)}")
+        behavior = data.get("behavior")
+        return cls(
+            road_id=int(data["road_id"]),
+            direction=int(data["direction"]),
+            station=float(data["station"]),
+            target_speed=float(data.get("target_speed", 6.0)),
+            behavior=BehaviorSpec.from_dict(behavior) if behavior is not None else None,
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A mission plus the world it runs in."""
 
     mission: Mission
-    town_config: GridTownConfig = field(default_factory=GridTownConfig)
+    town_config: GridTownConfig | ProceduralTownConfig = field(default_factory=GridTownConfig)
     weather: str = "ClearNoon"
     n_npc_vehicles: int = 0
     n_pedestrians: int = 0
     seed: int = 0
     name: str = "scenario"
+    #: Scripted NPC vehicles (exact placement + optional behavior), on top
+    #: of the seed-scattered background traffic.
+    npcs: tuple[NPCSpec, ...] = ()
 
     def with_seed(self, seed: int) -> "Scenario":
         """Copy of this scenario under a different episode seed."""
         return replace(self, seed=seed, name=f"{self.name}-s{seed}")
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (declarative campaign specs)."""
-        return {
+        """JSON-serialisable form (declarative campaign specs).
+
+        ``npcs`` is emitted only when non-empty, so scenarios without
+        scripted NPCs serialise exactly as they always did (spec hashes
+        and golden files are stable across the feature's introduction).
+        """
+        out = {
             "mission": self.mission.to_dict(),
             "town": town_config_to_dict(self.town_config),
             "weather": str(self.weather),
@@ -151,6 +266,9 @@ class Scenario:
             "seed": int(self.seed),
             "name": str(self.name),
         }
+        if self.npcs:
+            out["npcs"] = [npc.to_dict() for npc in self.npcs]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -165,6 +283,7 @@ class Scenario:
             "n_pedestrians",
             "seed",
             "name",
+            "npcs",
         }
         if unknown:
             raise ValueError(f"scenario has unknown keys {sorted(unknown)}")
@@ -172,9 +291,16 @@ class Scenario:
             raise ValueError("scenario needs a 'mission' object")
         town = data.get("town")
         try:
-            town_config = GridTownConfig(**town) if town is not None else GridTownConfig()
+            town_config = town_config_from_dict(town) if town is not None else GridTownConfig()
         except TypeError as exc:
             raise ValueError(f"scenario town config: {exc}") from None
+        npcs_data = data.get("npcs") or []
+        if not isinstance(npcs_data, list):
+            raise ValueError("scenario 'npcs' must be an array")
+        try:
+            npcs = tuple(NPCSpec.from_dict(npc) for npc in npcs_data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"scenario npcs: {exc}") from None
         return cls(
             mission=Mission.from_dict(data["mission"]),
             town_config=town_config,
@@ -183,6 +309,7 @@ class Scenario:
             n_pedestrians=int(data.get("n_pedestrians", 0)),
             seed=int(data.get("seed", 0)),
             name=str(data.get("name", "scenario")),
+            npcs=npcs,
         )
 
 
@@ -256,7 +383,7 @@ def generate_missions(
 def make_scenarios(
     n: int,
     seed: int = 0,
-    town_config: GridTownConfig | None = None,
+    town_config: GridTownConfig | ProceduralTownConfig | None = None,
     weather: str = "ClearNoon",
     n_npc_vehicles: int = 0,
     n_pedestrians: int = 0,
@@ -267,16 +394,17 @@ def make_scenarios(
     """Build a reproducible suite of ``n`` scenarios.
 
     All scenarios share the town and traffic configuration and differ in
-    mission and per-episode seed.  The same ``seed`` always yields the same
-    suite, so different fault injectors can be compared on identical
+    mission and per-episode seed (derived collision-free by
+    :func:`derive_scenario_seed`).  The same ``seed`` always yields the
+    same suite, so different fault injectors can be compared on identical
     workloads (paired experiment design).  See
     :func:`repro.core.campaign.standard_scenarios` for the variant that
     wires in the route planner for accurate time limits.
     """
-    from .town import build_grid_town  # local import to keep module load light
+    from .town import build_town  # local import to keep module load light
 
     cfg = town_config or GridTownConfig()
-    town = build_grid_town(cfg)
+    town = build_town(cfg)
     rng = np.random.default_rng(seed)
     missions = generate_missions(
         town,
@@ -293,7 +421,7 @@ def make_scenarios(
             weather=weather,
             n_npc_vehicles=n_npc_vehicles,
             n_pedestrians=n_pedestrians,
-            seed=seed * 1000 + i,
+            seed=derive_scenario_seed(seed, i),
             name=f"scn-{i}",
         )
         for i, m in enumerate(missions)

@@ -23,7 +23,7 @@ from enum import Enum
 import numpy as np
 
 from .geometry import Transform
-from .scenario import Mission, Scenario, generate_missions
+from .scenario import Mission, Scenario, derive_scenario_seed, generate_missions
 from .town import GridTownConfig, Town, build_grid_town
 
 __all__ = ["Task", "TaskSpec", "TASK_SPECS", "make_task_scenarios"]
@@ -122,7 +122,7 @@ def make_task_scenarios(
             weather=weather,
             n_npc_vehicles=spec.n_npc_vehicles,
             n_pedestrians=spec.n_pedestrians,
-            seed=seed * 1000 + i,
+            seed=derive_scenario_seed(seed, i),
             name=f"{task.value}-{i}",
         )
         for i, m in enumerate(missions)

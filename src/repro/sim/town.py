@@ -18,7 +18,9 @@ queries every other subsystem needs:
 * *spawning* — candidate vehicle poses on lane centrelines
   (:meth:`Town.spawn_points`).
 
-Towns are deterministic given their configuration; no randomness lives here.
+Towns are deterministic given their configuration; the procedural variant
+(:func:`build_procedural_town`) draws every sample from the seed baked into
+its config, so equal configs always build identical towns.
 """
 
 from __future__ import annotations
@@ -43,7 +45,10 @@ __all__ = [
     "LaneLocation",
     "Town",
     "GridTownConfig",
+    "ProceduralTownConfig",
     "build_grid_town",
+    "build_procedural_town",
+    "build_town",
 ]
 
 # Spacing between consecutive lane-centreline sample points, metres.
@@ -829,3 +834,169 @@ def build_grid_town(config: GridTownConfig | None = None) -> Town:
             f"grid town {cfg.rows}x{cfg.cols} has a disconnected lane graph"
         )
     return town
+
+
+@dataclass(frozen=True)
+class ProceduralTownConfig:
+    """Parameters of a *sampled* road network.
+
+    Starts from the same ``rows`` x ``cols`` intersection lattice as
+    :class:`GridTownConfig` and then, driven entirely by ``seed``:
+
+    * removes a fraction of the grid's roads (``road_density`` is the kept
+      fraction), skipping any removal that would leave a dead-end junction
+      or break the U-turn-free lane graph's strong connectivity — every
+      sampled town stays fully routable;
+    * fills block interiors with buildings at ``building_density``
+      probability, with per-building size/height jitter.
+
+    Equal configs always build identical towns (all randomness flows from
+    ``seed``), so the config is safe to serialise into campaign specs and
+    hash into episode fingerprints, exactly like :class:`GridTownConfig`.
+    """
+
+    rows: int = 3
+    cols: int = 3
+    block_size: float = 70.0
+    lane_width: float = 3.5
+    sidewalk_width: float = 2.0
+    road_density: float = 0.85
+    building_density: float = 0.7
+    building_height: float = 9.0
+    seed: int = 0
+    name: str = "proc-town"
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("procedural town needs at least a 2x2 intersection grid")
+        if self.rows * self.cols < 6:
+            raise ValueError(
+                "procedural town needs at least 2x3 intersections for full "
+                "lane-graph connectivity (a single block cannot be turned around on)"
+            )
+        if self.block_size < 6.0 * self.lane_width:
+            raise ValueError("blocks too small for the configured lane width")
+        if not 0.0 < self.road_density <= 1.0:
+            raise ValueError("road_density must be in (0, 1]")
+        if not 0.0 <= self.building_density <= 1.0:
+            raise ValueError("building_density must be in [0, 1]")
+        if self.building_height <= 0.0:
+            raise ValueError("building_height must be positive")
+
+
+def build_procedural_town(config: ProceduralTownConfig) -> Town:
+    """Sample the road network described by ``config`` (deterministic).
+
+    Roads are dropped one at a time in a seeded random order; a drop is
+    kept only if both endpoints retain degree >= 2 *and* the resulting
+    U-turn-free lane graph stays strongly connected, so every emitted town
+    passes the same routability invariant :func:`build_grid_town` enforces.
+    """
+    cfg = config
+    rng = np.random.default_rng(cfg.seed)
+    inter_half = 2.0 * cfg.lane_width
+
+    def node_id(i: int, j: int) -> int:
+        return j * cfg.cols + i
+
+    centers = {
+        node_id(i, j): Vec2(i * cfg.block_size, j * cfg.block_size)
+        for j in range(cfg.rows)
+        for i in range(cfg.cols)
+    }
+    # The full grid's edge list, in the same order build_grid_town adds
+    # roads; edges are (a, b) intersection-id pairs.
+    edges: list[tuple[int, int]] = []
+    for j in range(cfg.rows):
+        for i in range(cfg.cols):
+            if i + 1 < cfg.cols:
+                edges.append((node_id(i, j), node_id(i + 1, j)))
+            if j + 1 < cfg.rows:
+                edges.append((node_id(i, j), node_id(i, j + 1)))
+
+    def build(edge_list: list[tuple[int, int]], buildings: list[Building]) -> Town:
+        intersections = {
+            nid: Intersection(nid, center, inter_half)
+            for nid, center in centers.items()
+        }
+        roads: dict[int, Road] = {}
+        for road_id, (a, b) in enumerate(edge_list):
+            ca, cb = intersections[a].center, intersections[b].center
+            direction = (cb - ca).normalized()
+            centerline = Polyline([ca + direction * inter_half, cb - direction * inter_half])
+            roads[road_id] = Road(road_id, a, b, centerline, cfg.lane_width, cfg.sidewalk_width)
+            intersections[a].road_ids.append(road_id)
+            intersections[b].road_ids.append(road_id)
+        return Town(
+            intersections,
+            roads,
+            cfg.lane_width,
+            cfg.sidewalk_width,
+            buildings,
+            name=f"{cfg.name}-{cfg.rows}x{cfg.cols}-s{cfg.seed}",
+        )
+
+    # Thin the grid: consider every edge for removal in a seeded random
+    # order; each candidate drop must keep the lane graph routable.
+    kept = list(edges)
+    if cfg.road_density < 1.0:
+        for idx in rng.permutation(len(edges)):
+            candidate = edges[int(idx)]
+            if candidate not in kept:
+                continue
+            if rng.random() >= 1.0 - cfg.road_density:
+                continue
+            trial = [e for e in kept if e != candidate]
+            degrees: dict[int, int] = {nid: 0 for nid in centers}
+            for a, b in trial:
+                degrees[a] += 1
+                degrees[b] += 1
+            if min(degrees.values()) < 2:
+                continue
+            if build(trial, []).lane_graph_strongly_connected():
+                kept = trial
+
+    # Buildings: at most one per block interior, present with probability
+    # building_density, with sampled footprint and height.
+    buildings: list[Building] = []
+    palette = [(150, 110, 95), (120, 120, 135), (160, 140, 110), (110, 130, 120)]
+    inset = cfg.lane_width + cfg.sidewalk_width + 3.0
+    for j in range(cfg.rows - 1):
+        for i in range(cfg.cols - 1):
+            half_ext = cfg.block_size / 2.0 - inset
+            if half_ext < 4.0:
+                continue
+            # Draw per-block samples unconditionally so the presence of
+            # one building never shifts another block's geometry.
+            present = rng.random() < cfg.building_density
+            scale_l = float(rng.uniform(0.5, 0.85))
+            scale_w = float(rng.uniform(0.5, 0.85))
+            height = cfg.building_height * float(rng.uniform(0.6, 1.6))
+            color = palette[int(rng.integers(len(palette)))]
+            if not present:
+                continue
+            cx = (i + 0.5) * cfg.block_size
+            cy = (j + 0.5) * cfg.block_size
+            buildings.append(
+                Building(
+                    OrientedBox(Vec2(cx, cy), 0.0, half_ext * scale_l, half_ext * scale_w),
+                    height,
+                    color,
+                )
+            )
+
+    town = build(kept, buildings)
+    if not town.lane_graph_strongly_connected():  # pragma: no cover - drop loop invariant
+        raise ValueError(
+            f"procedural town {cfg.name!r} (seed {cfg.seed}) has a disconnected lane graph"
+        )
+    return town
+
+
+def build_town(config: "GridTownConfig | ProceduralTownConfig") -> Town:
+    """Build the town for any supported town config (dispatch by type)."""
+    if isinstance(config, ProceduralTownConfig):
+        return build_procedural_town(config)
+    if isinstance(config, GridTownConfig):
+        return build_grid_town(config)
+    raise TypeError(f"unsupported town config type {type(config).__name__}")

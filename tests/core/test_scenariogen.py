@@ -1,0 +1,596 @@
+"""Tests for the generative scenario grammar (repro.core.scenariogen).
+
+The load-bearing guarantees:
+
+* distribution nodes (``uniform``/``choice``/``normal``/``range``) parse
+  strictly, serialise back to their exact JSON form, and sample
+  deterministically from a seeded generator;
+* grammar expansion is a pure function of (spec, seed): the same grammar
+  expands to the byte-identical concrete suite twice in one process and
+  in a fresh interpreter (checked via subprocess, like the spec
+  fingerprint tests);
+* procedural town grammars give every scenario its own sampled road
+  network while staying deterministic;
+* conflict sampling really produces junction conflicts: the ego goes
+  straight, the scripted NPC takes a crossing left turn, and driving the
+  episode shows the NPC's reactive behavior interrupting (state machine
+  transitions), which is what the generated suites exist to provoke.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import Campaign, EpisodeDriver, load_spec
+from repro.core.scenariogen import (
+    Choice,
+    ConflictGrammar,
+    GrammarError,
+    Normal,
+    Range,
+    ScenarioGrammar,
+    TownGrammar,
+    Uniform,
+    enumerate_conflicts,
+    node_to_json,
+    parse_node,
+    resolve_bool,
+    resolve_float,
+    resolve_int,
+    resolve_str,
+)
+from repro.core.spec import CampaignSpec, ScenarioSuiteSpec, SpecError
+from repro.sim.actors import BehaviorSpec, NPCBehavior, NPCVehicle, make_behavior
+from repro.sim.scenario import derive_scenario_seed
+from repro.sim.town import (
+    GridTownConfig,
+    ProceduralTownConfig,
+    build_grid_town,
+    build_procedural_town,
+    build_town,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SPEC_DIR = REPO_ROOT / "examples" / "specs"
+
+
+def rng(seed=7):
+    return np.random.default_rng(seed)
+
+
+class TestDistributionNodes:
+    def test_literals_pass_through(self):
+        assert parse_node(3, "p") == 3
+        assert parse_node(2.5, "p") == 2.5
+        assert parse_node("ClearNoon", "p") == "ClearNoon"
+        assert parse_node(True, "p") is True
+
+    def test_uniform_parses_and_round_trips(self):
+        node = parse_node({"uniform": [1.0, 4.0]}, "p")
+        assert node == Uniform(1.0, 4.0)
+        assert node_to_json(node) == {"uniform": [1.0, 4.0]}
+
+    def test_uniform_float_stays_in_bounds(self):
+        node = Uniform(2.0, 3.0)
+        g = rng()
+        assert all(2.0 <= node.sample_float(g) <= 3.0 for _ in range(100))
+
+    def test_uniform_int_is_inclusive_both_ends(self):
+        node = Uniform(0, 3)
+        g = rng()
+        seen = {node.sample_int(g) for _ in range(300)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(GrammarError, match="exceeds"):
+            parse_node({"uniform": [5, 1]}, "p")
+
+    def test_choice_samples_only_listed_options(self):
+        node = parse_node({"choice": ["a", "b", "c"]}, "p")
+        g = rng()
+        assert {node.sample_value(g) for _ in range(100)} == {"a", "b", "c"}
+
+    def test_choice_rejects_empty_and_nested(self):
+        with pytest.raises(GrammarError, match="non-empty"):
+            parse_node({"choice": []}, "p")
+        with pytest.raises(GrammarError, match="scalars"):
+            parse_node({"choice": [{"uniform": [0, 1]}]}, "p")
+
+    def test_normal_clamps_to_bounds(self):
+        node = parse_node(
+            {"normal": {"mean": 0.0, "std": 10.0, "low": -1.0, "high": 1.0}}, "p"
+        )
+        g = rng()
+        assert all(-1.0 <= node.sample_float(g) <= 1.0 for _ in range(100))
+
+    def test_normal_requires_mean_and_std(self):
+        with pytest.raises(GrammarError, match="mean"):
+            parse_node({"normal": {"std": 1.0}}, "p")
+
+    def test_range_is_half_open_lattice(self):
+        node = parse_node({"range": {"start": 0, "stop": 10, "step": 2}}, "p")
+        assert node.values() == [0, 2, 4, 6, 8]
+        g = rng()
+        assert {node.sample_value(g) for _ in range(200)} == {0, 2, 4, 6, 8}
+
+    def test_range_rejects_empty_and_bad_step(self):
+        with pytest.raises(GrammarError, match="no values"):
+            parse_node({"range": {"start": 5, "stop": 5}}, "p")
+        with pytest.raises(GrammarError, match="> 0"):
+            parse_node({"range": {"start": 0, "stop": 5, "step": 0}}, "p")
+
+    def test_multi_key_object_rejected(self):
+        with pytest.raises(GrammarError, match="exactly one"):
+            parse_node({"uniform": [0, 1], "choice": [2]}, "p")
+        with pytest.raises(GrammarError, match="exactly one"):
+            parse_node({"gaussian": [0, 1]}, "p")
+
+    def test_error_names_the_json_path(self):
+        with pytest.raises(GrammarError, match=r"grammar\.weather"):
+            parse_node({"normal": {"mean": "x", "std": 1}}, "grammar.weather")
+
+    def test_typed_resolvers_accept_literals_and_nodes(self):
+        g = rng()
+        assert resolve_float(2.5, g) == 2.5
+        assert resolve_int(3, g) == 3
+        assert resolve_str("WetNoon", g) == "WetNoon"
+        assert resolve_bool(False, g) is False
+        assert resolve_str(Choice(("a",)), g) == "a"
+        assert resolve_bool(Choice((True, False)), g) in (True, False)
+
+    def test_typed_resolvers_reject_wrong_types(self):
+        g = rng()
+        with pytest.raises(GrammarError, match="expected an integer"):
+            resolve_int(2.5, g)
+        with pytest.raises(GrammarError, match="expected a number"):
+            resolve_float("x", g)
+        with pytest.raises(GrammarError, match="only support 'choice'"):
+            resolve_str(Uniform(0, 1), g)
+        with pytest.raises(GrammarError, match="expected a string"):
+            resolve_str(Choice((3,)), g)
+
+    def test_same_seed_same_samples(self):
+        node = Normal(5.0, 2.0)
+        a = [node.sample_float(rng(3)) for _ in range(1)]
+        b = [node.sample_float(rng(3)) for _ in range(1)]
+        assert a == b
+
+
+class TestProceduralTowns:
+    def test_equal_configs_build_identical_towns(self):
+        cfg = ProceduralTownConfig(rows=3, cols=3, seed=11, road_density=0.75)
+        t1, t2 = build_procedural_town(cfg), build_procedural_town(cfg)
+        assert [repr(l) for l in t1.iter_lanes()] == [repr(l) for l in t2.iter_lanes()]
+        assert len(t1.buildings) == len(t2.buildings)
+
+    def test_different_seeds_differ(self):
+        base = dict(rows=3, cols=4, road_density=0.7)
+        towns = [
+            build_procedural_town(ProceduralTownConfig(seed=s, **base))
+            for s in range(6)
+        ]
+        shapes = {tuple(sorted(t.roads)) for t in towns}
+        assert len(shapes) > 1, "six seeds produced identical road networks"
+
+    def test_thinning_keeps_lane_graph_strongly_connected(self):
+        for seed in range(5):
+            cfg = ProceduralTownConfig(rows=3, cols=3, seed=seed, road_density=0.55)
+            assert build_procedural_town(cfg).lane_graph_strongly_connected()
+
+    def test_full_density_matches_grid_road_count(self):
+        cfg = ProceduralTownConfig(rows=3, cols=3, road_density=1.0, seed=1)
+        town = build_procedural_town(cfg)
+        # 3x3 grid: 2*3 vertical + 3*2 horizontal edges
+        assert len(town.roads) == 12
+
+    def test_build_town_dispatches_by_config_type(self):
+        assert build_town(GridTownConfig(rows=2, cols=3)).name == "grid-town-2x3"
+        proc = build_town(ProceduralTownConfig(rows=3, cols=3, seed=2))
+        assert proc.name.startswith("proc-town-3x3-s2")
+        with pytest.raises(TypeError, match="unsupported town config"):
+            build_town(object())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProceduralTownConfig(rows=1, cols=2)
+        with pytest.raises(ValueError):
+            ProceduralTownConfig(road_density=0.0)
+        with pytest.raises(ValueError):
+            ProceduralTownConfig(road_density=1.5)
+
+
+class TestTownGrammar:
+    def test_grid_fields_sample(self):
+        tg = TownGrammar.from_dict(
+            {"grid": {"rows": 2, "cols": {"choice": [3, 4]}, "with_buildings": False}}
+        )
+        cfg = tg.sample(rng())
+        assert isinstance(cfg, GridTownConfig)
+        assert cfg.rows == 2 and cfg.cols in (3, 4) and not cfg.with_buildings
+
+    def test_procedural_auto_samples_seed(self):
+        tg = TownGrammar.from_dict({"procedural": {"rows": 3, "cols": 3}})
+        seeds = {tg.sample(rng(s)).seed for s in range(5)}
+        assert len(seeds) > 1
+
+    def test_explicit_procedural_seed_respected(self):
+        tg = TownGrammar.from_dict({"procedural": {"rows": 3, "cols": 3, "seed": 99}})
+        assert tg.sample(rng()).seed == 99
+
+    def test_rejects_unknown_kind_and_keys(self):
+        with pytest.raises(GrammarError, match="grid.*procedural"):
+            TownGrammar.from_dict({"hexagonal": {}})
+        with pytest.raises(GrammarError, match="unknown keys"):
+            TownGrammar.from_dict({"grid": {"rowz": 2}})
+
+    def test_invalid_sampled_config_names_path(self):
+        tg = TownGrammar.from_dict({"grid": {"rows": 1}})
+        with pytest.raises(GrammarError, match=r"town\.grid"):
+            tg.sample(rng())
+
+    def test_round_trips_nodes_exactly(self):
+        data = {"grid": {"rows": {"choice": [2, 3]}, "block_size": 80.0}}
+        assert TownGrammar.from_dict(data).to_dict() == data
+
+
+class _FakePoint:
+    def __init__(self, x):
+        self.x = x
+        self.y = 0.0
+
+    def distance_to(self, other):
+        return abs(self.x - other.x)
+
+
+class _FakeEgo:
+    def __init__(self, x):
+        self.position = _FakePoint(x)
+        self.id = 1
+
+
+class _FakeWorld:
+    def __init__(self, ego_x, frame=10):
+        self.ego = _FakeEgo(ego_x)
+        self.frame = frame
+
+
+class _FakeNPC:
+    def __init__(self, x=0.0):
+        self.position = _FakePoint(x)
+        self.id = 2
+
+
+class TestBehaviorStateMachine:
+    def make(self, name="run_junction", **kw):
+        return NPCBehavior(BehaviorSpec(name=name, **kw))
+
+    FakeWorld = _FakeWorld
+    FakeNPC = _FakeNPC
+
+    def test_starts_in_cruise_with_no_transitions(self):
+        b = self.make()
+        assert b.state == NPCBehavior.CRUISE
+        assert b.transitions == []
+        assert not b.interrupted()
+        assert not b.active
+
+    def test_triggers_when_ego_within_distance(self):
+        b = self.make(trigger_distance=25.0)
+        b.update(self.FakeNPC(), self.FakeWorld(ego_x=30.0, frame=5), dt=0.1)
+        assert b.state == NPCBehavior.CRUISE
+        b.update(self.FakeNPC(), self.FakeWorld(ego_x=20.0, frame=6), dt=0.1)
+        assert b.state == NPCBehavior.MANEUVER
+        assert b.transitions == [(NPCBehavior.CRUISE, NPCBehavior.MANEUVER, 6)]
+        assert b.interrupted()
+        assert b.active
+
+    def test_completes_after_duration(self):
+        b = self.make(duration_s=0.5)
+        world = self.FakeWorld(ego_x=1.0, frame=1)
+        b.update(self.FakeNPC(), world, dt=0.1)
+        for _ in range(6):
+            b.update(self.FakeNPC(), world, dt=0.1)
+        assert b.state == NPCBehavior.DONE
+        assert [t[1] for t in b.transitions] == [
+            NPCBehavior.MANEUVER,
+            NPCBehavior.DONE,
+        ]
+        assert b.interrupted()  # the interrupt happened, even though over
+        assert not b.active
+
+    def test_behavior_modifiers_only_while_active(self):
+        b = self.make("brake_on_proximity", speed_scale=0.2)
+        assert not b.brake_now() and b.speed_scale() == 1.0
+        b.update(self.FakeNPC(), self.FakeWorld(ego_x=1.0), dt=0.1)
+        assert b.brake_now() and b.speed_scale() == 0.2
+
+    def test_cut_in_lateral_offset_gated_on_active(self):
+        b = self.make("cut_in", lateral_m=1.5)
+        assert b.lateral_offset() == 0.0
+        b.update(self.FakeNPC(), self.FakeWorld(ego_x=1.0), dt=0.1)
+        assert b.lateral_offset() == 1.5
+
+    def test_run_junction_ignores_hazards_only_while_active(self):
+        b = self.make("run_junction")
+        assert not b.ignore_hazards()
+        b.update(self.FakeNPC(), self.FakeWorld(ego_x=1.0), dt=0.1)
+        assert b.ignore_hazards()
+
+    def test_forced_turn_picks_matching_successor_once(self):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        picked = None
+        b = self.make(turn="LEFT")
+        for lane in town.iter_lanes():
+            options = town.lane_successors(lane)
+            choice = b.pick_successor(town, lane, options)
+            if choice is not None:
+                picked = (lane, choice)
+                break
+        assert picked is not None, "no lane offered a LEFT successor"
+        lane, choice = picked
+        assert town.turn_direction(lane, choice) == "LEFT"
+        # the forced turn is one-shot: afterwards the RNG fallback rules
+        assert b.pick_successor(town, lane, town.lane_successors(lane)) is None
+
+    def test_behavior_spec_validation_and_round_trip(self):
+        with pytest.raises(ValueError, match="unknown behavior"):
+            BehaviorSpec(name="teleport")
+        with pytest.raises(ValueError, match="turn"):
+            BehaviorSpec(name="cut_in", turn="SIDEWAYS")
+        spec = BehaviorSpec(name="cut_in", trigger_distance=10.0, turn=None)
+        assert BehaviorSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="unknown keys"):
+            BehaviorSpec.from_dict({"name": "cut_in", "warp": 1})
+
+    def test_make_behavior_none_passthrough(self):
+        assert make_behavior(None) is None
+        assert make_behavior(BehaviorSpec(name="cut_in")).spec.name == "cut_in"
+
+
+class TestConflictSampling:
+    def test_enumeration_is_deterministic_and_nonempty(self):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        a = enumerate_conflicts(town)
+        b = enumerate_conflicts(town)
+        assert a and [tuple(l.ref for l in c) for c in a] == [
+            tuple(l.ref for l in c) for c in b
+        ]
+
+    def test_conflict_geometry_really_crosses(self):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        for ego_in, ego_out, npc_in, npc_out in enumerate_conflicts(town):
+            assert town.turn_direction(ego_in, ego_out) == "STRAIGHT"
+            assert town.turn_direction(npc_in, npc_out) == "LEFT"
+            assert npc_in.road.id != ego_in.road.id
+            assert ego_in.end_intersection == npc_in.end_intersection
+
+    def test_sample_produces_mission_and_scripted_npc(self):
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        cg = ConflictGrammar()
+        mission, npcs = cg.sample(town, rng(3), time_factor=1.8)
+        assert mission.name.startswith("conflict-j")
+        assert mission.time_limit_s > 15.0
+        (npc,) = npcs
+        assert npc.behavior is not None
+        assert npc.behavior.name == "run_junction"
+        assert npc.behavior.turn == "LEFT"
+        assert npc.station >= 2.0
+
+    def test_sample_errors_without_conflicts(self):
+        # right turns at the 2x3 grid's T-junctions never cross the
+        # straight-through path, so a RIGHT conflict grammar has no
+        # candidates and must say so readably
+        town = build_grid_town(GridTownConfig(rows=2, cols=3))
+        assert enumerate_conflicts(town, "RIGHT") == []
+        with pytest.raises(GrammarError, match="no straight-vs-RIGHT"):
+            ConflictGrammar.from_dict({"turn": "RIGHT"}).sample(
+                town, rng(), time_factor=1.8
+            )
+
+    def test_from_dict_validates(self):
+        with pytest.raises(GrammarError, match="unknown behavior"):
+            ConflictGrammar.from_dict({"behavior": "teleport"})
+        with pytest.raises(GrammarError, match="LEFT, RIGHT or STRAIGHT"):
+            ConflictGrammar.from_dict({"turn": "AROUND"})
+        with pytest.raises(GrammarError, match="unknown keys"):
+            ConflictGrammar.from_dict({"npc_velocity": 3})
+
+    def test_round_trip_preserves_nodes(self):
+        data = ConflictGrammar.from_dict(
+            {"npc_speed": {"uniform": [5.0, 7.0]}, "turn": "RIGHT"}
+        ).to_dict()
+        assert data["npc_speed"] == {"uniform": [5.0, 7.0]}
+        assert data["turn"] == "RIGHT"
+        assert ConflictGrammar.from_dict(data).to_dict() == data
+
+
+class TestGrammarExpansion:
+    GRAMMAR = {
+        "n": 3,
+        "seed": 17,
+        "name": "g",
+        "town": {"grid": {"rows": 2, "cols": 3, "with_buildings": False}},
+        "weather": {"choice": ["ClearNoon", "WetNoon", "FoggyNoon"]},
+        "n_npc_vehicles": {"uniform": [0, 2]},
+        "min_distance": 60.0,
+        "max_distance": 160.0,
+    }
+
+    def test_expansion_is_deterministic(self):
+        g = ScenarioGrammar.from_dict(self.GRAMMAR)
+        a = [s.to_dict() for s in g.expand()]
+        b = [s.to_dict() for s in ScenarioGrammar.from_dict(self.GRAMMAR).expand()]
+        assert a == b
+
+    def test_scenarios_have_independent_child_streams(self):
+        """Same child seeds regardless of n: growing the suite appends
+        scenarios without resampling the existing ones."""
+        small = ScenarioGrammar.from_dict({**self.GRAMMAR, "n": 2}).expand()
+        large = ScenarioGrammar.from_dict(self.GRAMMAR).expand()
+        assert [s.to_dict() for s in small] == [s.to_dict() for s in large[:2]]
+
+    def test_different_seeds_differ(self):
+        a = ScenarioGrammar.from_dict(self.GRAMMAR).expand()
+        b = ScenarioGrammar.from_dict({**self.GRAMMAR, "seed": 18}).expand()
+        assert [s.to_dict() for s in a] != [s.to_dict() for s in b]
+
+    def test_episode_seeds_are_distinct(self):
+        scenarios = ScenarioGrammar.from_dict(self.GRAMMAR).expand()
+        seeds = [s.seed for s in scenarios]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_unknown_weather_rejected_at_expansion(self):
+        g = ScenarioGrammar.from_dict({**self.GRAMMAR, "weather": "Blizzard"})
+        with pytest.raises(GrammarError, match="Blizzard"):
+            g.expand()
+
+    def test_procedural_town_per_scenario(self):
+        g = ScenarioGrammar.from_dict(
+            {
+                "n": 2,
+                "seed": 5,
+                "town": {"procedural": {"rows": 3, "cols": 3, "road_density": 0.8}},
+            }
+        )
+        scenarios = g.expand()
+        cfgs = [s.town_config for s in scenarios]
+        assert all(isinstance(c, ProceduralTownConfig) for c in cfgs)
+        assert cfgs[0].seed != cfgs[1].seed
+
+    def test_conflict_grammar_yields_scripted_npcs(self):
+        g = ScenarioGrammar.from_dict(
+            {
+                "n": 2,
+                "seed": 11,
+                "town": {"grid": {"rows": 2, "cols": 3}},
+                "conflict": {},
+            }
+        )
+        for s in g.expand():
+            assert len(s.npcs) == 1
+            assert s.npcs[0].behavior.name == "run_junction"
+
+    def test_round_trip_dict_stable(self):
+        g = ScenarioGrammar.from_dict(self.GRAMMAR)
+        assert ScenarioGrammar.from_dict(g.to_dict()).to_dict() == g.to_dict()
+
+    def test_rejects_unknown_keys_and_bad_counts(self):
+        with pytest.raises(GrammarError, match="unknown keys"):
+            ScenarioGrammar.from_dict({"count": 3})
+        with pytest.raises(GrammarError, match="positive integer"):
+            ScenarioGrammar.from_dict({"n": 0})
+        with pytest.raises(GrammarError, match="non-negative integer"):
+            ScenarioGrammar.from_dict({"seed": -1})
+
+
+class TestSpecGrammarForm:
+    def test_spec_accepts_grammar_form(self):
+        suite = ScenarioSuiteSpec.from_dict(
+            {"grammar": {"n": 2, "seed": 3, "town": {"grid": {"rows": 2, "cols": 3}}}}
+        )
+        scenarios = suite.build()
+        assert len(scenarios) == 2
+        assert suite.to_dict()["grammar"]["n"] == 2
+
+    def test_grammar_is_exclusive_with_other_forms(self):
+        with pytest.raises(SpecError, match="exactly one"):
+            ScenarioSuiteSpec.from_dict({"grammar": {}, "generate": {}})
+
+    def test_grammar_errors_surface_as_spec_errors_with_path(self):
+        with pytest.raises(SpecError, match=r"scenarios\.grammar"):
+            ScenarioSuiteSpec.from_dict({"grammar": {"n": 0}})
+        suite = ScenarioSuiteSpec.from_dict(
+            {"grammar": {"n": 1, "weather": "Blizzard"}}
+        )
+        with pytest.raises(SpecError, match="Blizzard"):
+            suite.build()
+
+    def test_golden_generated_spec_loads_and_expands(self):
+        spec = load_spec(SPEC_DIR / "generated.json")
+        scenarios = spec.scenarios.build()
+        assert len(scenarios) == 2
+        assert all(s.npcs for s in scenarios)
+
+    def test_grammar_expansion_stable_across_processes(self):
+        """Same spec + seed must expand byte-identically in a fresh
+        interpreter with a different hash seed — the property queue
+        workers rely on when they rebuild campaigns from archived specs."""
+        spec = load_spec(SPEC_DIR / "generated.json")
+        local = [spec.hash()] + [
+            json.dumps(s.to_dict(), sort_keys=True) for s in spec.scenarios.build()
+        ]
+        script = (
+            "import json\n"
+            "from repro.core import load_spec\n"
+            f"spec = load_spec({str(SPEC_DIR / 'generated.json')!r})\n"
+            "out = [spec.hash()] + [json.dumps(s.to_dict(), sort_keys=True)"
+            " for s in spec.scenarios.build()]\n"
+            "print(json.dumps(out))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PYTHONHASHSEED": "31"},
+        )
+        assert json.loads(out.stdout) == local
+
+
+class TestSeedDerivation:
+    def test_matches_frozen_reference(self):
+        # frozen: changing the derivation silently invalidates every
+        # committed checkpoint, so pin exact values
+        assert derive_scenario_seed(0, 0) == 7102454461328411745
+        assert derive_scenario_seed(9, 2) == 7363147331205935961
+
+    def test_no_collisions_across_nearby_suites(self):
+        """The historical seed*1000+i scheme collided between suites
+        (seed 1 episode 0 == seed 0 episode 1000); the hash scheme must
+        keep nearby (seed, index) grids disjoint."""
+        seen = {}
+        for seed in range(30):
+            for index in range(40):
+                value = derive_scenario_seed(seed, index)
+                assert value not in seen, (seed, index, seen[value])
+                seen[value] = (seed, index)
+
+    def test_fits_in_63_bits(self):
+        for seed, index in [(0, 0), (2**31, 999), (7, 10**6)]:
+            assert 0 <= derive_scenario_seed(seed, index) < 2**63
+
+
+class TestConflictEpisodeInterrupts:
+    def test_driven_conflict_episode_interrupts_npc_behavior(self):
+        """Acceptance: a generated conflict scenario, actually driven,
+        shows the NPC behavior state machine interrupting."""
+        spec = load_spec(SPEC_DIR / "generated.json")
+        scenario = next(s for s in spec.scenarios.build() if s.npcs)
+        driver = EpisodeDriver(
+            spec.build_builder(), scenario, spec.agent.build(), injector_name="none"
+        )
+        driver.run()
+        behaviors = [
+            a.behavior
+            for a in driver.world.actors
+            if isinstance(a, NPCVehicle) and a.behavior is not None
+        ]
+        assert behaviors, "conflict scenario spawned no scripted NPC"
+        assert any(b.interrupted() for b in behaviors), [
+            b.transitions for b in behaviors
+        ]
+        interrupted = next(b for b in behaviors if b.interrupted())
+        src, dst, frame = interrupted.transitions[0]
+        assert (src, dst) == (NPCBehavior.CRUISE, NPCBehavior.MANEUVER)
+        assert frame > 0
+
+    def test_campaign_runs_generated_spec(self):
+        spec = load_spec(SPEC_DIR / "generated.json")
+        result = Campaign.from_spec(spec).run()
+        assert len(result.records) == 4  # 2 scenarios x 2 injectors
+        assert all(r.config_fingerprint for r in result.records)
